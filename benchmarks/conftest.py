@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure from section 5 of the
+paper and prints the reproduced rows/series next to the paper's reported
+values, so `pytest benchmarks/ --benchmark-only` doubles as the
+EXPERIMENTS.md evidence trail.
+"""
+
+import pytest
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,23 @@
+"""Section 5.1 baseline: Ethereum-style order-then-execute with *serial*
+transaction execution.
+
+Paper anchor: ~800 tps at block size 100 — "only about 40% of the
+throughput achieved with our approach, which supports parallel execution
+of transactions leveraging SSI."
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import run_serial_baseline
+
+
+def test_ethereum_style_serial_baseline(benchmark):
+    result = benchmark.pedantic(run_serial_baseline, rounds=1,
+                                iterations=1)
+    print_banner("Section 5.1 — serial-execution baseline (bs=100)")
+    print(f"serial peak:      {result['serial_peak']:.0f} tps "
+          f"(paper ~800)")
+    print(f"concurrent peak:  {result['concurrent_peak']:.0f} tps "
+          f"(paper ~1800-2000)")
+    print(f"ratio:            {result['ratio']:.2f} (paper ~0.4)")
+    assert 700 <= result["serial_peak"] <= 900
+    assert 0.35 <= result["ratio"] <= 0.5

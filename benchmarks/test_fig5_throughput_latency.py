@@ -1,0 +1,32 @@
+"""Figure 5: throughput and latency vs transaction arrival rate for the
+simple contract, block sizes 10/100/500.
+
+Paper anchors: order-then-execute peaks ~1800 tps; execute-order-in-
+parallel peaks ~2700 tps (1.5x); latency flips from block-fill-dominated
+(bigger blocks slower) below the peak to parallelism-dominated (bigger
+blocks faster) above it.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import fig5_table, run_fig5
+from repro.bench.perfmodel import FLOW_EO, FLOW_OE
+
+
+def test_fig5a_order_then_execute(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5(FLOW_OE, duration=10.0), rounds=1, iterations=1)
+    print_banner("Figure 5(a) — order-then-execute, simple contract")
+    print(fig5_table(result))
+    print(f"\npeak throughput: {result['peak_throughput']:.0f} tps "
+          f"(paper: ~1800 tps)")
+    assert 1600 <= result["peak_throughput"] <= 2000
+
+
+def test_fig5b_execute_order_in_parallel(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5(FLOW_EO, duration=10.0), rounds=1, iterations=1)
+    print_banner("Figure 5(b) — execute-order-in-parallel, simple contract")
+    print(fig5_table(result))
+    print(f"\npeak throughput: {result['peak_throughput']:.0f} tps "
+          f"(paper: ~2700 tps, 1.5x order-then-execute)")
+    assert 2500 <= result["peak_throughput"] <= 3000

@@ -1,0 +1,40 @@
+"""Figure 6: the complex-join contract (Appendix A Figure 10) at block
+sizes 10/50/100.
+
+Paper anchors: order-then-execute peaks at ~400 tps — less than 25% of
+the simple contract because tet grows ~160x; execute-order-in-parallel
+peaks at more than twice the order-then-execute figure.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import format_table, run_complexity
+from repro.bench.perfmodel import FLOW_EO, FLOW_OE
+
+
+def _rows(result, flow):
+    return [[r["bs"], r["peak_throughput"], r["bpt_ms"], r["bet_ms"],
+             r["tet_ms"]] for r in result["flows"][flow]]
+
+
+def test_fig6_complex_join(benchmark):
+    result = benchmark.pedantic(lambda: run_complexity("complex-join"),
+                                rounds=1, iterations=1)
+    print_banner("Figure 6(a) — order-then-execute, complex-join")
+    print(format_table(["bs", "peak_tps", "bpt_ms", "bet_ms", "tet_ms"],
+                       _rows(result, FLOW_OE)))
+    print_banner("Figure 6(b) — execute-order-in-parallel, complex-join")
+    print(format_table(["bs", "peak_tps", "bpt_ms", "bet_ms", "tet_ms"],
+                       _rows(result, FLOW_EO)))
+
+    oe_peak = max(r["peak_throughput"] for r in result["flows"][FLOW_OE])
+    eo_peak = max(r["peak_throughput"] for r in result["flows"][FLOW_EO])
+    print(f"\nOE peak {oe_peak:.0f} tps (paper ~400); "
+          f"EO peak {eo_peak:.0f} tps (paper: >2x OE)")
+    assert 300 <= oe_peak <= 500
+    assert eo_peak > 2 * oe_peak
+    # EO's bet and bpt are lower than OE's at the same block size
+    # (execution overlapped ordering) — section 5.2.
+    for oe_row, eo_row in zip(result["flows"][FLOW_OE],
+                              result["flows"][FLOW_EO]):
+        assert eo_row["bet_ms"] < oe_row["bet_ms"]
+        assert eo_row["bpt_ms"] < oe_row["bpt_ms"]

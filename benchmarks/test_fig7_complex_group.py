@@ -1,0 +1,37 @@
+"""Figure 7: the complex-group contract (Appendix A Figure 11).
+
+Paper anchor (section 5.2): at block size 100 the maximum throughput is
+1.75x (order-then-execute) and 1.6x (execute-order-in-parallel) the
+complex-join contract's.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import format_table, run_complexity
+from repro.bench.perfmodel import FLOW_EO, FLOW_OE
+
+
+def test_fig7_complex_group(benchmark):
+    def run_both():
+        return (run_complexity("complex-group"),
+                run_complexity("complex-join"))
+
+    group, join = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    for flow, label in ((FLOW_OE, "7(a) order-then-execute"),
+                        (FLOW_EO, "7(b) execute-order-in-parallel")):
+        print_banner(f"Figure {label} — complex-group")
+        print(format_table(
+            ["bs", "peak_tps", "bpt_ms", "bet_ms", "tet_ms"],
+            [[r["bs"], r["peak_throughput"], r["bpt_ms"], r["bet_ms"],
+              r["tet_ms"]] for r in group["flows"][flow]]))
+
+    def at_bs100(result, flow):
+        return next(r["peak_throughput"] for r in result["flows"][flow]
+                    if r["bs"] == 100)
+
+    oe_ratio = at_bs100(group, FLOW_OE) / at_bs100(join, FLOW_OE)
+    eo_ratio = at_bs100(group, FLOW_EO) / at_bs100(join, FLOW_EO)
+    print(f"\ngroup/join peak ratio at bs=100: OE {oe_ratio:.2f} "
+          f"(paper 1.75), EO {eo_ratio:.2f} (paper 1.6)")
+    assert 1.55 <= oe_ratio <= 1.95
+    assert 1.45 <= eo_ratio <= 1.75

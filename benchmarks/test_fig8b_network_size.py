@@ -1,0 +1,29 @@
+"""Figure 8(b): ordering-service throughput vs orderer count at a fixed
+3000 tps offered load.
+
+Paper anchors: Kafka is flat regardless of orderer count; BFT decays
+from ~3000 tps to ~650 tps as orderers grow from 4 to 32 (O(n^2)
+message complexity).
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import format_table, run_fig8b
+
+
+def test_fig8b_orderer_scaling(benchmark):
+    result = benchmark.pedantic(run_fig8b, rounds=1, iterations=1)
+    print_banner("Figure 8(b) — orderer throughput vs cluster size "
+                 f"(offered {result['offered_tps']:.0f} tps)")
+    print(format_table(
+        ["orderers", "kafka_tps", "bft_tps"],
+        [[r["orderers"], r["kafka_tps"], r["bft_tps"]]
+         for r in result["rows"]]))
+    rows = result["rows"]
+    kafka = [r["kafka_tps"] for r in rows]
+    bft = [r["bft_tps"] for r in rows]
+    # Kafka: flat at the offered load.
+    assert max(kafka) - min(kafka) < 0.05 * max(kafka)
+    # BFT: monotone decay, ~3000 -> ~650.
+    assert all(a >= b for a, b in zip(bft, bft[1:]))
+    assert 2700 <= bft[0] <= 3000
+    assert 550 <= bft[-1] <= 750

@@ -1,0 +1,31 @@
+"""Table 4: order-then-execute micro metrics at an arrival rate of
+2100 tps.
+
+Paper row (bs=100): brr 20.9, bpr 17.9, bpt 55.4 ms, bet 47 ms,
+bct 8.3 ms, tet 0.2 ms, su 99.1%.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import micro_metrics_table, run_micro_metrics
+from repro.bench.perfmodel import FLOW_OE
+
+PAPER_TABLE4 = {
+    10: {"bpt": 6.0, "bet": 5.0, "bct": 1.0, "tet": 0.2, "su": 98.1},
+    100: {"bpt": 55.4, "bet": 47.0, "bct": 8.3, "tet": 0.2, "su": 99.1},
+    500: {"bpt": 285.4, "bet": 245.0, "bct": 44.3, "tet": 0.4, "su": 99.7},
+}
+
+
+def test_table4_micro_metrics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_micro_metrics(FLOW_OE, 2100.0, duration=8.0),
+        rounds=1, iterations=1)
+    print_banner("Table 4 — order-then-execute @ 2100 tps (times in ms)")
+    print(micro_metrics_table(rows, include_mt=False))
+    print("\npaper:", PAPER_TABLE4)
+    for row in rows:
+        paper = PAPER_TABLE4[row["bs"]]
+        # Shape check: within 2x of the paper's service times and >=95% su.
+        assert paper["bpt"] / 2 <= row["bpt"] <= paper["bpt"] * 2
+        assert paper["bet"] / 2 <= row["bet"] <= paper["bet"] * 2
+        assert row["su"] >= 95

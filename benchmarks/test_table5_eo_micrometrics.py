@@ -1,0 +1,33 @@
+"""Table 5: execute-order-in-parallel micro metrics at 2400 tps.
+
+Paper row (bs=100): bpt 35.26 ms, bet 18.57 ms, bct 16.69 ms,
+tet 3.08 ms (effective), mt 519/s, su 84%.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import micro_metrics_table, run_micro_metrics
+from repro.bench.perfmodel import FLOW_EO
+
+PAPER_TABLE5 = {
+    10: {"bpt": 3.86, "bet": 2.05, "bct": 1.81, "mt": 479, "su": 89},
+    100: {"bpt": 35.26, "bet": 18.57, "bct": 16.69, "mt": 519, "su": 84},
+    500: {"bpt": 149.64, "bet": 50.83, "bct": 98.81, "mt": 230, "su": 72},
+}
+
+
+def test_table5_micro_metrics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_micro_metrics(FLOW_EO, 2400.0, duration=8.0),
+        rounds=1, iterations=1)
+    print_banner("Table 5 — execute-order-in-parallel @ 2400 tps "
+                 "(times in ms)")
+    print(micro_metrics_table(rows, include_mt=True))
+    print("\npaper:", PAPER_TABLE5)
+    for row in rows:
+        paper = PAPER_TABLE5[row["bs"]]
+        assert paper["bpt"] / 2 <= row["bpt"] <= paper["bpt"] * 2
+        assert paper["bct"] / 2 <= row["bct"] <= paper["bct"] * 2
+        # Missing transactions appear at this load, same order of
+        # magnitude as the paper's.
+        assert 100 <= row["mt"] <= 1000
+        assert 70 <= row["su"] <= 100

@@ -1,0 +1,14 @@
+"""Setup shim for environments without PEP 517 build isolation."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Blockchain relational database (VLDB 2019 reproduction): "
+        "BFT-ordered SQL replication with SSI"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,48 @@
+"""repro — a blockchain relational database.
+
+A from-scratch Python reproduction of "Blockchain Meets Database: Design
+and Implementation of a Blockchain Relational Database" (Nathan et al.,
+VLDB 2019): a permissioned network of mutually distrustful organizations,
+each running a replica of an MVCC relational database, with block ordering
+by pluggable consensus and serializability enforced by (block-aware)
+serializable snapshot isolation.
+
+Quickstart::
+
+    from repro import BlockchainNetwork
+
+    net = BlockchainNetwork(
+        organizations=["org1", "org2", "org3"],
+        flow="execute-order",
+        schema_sql="CREATE TABLE kv (k TEXT PRIMARY KEY, v INT);",
+        contracts=[
+            "CREATE FUNCTION set_kv(key TEXT, val INT) RETURNS VOID AS "
+            "$$ BEGIN INSERT INTO kv (k, v) VALUES (key, val); END $$"
+        ])
+    alice = net.register_client("alice", "org1")
+    result = alice.invoke_and_wait("set_kv", "answer", 42)
+    assert result["status"] == "committed"
+    print(alice.query("SELECT v FROM kv WHERE k = 'answer'").rows)
+"""
+
+from repro.chain import Block, ProcedureCall, Transaction, new_call
+from repro.core.client import BlockchainClient
+from repro.core.network import BlockchainNetwork
+from repro.core.provenance import ProvenanceAuditor
+from repro.errors import (
+    ContractAborted,
+    DeterminismViolation,
+    ReproError,
+    SerializationFailure,
+)
+from repro.node.backend import FLOW_EXECUTE_ORDER, FLOW_ORDER_EXECUTE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block", "ProcedureCall", "Transaction", "new_call",
+    "BlockchainClient", "BlockchainNetwork", "ProvenanceAuditor",
+    "ContractAborted", "DeterminismViolation", "ReproError",
+    "SerializationFailure", "FLOW_EXECUTE_ORDER", "FLOW_ORDER_EXECUTE",
+    "__version__",
+]

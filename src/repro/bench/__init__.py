@@ -1,0 +1,29 @@
+"""Benchmark substrate: calibrated performance model, Appendix A
+workloads, and the experiment harness for every table and figure."""
+
+from repro.bench.perfmodel import (
+    FLOW_EO,
+    FLOW_OE,
+    PipelineSimulator,
+    SimConfig,
+    SimResult,
+    peak_throughput,
+    sweep_arrival_rates,
+)
+from repro.bench.profiles import (
+    BFT_ORDERER_MODEL,
+    COMPLEX_GROUP,
+    COMPLEX_JOIN,
+    KAFKA_ORDERER_MODEL,
+    LAN_DEPLOYMENT,
+    PROFILES,
+    SIMPLE,
+    WAN_DEPLOYMENT,
+)
+
+__all__ = [
+    "FLOW_EO", "FLOW_OE", "PipelineSimulator", "SimConfig", "SimResult",
+    "peak_throughput", "sweep_arrival_rates", "BFT_ORDERER_MODEL",
+    "COMPLEX_GROUP", "COMPLEX_JOIN", "KAFKA_ORDERER_MODEL",
+    "LAN_DEPLOYMENT", "PROFILES", "SIMPLE", "WAN_DEPLOYMENT",
+]

@@ -1,0 +1,140 @@
+"""The paper's evaluation workloads (Appendix A) for the *real* engine.
+
+Three smart contracts over an order-processing schema:
+
+* ``simple_insert`` (Figure 9): single-row inserts;
+* ``complex_join`` (Figure 10): joins two tables, aggregates, writes the
+  result to a third table;
+* ``complex_group`` (Figure 11): aggregates over subgroups of a group,
+  uses ORDER BY + LIMIT to write the max aggregate into a table.
+
+All predicates are index-backed so the contracts run under the
+execute-order-in-parallel flow's strict rules.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+SCHEMA_SQL = """
+CREATE TABLE accounts (
+    acc_id INT PRIMARY KEY,
+    org TEXT NOT NULL,
+    balance FLOAT NOT NULL
+);
+CREATE INDEX accounts_org_idx ON accounts(org);
+CREATE TABLE invoices (
+    invoice_id INT PRIMARY KEY,
+    acc_id INT NOT NULL,
+    org TEXT NOT NULL,
+    amount FLOAT NOT NULL,
+    status TEXT NOT NULL
+);
+CREATE INDEX invoices_acc_idx ON invoices(acc_id);
+CREATE INDEX invoices_org_idx ON invoices(org);
+CREATE TABLE summaries (
+    summary_id TEXT PRIMARY KEY,
+    org TEXT NOT NULL,
+    total FLOAT NOT NULL,
+    cnt INT NOT NULL
+);
+CREATE TABLE groupmax (
+    gm_id TEXT PRIMARY KEY,
+    org TEXT NOT NULL,
+    max_total FLOAT NOT NULL
+);
+"""
+
+SIMPLE_CONTRACT = """
+CREATE FUNCTION simple_insert(inv_id INT, account INT, org_name TEXT,
+                              amount FLOAT) RETURNS VOID AS $$
+BEGIN
+    INSERT INTO invoices (invoice_id, acc_id, org, amount, status)
+    VALUES (inv_id, account, org_name, amount, 'new');
+END $$ LANGUAGE plpgsql
+"""
+
+COMPLEX_JOIN_CONTRACT = """
+CREATE FUNCTION complex_join(sid TEXT, org_name TEXT) RETURNS VOID AS $$
+DECLARE
+    total FLOAT;
+    cnt INT;
+BEGIN
+    SELECT sum(i.amount), count(*) INTO total, cnt
+    FROM accounts a JOIN invoices i ON i.acc_id = a.acc_id
+    WHERE a.org = org_name;
+    INSERT INTO summaries (summary_id, org, total, cnt)
+    VALUES (sid, org_name, coalesce(total, 0.0), coalesce(cnt, 0));
+END $$ LANGUAGE plpgsql
+"""
+
+COMPLEX_GROUP_CONTRACT = """
+CREATE FUNCTION complex_group(gid TEXT, org_name TEXT) RETURNS VOID AS $$
+DECLARE
+    m FLOAT;
+BEGIN
+    SELECT sum(amount) INTO m
+    FROM invoices
+    WHERE org = org_name
+    GROUP BY acc_id
+    ORDER BY sum(amount) DESC, acc_id ASC
+    LIMIT 1;
+    INSERT INTO groupmax (gm_id, org, max_total)
+    VALUES (gid, org_name, coalesce(m, 0.0));
+END $$ LANGUAGE plpgsql
+"""
+
+ALL_CONTRACTS = [SIMPLE_CONTRACT, COMPLEX_JOIN_CONTRACT,
+                 COMPLEX_GROUP_CONTRACT]
+
+SEED_ACCOUNTS_CONTRACT = """
+CREATE FUNCTION open_account(account INT, org_name TEXT, bal FLOAT)
+RETURNS VOID AS $$
+BEGIN
+    INSERT INTO accounts (acc_id, org, balance) VALUES
+    (account, org_name, bal);
+END $$ LANGUAGE plpgsql
+"""
+
+
+def seed_calls(orgs: List[str], accounts_per_org: int = 4,
+               invoices_per_account: int = 3,
+               seed: int = 13) -> List[Tuple[str, tuple]]:
+    """Deterministic dataset bootstrap: (procedure, args) invocations."""
+    rng = random.Random(seed)
+    calls: List[Tuple[str, tuple]] = []
+    acc_id = 1
+    inv_id = 1
+    for org in orgs:
+        for _ in range(accounts_per_org):
+            calls.append(("open_account",
+                          (acc_id, org, round(rng.uniform(100, 1000), 2))))
+            for _ in range(invoices_per_account):
+                calls.append(("simple_insert",
+                              (inv_id, acc_id, org,
+                               round(rng.uniform(10, 500), 2))))
+                inv_id += 1
+            acc_id += 1
+    return calls
+
+
+def workload_calls(kind: str, count: int, orgs: List[str],
+                   start_id: int = 100_000,
+                   seed: int = 29) -> List[Tuple[str, tuple]]:
+    """A stream of ``count`` invocations of one Appendix A contract."""
+    rng = random.Random(seed)
+    calls: List[Tuple[str, tuple]] = []
+    for i in range(count):
+        org = orgs[i % len(orgs)]
+        if kind == "simple":
+            calls.append(("simple_insert",
+                          (start_id + i, 1 + (i % (4 * len(orgs))), org,
+                           round(rng.uniform(10, 500), 2))))
+        elif kind == "complex-join":
+            calls.append(("complex_join", (f"sum-{seed}-{i}", org)))
+        elif kind == "complex-group":
+            calls.append(("complex_group", (f"gm-{seed}-{i}", org)))
+        else:
+            raise ValueError(f"unknown workload kind {kind!r}")
+    return calls

@@ -1,0 +1,7 @@
+"""Chain data model: transactions and blocks."""
+
+from repro.chain.block import Block, GENESIS_PREV_HASH, make_genesis
+from repro.chain.transaction import ProcedureCall, Transaction, new_call
+
+__all__ = ["Block", "GENESIS_PREV_HASH", "make_genesis",
+           "ProcedureCall", "Transaction", "new_call"]

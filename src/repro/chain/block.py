@@ -1,0 +1,99 @@
+"""Blocks.
+
+Section 3.1: a block consists of (a) a sequence number, (b) a set of
+transactions, (c) metadata associated with the consensus protocol, (d) the
+hash of the previous block, (e) the hash of the current block — i.e.
+hash(a, b, c, d) — and (f) orderer signatures on that hash.
+
+Checkpoint write-set hashes from previous blocks ride in the metadata
+(sections 3.3.4 / 3.4.4: "state change hashes are added in the next
+block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.crypto import Signature, sha256
+from repro.common.identity import CertificateRegistry
+from repro.common.merkle import merkle_root
+from repro.common.serialization import canonical_bytes
+from repro.chain.transaction import Transaction
+from repro.errors import BlockValidationError
+
+GENESIS_PREV_HASH = b"\x00" * 32
+
+
+@dataclass
+class Block:
+    """An ordered batch of transactions, hash-chained to its predecessor."""
+
+    number: int
+    transactions: List[Transaction]
+    metadata: Dict = field(default_factory=dict)
+    prev_hash: bytes = GENESIS_PREV_HASH
+    block_hash: bytes = b""
+    # orderer name -> signature bytes over the block hash
+    orderer_signatures: Dict[str, bytes] = field(default_factory=dict)
+
+    def compute_hash(self) -> bytes:
+        """hash(number, transactions, metadata, prev_hash)."""
+        payload = canonical_bytes({
+            "number": self.number,
+            "tx_root": merkle_root(
+                canonical_bytes(tx.to_canonical())
+                for tx in self.transactions),
+            "tx_ids": [tx.tx_id for tx in self.transactions],
+            "metadata": self.metadata,
+            "prev_hash": self.prev_hash,
+        })
+        return sha256(payload)
+
+    def seal(self) -> "Block":
+        """Finalize the block hash (called by the ordering service)."""
+        self.block_hash = self.compute_hash()
+        return self
+
+    def sign(self, orderer_name: str, signature: Signature) -> None:
+        self.orderer_signatures[orderer_name] = signature.to_bytes()
+
+    def verify(self, certs: CertificateRegistry,
+               expected_prev_hash: Optional[bytes] = None,
+               min_signatures: int = 1) -> None:
+        """Validate hash integrity, chain linkage and orderer signatures.
+
+        Raises :class:`BlockValidationError` on any failure.
+        """
+        if self.block_hash != self.compute_hash():
+            raise BlockValidationError(
+                f"block {self.number}: hash does not match contents")
+        if (expected_prev_hash is not None
+                and self.prev_hash != expected_prev_hash):
+            raise BlockValidationError(
+                f"block {self.number}: prev-hash does not chain")
+        valid = 0
+        for orderer, sig_bytes in self.orderer_signatures.items():
+            if orderer not in certs:
+                continue
+            certs.verify(orderer, self.block_hash,
+                         Signature.from_bytes(sig_bytes))
+            valid += 1
+        if valid < min_signatures:
+            raise BlockValidationError(
+                f"block {self.number}: {valid} valid orderer signature(s), "
+                f"need {min_signatures}")
+
+    def tx_ids(self) -> List[str]:
+        return [tx.tx_id for tx in self.transactions]
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+
+def make_genesis(metadata: Optional[Dict] = None) -> Block:
+    """Block 0: carries network configuration, no transactions."""
+    block = Block(number=0, transactions=[],
+                  metadata=metadata or {"genesis": True},
+                  prev_hash=GENESIS_PREV_HASH)
+    return block.seal()

@@ -1,0 +1,119 @@
+"""Blockchain transactions.
+
+Two wire formats exist, matching the two flows:
+
+* **Order-then-execute** (section 3.3): a transaction carries (a) a unique
+  identifier, (b) the invoking username, (c) the procedure invocation, and
+  (d) a signature over hash(a, b, c).
+
+* **Execute-order-in-parallel** (section 3.4): the client additionally pins
+  (c) a block number — the snapshot height the transaction must execute at —
+  and the unique identifier is *derived*: hash(username, invocation,
+  block number).  Section 3.4.3 explains why: two different transactions
+  must never share an identifier, or nodes could diverge on which one wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.common.crypto import Signature, sha256_hex
+from repro.common.identity import Identity
+from repro.common.serialization import canonical_bytes
+
+
+@dataclass(frozen=True)
+class ProcedureCall:
+    """Invocation of a deployed PL/SQL procedure (smart contract)."""
+
+    procedure: str
+    args: Tuple[Any, ...] = ()
+
+    def to_canonical(self) -> dict:
+        return {"procedure": self.procedure, "args": list(self.args)}
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A signed smart-contract invocation.
+
+    ``snapshot_height`` is ``None`` for order-then-execute transactions and
+    the client-pinned block height for execute-order-in-parallel ones.
+    """
+
+    tx_id: str
+    username: str
+    call: ProcedureCall
+    snapshot_height: Optional[int] = None
+    signature_bytes: bytes = b""
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def _core_payload(username: str, call: ProcedureCall,
+                      snapshot_height: Optional[int]) -> bytes:
+        return canonical_bytes({
+            "username": username,
+            "call": call.to_canonical(),
+            "snapshot_height": snapshot_height,
+        })
+
+    @classmethod
+    def derive_tx_id(cls, username: str, call: ProcedureCall,
+                     snapshot_height: Optional[int]) -> str:
+        """The execute-order-in-parallel identifier: hash(a, b, c)."""
+        return sha256_hex(cls._core_payload(username, call, snapshot_height))
+
+    @classmethod
+    def create(cls, identity: Identity, call: ProcedureCall,
+               snapshot_height: Optional[int] = None,
+               tx_id: Optional[str] = None) -> "Transaction":
+        """Build and sign a transaction.
+
+        For the parallel flow (``snapshot_height`` set) the identifier is
+        always derived from the content; for order-then-execute the caller
+        may supply any unique ``tx_id`` (defaults to the derived hash too).
+        """
+        if snapshot_height is not None or tx_id is None:
+            tx_id = cls.derive_tx_id(identity.name, call, snapshot_height)
+        unsigned = cls(tx_id=tx_id, username=identity.name, call=call,
+                       snapshot_height=snapshot_height)
+        signature = identity.sign(unsigned.signing_payload())
+        return cls(tx_id=tx_id, username=identity.name, call=call,
+                   snapshot_height=snapshot_height,
+                   signature_bytes=signature.to_bytes())
+
+    # -- signing -----------------------------------------------------------
+
+    def signing_payload(self) -> bytes:
+        """Bytes covered by the client signature: hash payload includes the
+        identifier so it cannot be swapped."""
+        return canonical_bytes({
+            "tx_id": self.tx_id,
+            "username": self.username,
+            "call": self.call.to_canonical(),
+            "snapshot_height": self.snapshot_height,
+        })
+
+    @property
+    def signature(self) -> Signature:
+        return Signature.from_bytes(self.signature_bytes)
+
+    def to_canonical(self) -> dict:
+        return {
+            "tx_id": self.tx_id,
+            "username": self.username,
+            "call": self.call.to_canonical(),
+            "snapshot_height": self.snapshot_height,
+            "sig": self.signature_bytes,
+        }
+
+    def size_bytes(self) -> int:
+        """Approximate wire size (used by the bandwidth model)."""
+        return len(canonical_bytes(self.to_canonical()))
+
+
+def new_call(procedure: str, *args: Any) -> ProcedureCall:
+    """Convenience constructor used throughout examples and tests."""
+    return ProcedureCall(procedure=procedure, args=tuple(args))

@@ -1,0 +1,38 @@
+"""Shared substrate: crypto, identities, serialization, merkle trees,
+and the discrete-event kernel."""
+
+from repro.common.crypto import (
+    PrivateKey,
+    PublicKey,
+    Signature,
+    generate_keypair,
+    sha256,
+    sha256_hex,
+)
+from repro.common.events import EventScheduler
+from repro.common.identity import (
+    Certificate,
+    CertificateRegistry,
+    Identity,
+    ROLE_ADMIN,
+    ROLE_CLIENT,
+    ROLE_ORDERER,
+    ROLE_PEER,
+)
+from repro.common.merkle import merkle_proof, merkle_root, verify_proof
+from repro.common.serialization import (
+    canonical_bytes,
+    canonical_hash,
+    canonical_hash_hex,
+    from_canonical_bytes,
+)
+
+__all__ = [
+    "PrivateKey", "PublicKey", "Signature", "generate_keypair",
+    "sha256", "sha256_hex", "EventScheduler",
+    "Certificate", "CertificateRegistry", "Identity",
+    "ROLE_ADMIN", "ROLE_CLIENT", "ROLE_ORDERER", "ROLE_PEER",
+    "merkle_proof", "merkle_root", "verify_proof",
+    "canonical_bytes", "canonical_hash", "canonical_hash_hex",
+    "from_canonical_bytes",
+]

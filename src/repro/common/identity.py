@@ -1,0 +1,181 @@
+"""Identities, certificates and the certificate registry (pgCerts).
+
+The paper's permissioned model (section 3.1, 3.7): each organization has an
+admin; admins onboard client users; every client, peer and orderer node has
+a registered public key.  Transactions are signed by the invoking client and
+verified by every peer before execution; blocks are signed by orderers.
+
+A :class:`Certificate` here is a minimal self-describing binding of
+(name, organization, role) to a public key, signed by the organization's
+admin key (or self-signed for admins at bootstrap).  This reproduces the
+trust semantics without an X.509 dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.common.crypto import PrivateKey, PublicKey, Signature
+from repro.common.serialization import canonical_bytes
+from repro.errors import InvalidSignature, UnknownIdentity
+
+ROLE_ADMIN = "admin"
+ROLE_CLIENT = "client"
+ROLE_PEER = "peer"
+ROLE_ORDERER = "orderer"
+
+_VALID_ROLES = frozenset({ROLE_ADMIN, ROLE_CLIENT, ROLE_PEER, ROLE_ORDERER})
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Binding of a principal name to a public key within an organization."""
+
+    name: str
+    organization: str
+    role: str
+    public_key_bytes: bytes
+    issuer: str  # admin name, or == name for self-signed bootstrap admins
+    signature_bytes: bytes = b""
+
+    def payload(self) -> bytes:
+        return canonical_bytes({
+            "name": self.name,
+            "org": self.organization,
+            "role": self.role,
+            "pub": self.public_key_bytes,
+            "issuer": self.issuer,
+        })
+
+    @property
+    def public_key(self) -> PublicKey:
+        return PublicKey.from_bytes(self.public_key_bytes)
+
+    def to_canonical(self) -> dict:
+        return {
+            "name": self.name, "org": self.organization, "role": self.role,
+            "pub": self.public_key_bytes, "issuer": self.issuer,
+            "sig": self.signature_bytes,
+        }
+
+
+class Identity:
+    """A principal holding a private key and its certificate."""
+
+    def __init__(self, certificate: Certificate, private_key: PrivateKey):
+        self.certificate = certificate
+        self.private_key = private_key
+
+    @property
+    def name(self) -> str:
+        return self.certificate.name
+
+    @property
+    def organization(self) -> str:
+        return self.certificate.organization
+
+    @property
+    def role(self) -> str:
+        return self.certificate.role
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.private_key.public_key
+
+    def sign(self, message: bytes) -> Signature:
+        return self.private_key.sign(message)
+
+    @classmethod
+    def create(cls, name: str, organization: str, role: str,
+               issuer: Optional["Identity"] = None,
+               seed: Optional[bytes] = None) -> "Identity":
+        """Create a new identity; ``issuer`` signs the certificate (self-sign
+        when omitted, for bootstrap admins)."""
+        if role not in _VALID_ROLES:
+            raise ValueError(f"unknown role {role!r}")
+        if seed is None:
+            seed_material = f"{organization}/{name}/{role}".encode()
+            key = PrivateKey.generate(seed_material)
+        else:
+            key = PrivateKey.generate(seed)
+        cert = Certificate(
+            name=name, organization=organization, role=role,
+            public_key_bytes=key.public_key.to_bytes(),
+            issuer=issuer.name if issuer else name,
+        )
+        signer = issuer.private_key if issuer else key
+        signed = Certificate(
+            name=cert.name, organization=cert.organization, role=cert.role,
+            public_key_bytes=cert.public_key_bytes, issuer=cert.issuer,
+            signature_bytes=signer.sign(cert.payload()).to_bytes(),
+        )
+        return cls(signed, key)
+
+
+class CertificateRegistry:
+    """The pgCerts system catalog: all registered certificates on a node.
+
+    Verification is two-step: the certificate must be present (the principal
+    was onboarded) and, for non-admins, the issuing admin's certificate must
+    validate the signature chain.
+    """
+
+    def __init__(self):
+        self._certs: Dict[str, Certificate] = {}
+
+    def register(self, certificate: Certificate) -> None:
+        """Register (or replace) a certificate after verifying its issuer
+        signature when the issuer is already known."""
+        issuer_cert = self._certs.get(certificate.issuer)
+        if certificate.issuer == certificate.name:
+            # Self-signed bootstrap admin: verify self-consistency.
+            certificate.public_key.verify(
+                certificate.payload(),
+                Signature.from_bytes(certificate.signature_bytes))
+        elif issuer_cert is not None:
+            issuer_cert.public_key.verify(
+                certificate.payload(),
+                Signature.from_bytes(certificate.signature_bytes))
+        else:
+            raise UnknownIdentity(
+                f"issuer {certificate.issuer!r} not registered")
+        self._certs[certificate.name] = certificate
+
+    def register_all(self, certificates: Iterable[Certificate]) -> None:
+        admins = [c for c in certificates if c.issuer == c.name]
+        others = [c for c in certificates if c.issuer != c.name]
+        for cert in admins:
+            self.register(cert)
+        for cert in others:
+            self.register(cert)
+
+    def remove(self, name: str) -> None:
+        self._certs.pop(name, None)
+
+    def get(self, name: str) -> Certificate:
+        try:
+            return self._certs[name]
+        except KeyError:
+            raise UnknownIdentity(f"no certificate for {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._certs
+
+    def __len__(self) -> int:
+        return len(self._certs)
+
+    def names(self):
+        return sorted(self._certs)
+
+    def verify(self, name: str, message: bytes,
+               signature: Signature) -> Certificate:
+        """Verify that ``signature`` over ``message`` was produced by the
+        registered key of ``name``.  Returns the certificate."""
+        cert = self.get(name)
+        try:
+            cert.public_key.verify(message, signature)
+        except InvalidSignature:
+            raise InvalidSignature(
+                f"signature verification failed for {name!r}") from None
+        return cert

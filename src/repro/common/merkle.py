@@ -1,0 +1,82 @@
+"""Merkle tree over transaction/write-set hashes.
+
+Blocks commit to their transaction set through a Merkle root so that a
+single transaction's inclusion can be proven without shipping the whole
+block (used by the checkpointing phase and by light-client style audit in
+the examples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.common.crypto import sha256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+_EMPTY_ROOT = sha256(b"repro-empty-merkle")
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+def merkle_root(leaves: Iterable[bytes]) -> bytes:
+    """Compute the Merkle root of ``leaves`` (raw leaf payloads).
+
+    Odd nodes are promoted unchanged (Bitcoin-style duplication would allow
+    a malleability quirk; promotion avoids it).
+    """
+    level: List[bytes] = [_leaf_hash(leaf) for leaf in leaves]
+    if not level:
+        return _EMPTY_ROOT
+    while len(level) > 1:
+        nxt: List[bytes] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(_node_hash(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def merkle_proof(leaves: Sequence[bytes], index: int) -> List[Tuple[str, bytes]]:
+    """Return an audit path for ``leaves[index]``.
+
+    Each element is ``("L", sibling)`` or ``("R", sibling)`` indicating the
+    sibling's side when recombining.
+    """
+    if not 0 <= index < len(leaves):
+        raise IndexError("leaf index out of range")
+    level = [_leaf_hash(leaf) for leaf in leaves]
+    path: List[Tuple[str, bytes]] = []
+    pos = index
+    while len(level) > 1:
+        nxt: List[bytes] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(_node_hash(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        sibling = pos ^ 1
+        if sibling < len(level):
+            side = "L" if sibling < pos else "R"
+            path.append((side, level[sibling]))
+        pos //= 2
+        level = nxt
+    return path
+
+
+def verify_proof(leaf: bytes, path: Sequence[Tuple[str, bytes]],
+                 root: bytes) -> bool:
+    """Check that ``leaf`` is included under ``root`` via ``path``."""
+    acc = _leaf_hash(leaf)
+    for side, sibling in path:
+        if side == "L":
+            acc = _node_hash(sibling, acc)
+        else:
+            acc = _node_hash(acc, sibling)
+    return acc == root

@@ -1,0 +1,76 @@
+"""Canonical serialization for hashing and signing.
+
+Cross-node determinism requires that every node computes byte-identical
+hashes for the same logical object (transactions, blocks, write-sets,
+checkpoint digests).  JSON with sorted keys and no whitespace is used as the
+canonical form; a small set of extension tags covers bytes and Decimal.
+"""
+
+from __future__ import annotations
+
+import json
+from decimal import Decimal
+from typing import Any
+
+from repro.common.crypto import sha256, sha256_hex
+
+_BYTES_TAG = "\x00b64:"
+_DECIMAL_TAG = "\x00dec:"
+
+
+def _encode_value(value: Any) -> Any:
+    """Recursively convert a value into JSON-representable canonical form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr() round-trips floats exactly in Python 3; embedding the repr
+        # keeps 1.0 distinct from 1 while staying deterministic.
+        return value
+    if isinstance(value, Decimal):
+        return _DECIMAL_TAG + str(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return _BYTES_TAG + bytes(value).hex()
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if hasattr(value, "to_canonical"):
+        return _encode_value(value.to_canonical())
+    raise TypeError(f"cannot canonically serialize {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, str):
+        if value.startswith(_BYTES_TAG):
+            return bytes.fromhex(value[len(_BYTES_TAG):])
+        if value.startswith(_DECIMAL_TAG):
+            return Decimal(value[len(_DECIMAL_TAG):])
+        return value
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _decode_value(v) for k, v in value.items()}
+    return value
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Serialize ``obj`` to canonical bytes (sorted keys, no whitespace)."""
+    return json.dumps(
+        _encode_value(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True,
+    ).encode("utf-8")
+
+
+def from_canonical_bytes(data: bytes) -> Any:
+    """Inverse of :func:`canonical_bytes`."""
+    return _decode_value(json.loads(data.decode("utf-8")))
+
+
+def canonical_hash(obj: Any) -> bytes:
+    """SHA-256 over the canonical serialization of ``obj``."""
+    return sha256(canonical_bytes(obj))
+
+
+def canonical_hash_hex(obj: Any) -> str:
+    """Hex SHA-256 over the canonical serialization of ``obj``."""
+    return sha256_hex(canonical_bytes(obj))

@@ -1,0 +1,33 @@
+"""Pluggable ordering services: Kafka-style CFT, Raft, and PBFT."""
+
+from repro.consensus.base import (
+    BlockAssembler,
+    LogEntry,
+    OrderingConfig,
+    OrderingService,
+)
+from repro.consensus.kafka import KafkaOrderingService, KafkaTopic
+from repro.consensus.pbft import PBFTOrderingService
+from repro.consensus.raft import RaftOrderingService
+
+__all__ = [
+    "BlockAssembler", "LogEntry", "OrderingConfig", "OrderingService",
+    "KafkaOrderingService", "KafkaTopic", "PBFTOrderingService",
+    "RaftOrderingService",
+]
+
+
+def make_ordering_service(kind: str, scheduler, network, identities,
+                          config=None, genesis=None) -> OrderingService:
+    """Factory over the three consensus implementations."""
+    kind = kind.lower()
+    if kind == "kafka":
+        return KafkaOrderingService(scheduler, network, identities,
+                                    config, genesis)
+    if kind == "raft":
+        return RaftOrderingService(scheduler, network, identities,
+                                   config, genesis)
+    if kind == "pbft":
+        return PBFTOrderingService(scheduler, network, identities,
+                                   config, genesis)
+    raise ValueError(f"unknown consensus kind {kind!r}")

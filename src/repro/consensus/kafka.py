@@ -1,0 +1,168 @@
+"""Kafka-style crash-fault-tolerant ordering service.
+
+Section 4.4: "Orderer nodes connect to a Kafka cluster and publish all
+received transactions to a Kafka topic, which delivers the transactions in
+a FIFO order...  Each orderer node publishes a time-to-cut message to the
+Kafka topic when its timer expires.  The first time-to-cut message is
+considered to cut a block and all other duplicates are ignored."
+
+The broker cluster is modelled as a replicated, totally ordered topic: a
+partition leader assigns offsets and replicates to followers (ISR); an
+entry is delivered to consumers once a configurable ack quorum has it.
+Each orderer node consumes the same stream, runs an identical
+:class:`BlockAssembler`, signs the blocks it cuts, and ships them to its
+peers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chain.transaction import Transaction
+from repro.consensus.base import (
+    BlockAssembler,
+    LogEntry,
+    OrderingConfig,
+    OrderingService,
+)
+
+
+class KafkaTopic:
+    """A totally ordered topic with leader/ISR replication semantics."""
+
+    def __init__(self, scheduler, replicas: int = 3, ack_quorum: int = 2,
+                 replication_delay: float = 0.0005):
+        self.scheduler = scheduler
+        self.replicas = replicas
+        self.ack_quorum = min(ack_quorum, replicas)
+        self.replication_delay = replication_delay
+        self.log: List[LogEntry] = []
+        self._consumers: List = []  # callbacks fn(offset, entry)
+        self._delivered_upto: Dict[int, int] = {}
+
+    def subscribe(self, callback) -> int:
+        consumer_id = len(self._consumers)
+        self._consumers.append(callback)
+        self._delivered_upto[consumer_id] = 0
+        return consumer_id
+
+    def publish(self, entry: LogEntry) -> int:
+        """Append an entry; offset assigned by the partition leader.
+        Delivery happens after the ISR ack quorum (one replication RTT per
+        additional ack)."""
+        offset = len(self.log)
+        self.log.append(entry)
+        delay = self.replication_delay * max(1, self.ack_quorum - 1)
+        self.scheduler.schedule(delay, lambda: self._deliver(offset))
+        return offset
+
+    def _deliver(self, upto_offset: int) -> None:
+        for consumer_id, callback in enumerate(self._consumers):
+            start = self._delivered_upto[consumer_id]
+            end = upto_offset + 1
+            if end <= start:
+                continue
+            self._delivered_upto[consumer_id] = end
+            for offset in range(start, end):
+                callback(offset, self.log[offset])
+
+
+class KafkaOrderingService(OrderingService):
+    """CFT ordering on a shared Kafka topic."""
+
+    def __init__(self, scheduler, network, identities, config=None,
+                 genesis=None, topic: Optional[KafkaTopic] = None):
+        config = config or OrderingConfig(consensus="kafka")
+        super().__init__(scheduler, network, identities, config, genesis)
+        self.topic = topic or KafkaTopic(scheduler)
+        self._assemblers: Dict[str, BlockAssembler] = {}
+        self._timers: Dict[str, Optional[int]] = {}
+        for name in self.orderer_names:
+            assembler = BlockAssembler(config,
+                                       metadata_fn=self._block_metadata)
+            assembler.start_with_genesis(self.genesis)
+            self._assemblers[name] = assembler
+            self._timers[name] = None
+            self.topic.subscribe(
+                lambda offset, entry, n=name: self._on_entry(n, entry))
+
+    def start(self) -> None:
+        """Nothing to do: timers are armed lazily on first pending tx."""
+
+    # ------------------------------------------------------------------
+
+    def submit(self, tx: Transaction,
+               orderer_name: Optional[str] = None) -> None:
+        """A client or peer hands a transaction to one orderer, which
+        publishes it to the topic."""
+        name = orderer_name or self.orderer_names[0]
+        if self.network.is_down(name):
+            return  # that orderer is crashed; client must retry elsewhere
+        self.topic.publish(LogEntry(LogEntry.TX, tx))
+
+    # ------------------------------------------------------------------
+
+    def _on_entry(self, orderer_name: str, entry: LogEntry) -> None:
+        if self.network.is_down(orderer_name):
+            return
+        assembler = self._assemblers[orderer_name]
+        block = assembler.feed(entry)
+        if entry.kind == LogEntry.TX:
+            self._arm_timer(orderer_name)
+        if block is not None:
+            self._cancel_timer(orderer_name)
+            if orderer_name == self._first_live_orderer():
+                # Every orderer cut an identical block; avoid duplicate
+                # network traffic by having one live orderer deliver, with
+                # all orderer signatures gathered below.
+                self._deliver_with_all_signatures(block)
+            if assembler.pending:
+                self._arm_timer(orderer_name)
+
+    def _deliver_with_all_signatures(self, block) -> None:
+        for name in self.orderer_names:
+            if not self.network.is_down(name):
+                block.sign(name, self.identities[name].sign(
+                    block.block_hash))
+        self.blocks_cut.append(block)
+        size = sum(tx.size_bytes() for tx in block.transactions) + 512
+        src = self._first_live_orderer()
+        for peer_name in sorted(self._peers):
+            callback = self._peers[peer_name]
+            delay = self.network.default_latency.delay_for(
+                size, self.network._rng)
+            self.scheduler.schedule(
+                delay, lambda cb=callback, b=block, s=src: cb(b, s))
+
+    def _first_live_orderer(self) -> str:
+        for name in self.orderer_names:
+            if not self.network.is_down(name):
+                return name
+        return self.orderer_names[0]
+
+    # -- timeout / time-to-cut ------------------------------------------
+
+    def _arm_timer(self, orderer_name: str) -> None:
+        if self._timers[orderer_name] is not None:
+            return
+        assembler = self._assemblers[orderer_name]
+        if not assembler.pending:
+            return
+        target = assembler.next_block_number
+
+        def _expire():
+            self._timers[orderer_name] = None
+            if self.network.is_down(orderer_name):
+                return
+            current = self._assemblers[orderer_name]
+            if current.next_block_number == target and current.pending:
+                self.topic.publish(LogEntry(LogEntry.TTC, target))
+
+        self._timers[orderer_name] = self.scheduler.schedule(
+            self.config.block_timeout, _expire)
+
+    def _cancel_timer(self, orderer_name: str) -> None:
+        timer = self._timers[orderer_name]
+        if timer is not None:
+            self.scheduler.cancel(timer)
+            self._timers[orderer_name] = None

@@ -1,0 +1,324 @@
+"""PBFT-style byzantine-fault-tolerant ordering service.
+
+Models the BFT-SMaRt cluster of section 4.4 with the classic PBFT
+three-phase protocol (Castro & Liskov): the primary of the current view
+assigns sequence numbers and broadcasts PRE-PREPARE; replicas broadcast
+PREPARE and, once *prepared* (pre-prepare + 2f matching prepares), COMMIT;
+an entry is *committed-local* after 2f+1 matching commits and is executed
+in sequence order.  A replica that suspects the primary (request timer
+expiry) broadcasts VIEW-CHANGE; 2f+1 view-change messages install view+1.
+
+The O(n²) message complexity of the prepare/commit phases is what drives
+the Figure 8(b) throughput decay as the orderer count grows — the
+simulated network counts and delays every one of those messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.common.serialization import canonical_hash_hex
+from repro.consensus.base import (
+    BlockAssembler,
+    LogEntry,
+    OrderingConfig,
+    OrderingService,
+)
+
+REQUEST_TIMEOUT = 2.0
+
+
+def _entry_digest(entry: LogEntry) -> str:
+    if entry.kind == LogEntry.TX:
+        return "tx:" + entry.payload.tx_id
+    return f"ttc:{entry.payload}"
+
+
+class _PBFTReplica:
+    """One PBFT replica."""
+
+    def __init__(self, service: "PBFTOrderingService", name: str,
+                 index: int):
+        self.service = service
+        self.name = name
+        self.index = index
+        self.view = 0
+        self.next_seq = 1           # primary's sequence counter
+        self.executed_upto = 0      # highest contiguously executed seq
+        # seq -> entry / digest / vote sets
+        self.pre_prepares: Dict[int, Tuple[str, LogEntry]] = {}
+        self.prepares: Dict[int, Set[str]] = {}
+        self.commits: Dict[int, Set[str]] = {}
+        self.prepared: Set[int] = set()
+        self.committed: Set[int] = set()
+        self.view_change_votes: Dict[int, Set[str]] = {}
+        self._pending_requests: List[LogEntry] = []
+        self._request_timer: Optional[int] = None
+        self.assembler = BlockAssembler(
+            service.config, metadata_fn=service._block_metadata)
+        self.assembler.start_with_genesis(service.genesis)
+        self._cut_timer: Optional[int] = None
+        self._seen_digests: Set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.service.orderer_names)
+
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 3
+
+    def primary_of(self, view: int) -> str:
+        return self.service.orderer_names[view % self.n]
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary_of(self.view) == self.name
+
+    def broadcast(self, message) -> None:
+        for peer in self.service.orderer_names:
+            if peer != self.name:
+                self.service.network.send(self.name, peer, message,
+                                          size_bytes=192)
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def on_request(self, entry: LogEntry) -> None:
+        digest = _entry_digest(entry)
+        if entry.kind == LogEntry.TX and digest in self._seen_digests:
+            return
+        if self.is_primary:
+            self._seen_digests.add(digest)
+            seq = self.next_seq
+            self.next_seq += 1
+            self.pre_prepares[seq] = (digest, entry)
+            self.prepares.setdefault(seq, set()).add(self.name)
+            self.broadcast(("pre_prepare", {
+                "view": self.view, "seq": seq, "digest": digest,
+                "entry": entry}))
+            self._check_prepared(seq)
+        else:
+            self.service.network.send(
+                self.name, self.primary_of(self.view),
+                ("request", entry), size_bytes=256)
+            # Echo to the other backups (models the client broadcasting on
+            # timeout) so every replica arms a suspicion timer and a
+            # faulty primary triggers a 2f+1 view change.
+            self._pending_requests.append(entry)
+            self.broadcast(("request_echo", entry))
+            self._arm_request_timer()
+
+    def on_request_echo(self, entry: LogEntry) -> None:
+        digest = _entry_digest(entry)
+        if digest in self._seen_digests:
+            return
+        if self.is_primary:
+            self.on_request(entry)
+            return
+        if all(_entry_digest(e) != digest for e in self._pending_requests):
+            self._pending_requests.append(entry)
+        self._arm_request_timer()
+
+    def _arm_request_timer(self) -> None:
+        if self._request_timer is not None:
+            return
+        mark = self.executed_upto
+
+        def _expire():
+            self._request_timer = None
+            if self.executed_upto == mark:
+                self._start_view_change()
+
+        self._request_timer = self.service.scheduler.schedule(
+            REQUEST_TIMEOUT, _expire)
+
+    # ------------------------------------------------------------------
+    # Three-phase protocol
+    # ------------------------------------------------------------------
+
+    def on_pre_prepare(self, sender: str, data) -> None:
+        if data["view"] != self.view or \
+                sender != self.primary_of(self.view):
+            return
+        seq, digest = data["seq"], data["digest"]
+        if seq in self.pre_prepares and self.pre_prepares[seq][0] != digest:
+            return  # conflicting pre-prepare: ignore (byzantine primary)
+        self.pre_prepares[seq] = (digest, data["entry"])
+        self.prepares.setdefault(seq, set()).update({self.name, sender})
+        self.broadcast(("prepare", {
+            "view": self.view, "seq": seq, "digest": digest}))
+        self._check_prepared(seq)
+
+    def on_prepare(self, sender: str, data) -> None:
+        if data["view"] != self.view:
+            return
+        seq = data["seq"]
+        self.prepares.setdefault(seq, set()).add(sender)
+        self._check_prepared(seq)
+
+    def _check_prepared(self, seq: int) -> None:
+        if seq in self.prepared or seq not in self.pre_prepares:
+            return
+        # prepared: pre-prepare + 2f prepares (own counts)
+        if len(self.prepares.get(seq, ())) >= 2 * self.f + 1:
+            self.prepared.add(seq)
+            self.commits.setdefault(seq, set()).add(self.name)
+            self.broadcast(("commit", {
+                "view": self.view, "seq": seq,
+                "digest": self.pre_prepares[seq][0]}))
+            self._check_committed(seq)
+
+    def on_commit(self, sender: str, data) -> None:
+        seq = data["seq"]
+        self.commits.setdefault(seq, set()).add(sender)
+        self._check_committed(seq)
+
+    def _check_committed(self, seq: int) -> None:
+        if seq in self.committed or seq not in self.prepared:
+            return
+        if len(self.commits.get(seq, ())) >= 2 * self.f + 1:
+            self.committed.add(seq)
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while (self.executed_upto + 1) in self.committed:
+            self.executed_upto += 1
+            digest, entry = self.pre_prepares[self.executed_upto]
+            self._seen_digests.add(digest)
+            self._pending_requests = [
+                e for e in self._pending_requests
+                if _entry_digest(e) != digest]
+            if self._request_timer is not None:
+                self.service.scheduler.cancel(self._request_timer)
+                self._request_timer = None
+            if entry.kind == LogEntry.TX and self.is_primary:
+                self._arm_cut_timer()
+            block = self.assembler.feed(entry)
+            if block is not None:
+                self.service._replica_deliver(block, self.name)
+                if self.is_primary and self.assembler.pending:
+                    self._arm_cut_timer(force=True)
+
+    # ------------------------------------------------------------------
+    # Block cutting
+    # ------------------------------------------------------------------
+
+    _cut_timer_target: int = -1
+
+    def _arm_cut_timer(self, force: bool = False) -> None:
+        target = self.assembler.next_block_number
+        if self._cut_timer is not None:
+            if self._cut_timer_target == target and not force:
+                return
+            self.service.scheduler.cancel(self._cut_timer)
+        self._cut_timer_target = target
+
+        def _expire():
+            self._cut_timer = None
+            if self.is_primary and \
+                    self.assembler.next_block_number == target and \
+                    self.assembler.pending:
+                self.on_request(LogEntry(LogEntry.TTC, target))
+
+        self._cut_timer = self.service.scheduler.schedule(
+            self.service.config.block_timeout, _expire)
+
+    # ------------------------------------------------------------------
+    # View change (simplified)
+    # ------------------------------------------------------------------
+
+    def _start_view_change(self) -> None:
+        new_view = self.view + 1
+        self.view_change_votes.setdefault(new_view, set()).add(self.name)
+        self.broadcast(("view_change", {"new_view": new_view}))
+        self._check_view_change(new_view)
+
+    def on_view_change(self, sender: str, data) -> None:
+        new_view = data["new_view"]
+        if new_view <= self.view:
+            return
+        self.view_change_votes.setdefault(new_view, set()).add(sender)
+        self._check_view_change(new_view)
+
+    def _check_view_change(self, new_view: int) -> None:
+        if new_view <= self.view:
+            return
+        if len(self.view_change_votes.get(new_view, ())) >= 2 * self.f + 1:
+            self.view = new_view
+            self.next_seq = max(self.executed_upto + 1, self.next_seq)
+            if self.is_primary:
+                # Re-propose pending client work under the new view.
+                pending = self._pending_requests
+                self._pending_requests = []
+                for entry in pending:
+                    self.on_request(entry)
+
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: str, message) -> None:
+        kind, data = message
+        if kind == "request":
+            self.on_request(data)
+        elif kind == "request_echo":
+            self.on_request_echo(data)
+        elif kind == "pre_prepare":
+            self.on_pre_prepare(sender, data)
+        elif kind == "prepare":
+            self.on_prepare(sender, data)
+        elif kind == "commit":
+            self.on_commit(sender, data)
+        elif kind == "view_change":
+            self.on_view_change(sender, data)
+
+
+class PBFTOrderingService(OrderingService):
+    """Ordering service running PBFT among 3f+1 orderer nodes."""
+
+    def __init__(self, scheduler, network, identities, config=None,
+                 genesis=None):
+        config = config or OrderingConfig(consensus="pbft")
+        super().__init__(scheduler, network, identities, config, genesis)
+        if len(self.orderer_names) < 3 * config.f + 1:
+            raise ValueError(
+                f"PBFT with f={config.f} needs at least {3 * config.f + 1} "
+                f"orderers, got {len(self.orderer_names)}")
+        self.replicas: Dict[str, _PBFTReplica] = {}
+        for index, name in enumerate(self.orderer_names):
+            replica = _PBFTReplica(self, name, index)
+            self.replicas[name] = replica
+            network.register(name, replica.on_message)
+        self._delivered_blocks: Dict[int, Any] = {}
+
+    def start(self) -> None:
+        """PBFT is reactive; nothing to arm until requests arrive."""
+
+    def submit(self, tx: Transaction,
+               orderer_name: Optional[str] = None) -> None:
+        name = orderer_name or self.orderer_names[0]
+        if self.network.is_down(name):
+            return
+        self.replicas[name].on_request(LogEntry(LogEntry.TX, tx))
+
+    def _replica_deliver(self, block, replica_name: str) -> None:
+        """Each replica signs its identical copy of the cut block and sends
+        it to the peers; peers need f+1 matching signatures."""
+        if self.network.is_down(replica_name):
+            return
+        identity = self.identities[replica_name]
+        block.sign(replica_name, identity.sign(block.block_hash))
+        if block.number not in self._delivered_blocks:
+            self._delivered_blocks[block.number] = block
+            self.blocks_cut.append(block)
+        size = sum(tx.size_bytes() for tx in block.transactions) + 512
+        for peer_name in sorted(self._peers):
+            callback = self._peers[peer_name]
+            delay = self.network.default_latency.delay_for(
+                size, self.network._rng)
+            self.scheduler.schedule(
+                delay,
+                lambda cb=callback, b=block, s=replica_name: cb(b, s))

@@ -1,0 +1,340 @@
+"""Raft-based crash-fault-tolerant ordering service.
+
+A faithful (in-memory, event-driven) Raft implementation: randomized
+election timeouts, term-based leader election, log replication with
+prev-index/term consistency checks, and majority commit.  The replicated
+log carries :class:`LogEntry` items (transactions and time-to-cut marks);
+every orderer applies the same committed prefix to an identical
+:class:`BlockAssembler`, so all orderers cut identical blocks, sign their
+copies and ship them to peers (which deduplicate by block number and merge
+signatures).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.consensus.base import (
+    BlockAssembler,
+    LogEntry,
+    OrderingConfig,
+    OrderingService,
+)
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+HEARTBEAT_INTERVAL = 0.05
+ELECTION_TIMEOUT_RANGE = (0.25, 0.5)
+
+
+class _RaftNode:
+    """Raft state for one orderer."""
+
+    def __init__(self, service: "RaftOrderingService", name: str):
+        self.service = service
+        self.name = name
+        self.state = FOLLOWER
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log: List[Tuple[int, LogEntry]] = []  # (term, entry)
+        self.commit_index = 0   # 1-based count of committed entries
+        self.last_applied = 0
+        self.leader_id: Optional[str] = None
+        self.votes_received: set = set()
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._election_event: Optional[int] = None
+        self._heartbeat_event: Optional[int] = None
+        self._rng = random.Random(f"raft-{name}-{service.seed}")
+        self.assembler = BlockAssembler(
+            service.config, metadata_fn=service._block_metadata)
+        self.assembler.start_with_genesis(service.genesis)
+        self._cut_timer: Optional[int] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def scheduler(self):
+        return self.service.scheduler
+
+    def other_names(self) -> List[str]:
+        return [n for n in self.service.orderer_names if n != self.name]
+
+    def send(self, dst: str, message) -> None:
+        self.service.network.send(self.name, dst, message, size_bytes=256)
+
+    def last_log_term(self) -> int:
+        return self.log[-1][0] if self.log else 0
+
+    # -- timers ------------------------------------------------------------
+
+    def reset_election_timer(self) -> None:
+        if self._election_event is not None:
+            self.scheduler.cancel(self._election_event)
+        timeout = self._rng.uniform(*ELECTION_TIMEOUT_RANGE)
+        self._election_event = self.scheduler.schedule(
+            timeout, self.start_election)
+
+    def stop_election_timer(self) -> None:
+        if self._election_event is not None:
+            self.scheduler.cancel(self._election_event)
+            self._election_event = None
+
+    # -- election ------------------------------------------------------------
+
+    def start_election(self) -> None:
+        if self.service.network.is_down(self.name):
+            self.reset_election_timer()
+            return
+        self.state = CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.name
+        self.votes_received = {self.name}
+        self.leader_id = None
+        self.reset_election_timer()
+        for peer in self.other_names():
+            self.send(peer, ("request_vote", {
+                "term": self.current_term, "candidate": self.name,
+                "last_log_index": len(self.log),
+                "last_log_term": self.last_log_term()}))
+        self._maybe_win()
+
+    def _maybe_win(self) -> None:
+        quorum = len(self.service.orderer_names) // 2 + 1
+        if self.state is CANDIDATE or self.state == CANDIDATE:
+            if len(self.votes_received) >= quorum:
+                self.become_leader()
+
+    def become_leader(self) -> None:
+        self.state = LEADER
+        self.leader_id = self.name
+        self.stop_election_timer()
+        for peer in self.other_names():
+            self.next_index[peer] = len(self.log) + 1
+            self.match_index[peer] = 0
+        self.send_heartbeats()
+
+    def send_heartbeats(self) -> None:
+        if self.state != LEADER or self.service.network.is_down(self.name):
+            return
+        for peer in self.other_names():
+            self.replicate_to(peer)
+        self._heartbeat_event = self.scheduler.schedule(
+            HEARTBEAT_INTERVAL, self.send_heartbeats)
+
+    # -- log replication -----------------------------------------------------
+
+    def replicate_to(self, peer: str) -> None:
+        next_idx = self.next_index.get(peer, len(self.log) + 1)
+        prev_index = next_idx - 1
+        prev_term = self.log[prev_index - 1][0] if prev_index >= 1 and \
+            prev_index <= len(self.log) and prev_index > 0 else 0
+        entries = self.log[next_idx - 1:]
+        self.send(peer, ("append_entries", {
+            "term": self.current_term, "leader": self.name,
+            "prev_index": prev_index, "prev_term": prev_term,
+            "entries": entries, "leader_commit": self.commit_index}))
+
+    def leader_append(self, entry: LogEntry) -> None:
+        self.log.append((self.current_term, entry))
+        for peer in self.other_names():
+            self.replicate_to(peer)
+        self._advance_commit()
+
+    def _advance_commit(self) -> None:
+        if self.state != LEADER:
+            return
+        total = len(self.service.orderer_names)
+        for candidate in range(len(self.log), self.commit_index, -1):
+            if self.log[candidate - 1][0] != self.current_term:
+                break
+            votes = 1 + sum(1 for peer in self.other_names()
+                            if self.match_index.get(peer, 0) >= candidate)
+            if votes > total // 2:
+                self.commit_index = candidate
+                break
+        self.apply_committed()
+
+    def apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            _, entry = self.log[self.last_applied - 1]
+            if entry.kind == LogEntry.TX and self.state == LEADER:
+                self._arm_cut_timer()
+            block = self.assembler.feed(entry)
+            if block is not None:
+                self.service._sign_and_deliver(block, self.name)
+                if self.name == self.service.orderer_names[0] or \
+                        self.state == LEADER:
+                    pass
+                if self.state == LEADER and self.assembler.pending:
+                    self._arm_cut_timer(force=True)
+
+    # -- block cutting ---------------------------------------------------------
+
+    _cut_timer_target: int = -1
+
+    def _arm_cut_timer(self, force: bool = False) -> None:
+        target = self.assembler.next_block_number
+        if self._cut_timer is not None:
+            if self._cut_timer_target == target and not force:
+                return
+            self.scheduler.cancel(self._cut_timer)
+        self._cut_timer_target = target
+
+        def _expire():
+            self._cut_timer = None
+            if self.state == LEADER and \
+                    self.assembler.next_block_number == target and \
+                    self.assembler.pending:
+                self.leader_append(LogEntry(LogEntry.TTC, target))
+
+        self._cut_timer = self.scheduler.schedule(
+            self.service.config.block_timeout, _expire)
+
+    # -- message handling --------------------------------------------------------
+
+    def on_message(self, sender: str, message) -> None:
+        kind, data = message
+        if kind == "request_vote":
+            self._on_request_vote(sender, data)
+        elif kind == "vote_response":
+            self._on_vote_response(sender, data)
+        elif kind == "append_entries":
+            self._on_append_entries(sender, data)
+        elif kind == "append_response":
+            self._on_append_response(sender, data)
+        elif kind == "client_entry":
+            self._on_client_entry(data)
+
+    def _maybe_step_down(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            if self.state == LEADER and self._heartbeat_event is not None:
+                self.scheduler.cancel(self._heartbeat_event)
+            self.state = FOLLOWER
+            self.reset_election_timer()
+
+    def _on_request_vote(self, sender: str, data) -> None:
+        self._maybe_step_down(data["term"])
+        grant = False
+        if data["term"] >= self.current_term and \
+                self.voted_for in (None, data["candidate"]):
+            up_to_date = (
+                data["last_log_term"] > self.last_log_term()
+                or (data["last_log_term"] == self.last_log_term()
+                    and data["last_log_index"] >= len(self.log)))
+            if up_to_date:
+                grant = True
+                self.voted_for = data["candidate"]
+                self.reset_election_timer()
+        self.send(sender, ("vote_response", {
+            "term": self.current_term, "granted": grant}))
+
+    def _on_vote_response(self, sender: str, data) -> None:
+        self._maybe_step_down(data["term"])
+        if self.state == CANDIDATE and data["granted"] and \
+                data["term"] == self.current_term:
+            self.votes_received.add(sender)
+            self._maybe_win()
+
+    def _on_append_entries(self, sender: str, data) -> None:
+        self._maybe_step_down(data["term"])
+        success = False
+        if data["term"] == self.current_term:
+            if self.state != FOLLOWER:
+                self.state = FOLLOWER
+            self.leader_id = data["leader"]
+            self.reset_election_timer()
+            prev_index = data["prev_index"]
+            ok = prev_index == 0 or (
+                prev_index <= len(self.log)
+                and self.log[prev_index - 1][0] == data["prev_term"])
+            if ok:
+                success = True
+                self.log = self.log[:prev_index] + list(data["entries"])
+                if data["leader_commit"] > self.commit_index:
+                    self.commit_index = min(data["leader_commit"],
+                                            len(self.log))
+                self.apply_committed()
+        self.send(sender, ("append_response", {
+            "term": self.current_term, "success": success,
+            "match_index": len(self.log)}))
+
+    def _on_append_response(self, sender: str, data) -> None:
+        self._maybe_step_down(data["term"])
+        if self.state != LEADER or data["term"] != self.current_term:
+            return
+        if data["success"]:
+            self.match_index[sender] = data["match_index"]
+            self.next_index[sender] = data["match_index"] + 1
+            self._advance_commit()
+        else:
+            self.next_index[sender] = max(1,
+                                          self.next_index.get(sender, 1) - 1)
+            self.replicate_to(sender)
+
+    def _on_client_entry(self, entry: LogEntry) -> None:
+        if self.state == LEADER:
+            self.leader_append(entry)
+        elif self.leader_id is not None:
+            self.send(self.leader_id, ("client_entry", entry))
+        else:
+            # No known leader yet; retry shortly.
+            self.scheduler.schedule(
+                0.05, lambda: self._on_client_entry(entry))
+
+
+class RaftOrderingService(OrderingService):
+    """Ordering service running Raft among the orderer nodes."""
+
+    def __init__(self, scheduler, network, identities, config=None,
+                 genesis=None, seed: int = 11):
+        config = config or OrderingConfig(consensus="raft")
+        super().__init__(scheduler, network, identities, config, genesis)
+        self.seed = seed
+        self.nodes: Dict[str, _RaftNode] = {}
+        for name in self.orderer_names:
+            node = _RaftNode(self, name)
+            self.nodes[name] = node
+            network.register(name, node.on_message)
+
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.reset_election_timer()
+
+    def leader(self) -> Optional[str]:
+        for name, node in self.nodes.items():
+            if node.state == LEADER and not self.network.is_down(name):
+                return name
+        return None
+
+    def submit(self, tx: Transaction,
+               orderer_name: Optional[str] = None) -> None:
+        name = orderer_name or self.orderer_names[0]
+        if self.network.is_down(name):
+            return
+        self.nodes[name]._on_client_entry(LogEntry(LogEntry.TX, tx))
+
+    def _sign_and_deliver(self, block, orderer_name: str) -> None:
+        """Each orderer signs its identical copy; peers merge signatures."""
+        if self.network.is_down(orderer_name):
+            return
+        identity = self.identities[orderer_name]
+        block.sign(orderer_name, identity.sign(block.block_hash))
+        if orderer_name == self.orderer_names[0] or \
+                self.nodes[orderer_name].state == LEADER:
+            self.blocks_cut.append(block)
+        size = sum(tx.size_bytes() for tx in block.transactions) + 512
+        for peer_name in sorted(self._peers):
+            callback = self._peers[peer_name]
+            delay = self.network.default_latency.delay_for(
+                size, self.network._rng)
+            self.scheduler.schedule(
+                delay,
+                lambda cb=callback, b=block, s=orderer_name: cb(b, s))

@@ -1,0 +1,20 @@
+"""Smart contracts: procedures, determinism checks, registry and the
+system contracts of section 3.7."""
+
+from repro.contracts.determinism import (
+    assert_deterministic,
+    check_determinism,
+)
+from repro.contracts.procedure import Procedure, ProcedureRuntime
+from repro.contracts.registry import ContractRegistry
+from repro.contracts.system_contracts import (
+    SYSTEM_CONTRACT_NAMES,
+    SystemContracts,
+    create_system_tables,
+)
+
+__all__ = [
+    "assert_deterministic", "check_determinism", "Procedure",
+    "ProcedureRuntime", "ContractRegistry", "SYSTEM_CONTRACT_NAMES",
+    "SystemContracts", "create_system_tables",
+]

@@ -1,0 +1,167 @@
+"""Static determinism checks for smart-contract procedures.
+
+Section 4.3: to keep independent execution deterministic across nodes, a
+PL/SQL procedure may not use
+
+* date/time functions (``now()``, ``current_timestamp`` ...),
+* random functions,
+* sequence manipulation functions,
+* system information functions,
+* row headers (``xmin``/``xmax``/``creator``/``deleter``) in WHERE clauses,
+* ``LIMIT``/``OFFSET`` without ``ORDER BY`` (ordering must pin the result),
+* ``SELECT *`` whole-table reads without a predicate (full scans traverse
+  heap order, and the parallel flow requires index-backed reads),
+* ``PROVENANCE`` queries (their pgLedger commit times are node-local).
+
+Violations are reported all at once so contract authors can fix them in a
+single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.errors import DeterminismViolation
+from repro.sql import functions
+from repro.sql.ast_nodes import (
+    ColumnRef, Delete, Expr, FunctionCall, Insert, PLAssign, PLBlock, PLIf,
+    PLPerform, PLRaise, PLReturn, Select, Star, Statement, SubqueryExpr,
+    Update,
+)
+
+_ROW_HEADERS = frozenset({"xmin", "xmax", "creator", "deleter", "ctid"})
+
+
+def _iter_statements(statements) -> Iterator[Statement]:
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, PLIf):
+            for _, body in stmt.branches:
+                yield from _iter_statements(body)
+            yield from _iter_statements(stmt.else_body)
+        elif isinstance(stmt, PLBlock):
+            yield from _iter_statements(stmt.statements)
+
+
+def _iter_exprs(stmt: Statement) -> Iterator[Expr]:
+    if isinstance(stmt, Select):
+        for item in stmt.items:
+            yield item.expr
+        for clause in (stmt.where, stmt.having, stmt.limit, stmt.offset):
+            if clause is not None:
+                yield clause
+        yield from stmt.group_by
+        for order in stmt.order_by:
+            yield order.expr
+        for join in stmt.joins:
+            if join.on is not None:
+                yield join.on
+    elif isinstance(stmt, Insert):
+        for row in stmt.rows:
+            yield from row
+        if stmt.select is not None:
+            yield from _iter_exprs(stmt.select)
+    elif isinstance(stmt, Update):
+        for clause in stmt.sets:
+            yield clause.value
+        if stmt.where is not None:
+            yield stmt.where
+    elif isinstance(stmt, Delete):
+        if stmt.where is not None:
+            yield stmt.where
+    elif isinstance(stmt, PLAssign):
+        yield stmt.value
+    elif isinstance(stmt, PLRaise):
+        yield stmt.message
+    elif isinstance(stmt, PLReturn):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, PLPerform):
+        yield from _iter_exprs(stmt.select)
+    elif isinstance(stmt, PLIf):
+        for cond, _ in stmt.branches:
+            yield cond
+
+
+def _nested_selects(expr: Expr) -> Iterator[Select]:
+    for node in expr.walk():
+        if isinstance(node, SubqueryExpr):
+            yield node.select
+
+
+def check_determinism(block: PLBlock, name: str = "<procedure>"
+                      ) -> List[str]:
+    """Return a list of violation messages (empty = deterministic)."""
+    violations: List[str] = []
+
+    all_statements = list(_iter_statements(block.statements))
+    selects: List[Select] = [s for s in all_statements
+                             if isinstance(s, Select)]
+    for stmt in all_statements:
+        if isinstance(stmt, PLPerform):
+            selects.append(stmt.select)
+        for expr in _iter_exprs(stmt):
+            for sub in _nested_selects(expr):
+                selects.append(sub)
+
+    # Declared initializers participate too.
+    init_exprs: List[Expr] = [init for _, _, init in block.declarations
+                              if init is not None]
+
+    def check_expr(expr: Expr, where: str) -> None:
+        for node in expr.walk():
+            if isinstance(node, FunctionCall):
+                if node.name in functions.NON_DETERMINISTIC_NAMES:
+                    violations.append(
+                        f"{name}: non-deterministic function "
+                        f"{node.name}() used in {where}")
+                elif (node.name not in functions.AGGREGATE_NAMES
+                      and not functions.is_known(node.name)):
+                    violations.append(
+                        f"{name}: unknown function {node.name}() in "
+                        f"{where} (only whitelisted builtins are allowed)")
+
+    for stmt in all_statements:
+        for expr in _iter_exprs(stmt):
+            check_expr(expr, type(stmt).__name__)
+    for expr in init_exprs:
+        check_expr(expr, "DECLARE")
+
+    for select in selects:
+        _check_select(select, name, violations)
+
+    return violations
+
+
+def _check_select(select: Select, name: str, violations: List[str]) -> None:
+    if select.provenance:
+        violations.append(
+            f"{name}: PROVENANCE queries are not allowed inside contracts "
+            f"(commit timestamps are node-local)")
+    if (select.limit is not None or select.offset is not None) \
+            and not select.order_by:
+        violations.append(
+            f"{name}: LIMIT/OFFSET requires ORDER BY (section 4.3: "
+            f"'SELECT statements must specify ORDER BY primary_key when "
+            f"using LIMIT or FETCH')")
+    if select.where is not None:
+        for node in select.where.walk():
+            if isinstance(node, ColumnRef) and \
+                    node.name.lower() in _ROW_HEADERS:
+                violations.append(
+                    f"{name}: row header {node.name!r} may not appear in a "
+                    f"WHERE clause (section 4.3)")
+    has_star = any(isinstance(item.expr, Star) for item in select.items)
+    if has_star and select.from_table is not None and select.where is None \
+            and not select.joins:
+        violations.append(
+            f"{name}: 'SELECT * FROM {select.from_table.name}' without a "
+            f"predicate is not allowed in contracts (section 4.3: full "
+            f"table scans are rejected)")
+
+
+def assert_deterministic(block: PLBlock, name: str = "<procedure>") -> None:
+    """Raise :class:`DeterminismViolation` listing every violation."""
+    violations = check_determinism(block, name)
+    if violations:
+        raise DeterminismViolation("; ".join(violations))

@@ -1,0 +1,150 @@
+"""Smart contracts as stored procedures.
+
+A contract is a PL/SQL-style function: typed parameters, declared local
+variables, and a body of SQL + procedural statements (IF/ELSIF, SELECT
+INTO, PERFORM, RAISE, RETURN).  The body is parsed and determinism-checked
+at deployment time; invocation binds arguments, executes the body inside
+the caller's transaction, and records the contract version used (a
+replacement aborts in-flight transactions on the old version,
+section 3.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ContractAborted, ContractError
+from repro.mvcc.transaction import TransactionContext
+from repro.sql.ast_nodes import (
+    PLAssign, PLBlock, PLIf, PLPerform, PLRaise, PLReturn, Select, Statement,
+)
+from repro.sql.catalog import coerce_value
+from repro.sql.executor import AccessChecker, Executor, Result
+from repro.sql.expressions import EvalContext, evaluate
+from repro.sql.parser import parse_procedure_body
+from repro.contracts.determinism import assert_deterministic
+
+
+@dataclass
+class Procedure:
+    """A deployed smart contract."""
+
+    name: str
+    params: List[Tuple[str, str]]          # (name, type)
+    returns: str
+    body_text: str
+    body: PLBlock
+    version: int = 1
+    deployer: str = ""
+    system: bool = False                   # system contracts skip checks
+
+    @classmethod
+    def compile(cls, name: str, params: Sequence[Tuple[str, str]],
+                returns: str, body_text: str, deployer: str = "",
+                system: bool = False, version: int = 1) -> "Procedure":
+        """Parse and determinism-check a contract body."""
+        body = parse_procedure_body(body_text)
+        if not system:
+            assert_deterministic(body, name)
+        return cls(name=name, params=list(params), returns=returns,
+                   body_text=body_text, body=body, version=version,
+                   deployer=deployer, system=system)
+
+
+class ProcedureRuntime:
+    """Interprets procedure bodies within a transaction."""
+
+    def __init__(self, database, acl: Optional[AccessChecker] = None):
+        self.db = database
+        self.acl = acl
+
+    def invoke(self, tx: TransactionContext, procedure: Procedure,
+               args: Sequence[Any]) -> Any:
+        """Run ``procedure(args)`` inside ``tx``; returns its RETURN value."""
+        if len(args) != len(procedure.params):
+            raise ContractError(
+                f"{procedure.name}() expects {len(procedure.params)} "
+                f"argument(s), got {len(args)}")
+        variables: Dict[str, Any] = {}
+        for (pname, ptype), value in zip(procedure.params, args):
+            variables[pname] = (None if value is None
+                                else coerce_value(value, ptype, pname))
+        executor = Executor(self.db, tx, acl=self.acl)
+        ctx = EvalContext(
+            variables=variables,
+            allow_nondeterministic=tx.allow_nondeterministic,
+            subquery_fn=executor._run_subquery)
+        for name, type_name, init in procedure.body.declarations:
+            variables[name] = evaluate(init, ctx) if init is not None \
+                else None
+        tx.contract_versions[procedure.name] = procedure.version
+
+        result = self._run_body(procedure.body.statements, executor, ctx,
+                                variables, tx)
+        if result is not _NO_RETURN:
+            tx.return_value = result
+            return result
+        return None
+
+    def _run_body(self, statements: List[Statement], executor: Executor,
+                  ctx: EvalContext, variables: Dict[str, Any],
+                  tx: TransactionContext) -> Any:
+        for stmt in statements:
+            outcome = self._run_statement(stmt, executor, ctx, variables, tx)
+            if outcome is not _NO_RETURN:
+                return outcome
+        return _NO_RETURN
+
+    def _run_statement(self, stmt: Statement, executor: Executor,
+                       ctx: EvalContext, variables: Dict[str, Any],
+                       tx: TransactionContext) -> Any:
+        if isinstance(stmt, PLAssign):
+            variables[stmt.name] = evaluate(stmt.value, ctx)
+            return _NO_RETURN
+        if isinstance(stmt, PLIf):
+            for cond, body in stmt.branches:
+                if evaluate(cond, ctx) is True:
+                    return self._run_body(body, executor, ctx, variables, tx)
+            return self._run_body(stmt.else_body, executor, ctx, variables,
+                                  tx)
+        if isinstance(stmt, PLRaise):
+            message = evaluate(stmt.message, ctx)
+            if stmt.level == "NOTICE":
+                tx.notices.append(str(message))
+                return _NO_RETURN
+            raise ContractAborted(str(message))
+        if isinstance(stmt, PLReturn):
+            return evaluate(stmt.value, ctx) if stmt.value is not None \
+                else None
+        if isinstance(stmt, PLPerform):
+            executor.execute(stmt.select, variables=variables)
+            return _NO_RETURN
+        if isinstance(stmt, Select) and stmt.into_vars:
+            result = executor.execute(stmt, variables=variables)
+            self._assign_into(stmt.into_vars, result, variables)
+            return _NO_RETURN
+        executor.execute(stmt, variables=variables)
+        return _NO_RETURN
+
+    @staticmethod
+    def _assign_into(into_vars: List[str], result: Result,
+                     variables: Dict[str, Any]) -> None:
+        row = result.rows[0] if result.rows else tuple(
+            None for _ in into_vars)
+        if len(row) < len(into_vars):
+            raise ContractError(
+                f"SELECT INTO expected {len(into_vars)} column(s), got "
+                f"{len(row)}")
+        for name, value in zip(into_vars, row):
+            variables[name] = value
+
+
+class _NoReturn:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<no-return>"
+
+
+_NO_RETURN = _NoReturn()

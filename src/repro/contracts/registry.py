@@ -1,0 +1,69 @@
+"""Registry of deployed smart contracts on one node.
+
+Derived, deterministic state: mutations happen only through committed
+system-contract transactions (section 3.7), so every honest node holds the
+same registry after the same block height.  Versions matter because "if a
+smart contract is updated, any uncommitted transactions that executed on an
+older version of the contract are aborted" — the block processor compares
+``tx.contract_versions`` against the registry at commit time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.contracts.procedure import Procedure
+from repro.errors import ContractNotFound, DeploymentError
+
+
+class ContractRegistry:
+    """name -> deployed :class:`Procedure` (with version counters)."""
+
+    def __init__(self):
+        self._procedures: Dict[str, Procedure] = {}
+        self._version_counters: Dict[str, int] = {}
+
+    def deploy(self, procedure: Procedure) -> Procedure:
+        """Create or replace a contract; replacement bumps the version."""
+        next_version = self._version_counters.get(procedure.name, 0) + 1
+        procedure.version = next_version
+        self._version_counters[procedure.name] = next_version
+        self._procedures[procedure.name] = procedure
+        return procedure
+
+    def drop(self, name: str) -> None:
+        if name not in self._procedures:
+            raise ContractNotFound(f"contract {name!r} is not deployed")
+        del self._procedures[name]
+        # The version counter survives so a redeploy still invalidates
+        # transactions that ran the dropped version.
+
+    def get(self, name: str) -> Procedure:
+        proc = self._procedures.get(name)
+        if proc is None:
+            raise ContractNotFound(f"contract {name!r} is not deployed")
+        return proc
+
+    def maybe_get(self, name: str) -> Optional[Procedure]:
+        return self._procedures.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procedures
+
+    def names(self) -> List[str]:
+        return sorted(self._procedures)
+
+    def current_version(self, name: str) -> Optional[int]:
+        proc = self._procedures.get(name)
+        return proc.version if proc else None
+
+    def validate_versions(self, used_versions: Dict[str, int]) -> None:
+        """Raise :class:`DeploymentError` if any contract a transaction
+        executed has since been replaced or dropped."""
+        for name, version in used_versions.items():
+            current = self.current_version(name)
+            if current != version:
+                raise DeploymentError(
+                    f"contract {name!r} version {version} is stale "
+                    f"(current: {current}); transaction must abort "
+                    f"(section 3.7)")

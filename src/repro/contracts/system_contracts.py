@@ -1,0 +1,290 @@
+"""System smart contracts (section 3.7).
+
+Every node exposes these at bootstrap, in the blockchain schema:
+
+* ``create_deployTx(sql)`` — record a CREATE/REPLACE/DROP FUNCTION
+  statement in the deployment table (does not execute it yet),
+* ``approve_deployTx(id)`` / ``reject_deployTx(id, reason)`` /
+  ``comment_deployTx(id, comment)`` — org admins vote on the deployment,
+* ``submit_deployTx(id)`` — executes the recorded statement once *every*
+  organization's admin has approved,
+* ``create_userTx`` / ``update_userTx`` / ``delete_userTx`` — onboard and
+  manage client users with their cryptographic credentials (pgCerts).
+
+They are ordinary blockchain transactions — signed, ordered, committed on
+all nodes — so the network keeps an immutable history of contract
+governance.  State lives in the replicated system tables
+``pgdeployments`` / ``pgdeployvotes`` / ``pgusers``; the in-memory
+contract registry and certificate registry are updated through deferred
+on-commit actions so aborted transactions leave no trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.crypto import sha256_hex
+from repro.common.identity import (
+    Certificate,
+    CertificateRegistry,
+    ROLE_ADMIN,
+)
+from repro.contracts.procedure import Procedure
+from repro.contracts.registry import ContractRegistry
+from repro.errors import AccessDenied, ContractError, DeploymentError
+from repro.mvcc.transaction import TransactionContext
+from repro.sql.ast_nodes import CreateFunction, DropFunction
+from repro.sql.catalog import ColumnDef, TableSchema
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_one
+
+SYSTEM_CONTRACT_NAMES = frozenset({
+    "create_deployTx", "submit_deployTx", "approve_deployTx",
+    "reject_deployTx", "comment_deployTx",
+    "create_userTx", "update_userTx", "delete_userTx",
+})
+
+DEPLOY_TABLE = "pgdeployments"
+VOTE_TABLE = "pgdeployvotes"
+USER_TABLE = "pgusers"
+
+
+def create_system_tables(catalog) -> None:
+    """Create the replicated system tables backing the system contracts."""
+    catalog.create_table(TableSchema(
+        name=DEPLOY_TABLE,
+        columns=[
+            ColumnDef("deploy_id", "TEXT", not_null=True),
+            ColumnDef("sql_text", "TEXT", not_null=True),
+            ColumnDef("proposer", "TEXT", not_null=True),
+            ColumnDef("status", "TEXT", not_null=True),
+        ],
+        primary_key=["deploy_id"], system=True), if_not_exists=True)
+    catalog.create_table(TableSchema(
+        name=VOTE_TABLE,
+        columns=[
+            ColumnDef("deploy_id", "TEXT", not_null=True),
+            ColumnDef("org", "TEXT", not_null=True),
+            ColumnDef("admin", "TEXT", not_null=True),
+            ColumnDef("action", "TEXT", not_null=True),
+            ColumnDef("detail", "TEXT"),
+        ],
+        primary_key=["deploy_id", "org", "action"], system=True),
+        if_not_exists=True)
+    catalog.create_table(TableSchema(
+        name=USER_TABLE,
+        columns=[
+            ColumnDef("username", "TEXT", not_null=True),
+            ColumnDef("org", "TEXT", not_null=True),
+            ColumnDef("role", "TEXT", not_null=True),
+            ColumnDef("public_key", "TEXT", not_null=True),
+            ColumnDef("issuer", "TEXT", not_null=True),
+            ColumnDef("cert_sig", "TEXT", not_null=True),
+        ],
+        primary_key=["username"], system=True), if_not_exists=True)
+
+
+class SystemContracts:
+    """Python-implemented system contracts bound to one node's state."""
+
+    def __init__(self, database, contracts: ContractRegistry,
+                 certs: CertificateRegistry,
+                 organizations: Sequence[str]):
+        self.db = database
+        self.contracts = contracts
+        self.certs = certs
+        self.organizations = sorted(organizations)
+        self._handlers: Dict[str, Callable] = {
+            "create_deployTx": self.create_deploy_tx,
+            "approve_deployTx": self.approve_deploy_tx,
+            "reject_deployTx": self.reject_deploy_tx,
+            "comment_deployTx": self.comment_deploy_tx,
+            "submit_deployTx": self.submit_deploy_tx,
+            "create_userTx": self.create_user_tx,
+            "update_userTx": self.create_user_tx,  # same semantics: upsert
+            "delete_userTx": self.delete_user_tx,
+        }
+
+    # ------------------------------------------------------------------
+
+    def handles(self, name: str) -> bool:
+        return name in self._handlers
+
+    def invoke(self, tx: TransactionContext, name: str,
+               args: Sequence[Any]) -> Any:
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise ContractError(f"unknown system contract {name!r}")
+        self._require_admin(tx.username)
+        return handler(tx, *args)
+
+    def _require_admin(self, username: str) -> None:
+        cert = self.certs.get(username)
+        if cert.role != ROLE_ADMIN:
+            raise AccessDenied(
+                f"system contracts can only be invoked by organization "
+                f"admins; {username!r} has role {cert.role!r} "
+                f"(section 3.7)")
+
+    def _executor(self, tx: TransactionContext) -> Executor:
+        return Executor(self.db, tx)
+
+    def _sql(self, tx: TransactionContext, sql: str,
+             params: Sequence[Any] = ()):
+        executor = self._executor(tx)
+        result = None
+        from repro.sql.parser import parse_sql
+        for stmt in parse_sql(sql):
+            result = executor.execute(stmt, params=params)
+        return result
+
+    # ------------------------------------------------------------------
+    # Deployment lifecycle
+    # ------------------------------------------------------------------
+
+    def create_deploy_tx(self, tx: TransactionContext,
+                         sql_text: str) -> str:
+        """Record a deployment proposal; returns its deterministic id."""
+        stmt = parse_one(sql_text)
+        if not isinstance(stmt, (CreateFunction, DropFunction)):
+            raise DeploymentError(
+                "create_deployTx only accepts CREATE [OR REPLACE] FUNCTION "
+                "or DROP FUNCTION statements")
+        if isinstance(stmt, CreateFunction):
+            # Compile now so rejection happens at proposal time.
+            Procedure.compile(stmt.name, stmt.params, stmt.returns,
+                              stmt.body, deployer=tx.username)
+            if stmt.name in SYSTEM_CONTRACT_NAMES:
+                raise DeploymentError(
+                    f"{stmt.name!r} is a reserved system contract name")
+        deploy_id = sha256_hex(sql_text.encode())[:24]
+        self._sql(tx,
+                  f"INSERT INTO {DEPLOY_TABLE} "
+                  f"(deploy_id, sql_text, proposer, status) "
+                  f"VALUES ($1, $2, $3, 'pending')",
+                  params=(deploy_id, sql_text, tx.username))
+        tx.return_value = deploy_id
+        return deploy_id
+
+    def _vote(self, tx: TransactionContext, deploy_id: str, action: str,
+              detail: Optional[str]) -> None:
+        result = self._sql(tx,
+                           f"SELECT status FROM {DEPLOY_TABLE} WHERE "
+                           f"deploy_id = $1", params=(deploy_id,))
+        if not result.rows:
+            raise DeploymentError(f"no deployment {deploy_id!r}")
+        if result.rows[0][0] != "pending":
+            raise DeploymentError(
+                f"deployment {deploy_id!r} is {result.rows[0][0]}, "
+                f"not pending")
+        cert = self.certs.get(tx.username)
+        if action in ("approve", "reject"):
+            # One approve/reject per org; comments are unlimited but keyed,
+            # so suffix them with the admin name.
+            key_action = action
+        else:
+            key_action = f"comment:{tx.username}:{tx.xid}"
+        self._sql(tx,
+                  f"INSERT INTO {VOTE_TABLE} "
+                  f"(deploy_id, org, admin, action, detail) "
+                  f"VALUES ($1, $2, $3, $4, $5)",
+                  params=(deploy_id, cert.organization, tx.username,
+                          key_action, detail))
+
+    def approve_deploy_tx(self, tx: TransactionContext,
+                          deploy_id: str) -> None:
+        """Approve on behalf of the caller's organization — the paper's
+        'digital signature provided by the organization's admin' is the
+        signature already on this transaction."""
+        self._vote(tx, deploy_id, "approve", None)
+
+    def reject_deploy_tx(self, tx: TransactionContext, deploy_id: str,
+                         reason: str = "") -> None:
+        self._vote(tx, deploy_id, "reject", reason)
+
+    def comment_deploy_tx(self, tx: TransactionContext, deploy_id: str,
+                          comment: str) -> None:
+        self._vote(tx, deploy_id, "comment", comment)
+
+    def submit_deploy_tx(self, tx: TransactionContext,
+                         deploy_id: str) -> None:
+        """Execute the proposal once all organizations approved."""
+        result = self._sql(tx,
+                           f"SELECT sql_text, status FROM {DEPLOY_TABLE} "
+                           f"WHERE deploy_id = $1", params=(deploy_id,))
+        if not result.rows:
+            raise DeploymentError(f"no deployment {deploy_id!r}")
+        sql_text, status = result.rows[0]
+        if status != "pending":
+            raise DeploymentError(
+                f"deployment {deploy_id!r} already {status}")
+        votes = self._sql(tx,
+                          f"SELECT org, action FROM {VOTE_TABLE} WHERE "
+                          f"deploy_id = $1", params=(deploy_id,))
+        approved = {org for org, action in votes.rows
+                    if action == "approve"}
+        rejected = {org for org, action in votes.rows if action == "reject"}
+        if rejected:
+            raise DeploymentError(
+                f"deployment {deploy_id!r} was rejected by "
+                f"{sorted(rejected)}")
+        missing = [org for org in self.organizations if org not in approved]
+        if missing:
+            raise DeploymentError(
+                f"deployment {deploy_id!r} lacks approval from {missing} "
+                f"(section 3.7: every organization must approve)")
+
+        stmt = parse_one(sql_text)
+        if isinstance(stmt, CreateFunction):
+            procedure = Procedure.compile(
+                stmt.name, stmt.params, stmt.returns, stmt.body,
+                deployer=tx.username)
+            tx.on_commit_actions.append(
+                lambda: self.contracts.deploy(procedure))
+        else:
+            name = stmt.name
+            tx.on_commit_actions.append(lambda: self.contracts.drop(name))
+        self._sql(tx,
+                  f"UPDATE {DEPLOY_TABLE} SET status = 'deployed' WHERE "
+                  f"deploy_id = $1", params=(deploy_id,))
+
+    # ------------------------------------------------------------------
+    # User management
+    # ------------------------------------------------------------------
+
+    def create_user_tx(self, tx: TransactionContext, username: str,
+                       org: str, role: str, public_key_hex: str,
+                       issuer: str, cert_sig_hex: str) -> None:
+        """Onboard (or update) a client user with their certificate."""
+        existing = self._sql(tx,
+                             f"SELECT username FROM {USER_TABLE} WHERE "
+                             f"username = $1", params=(username,))
+        if existing.rows:
+            self._sql(tx,
+                      f"UPDATE {USER_TABLE} SET org = $2, role = $3, "
+                      f"public_key = $4, issuer = $5, cert_sig = $6 "
+                      f"WHERE username = $1",
+                      params=(username, org, role, public_key_hex, issuer,
+                              cert_sig_hex))
+        else:
+            self._sql(tx,
+                      f"INSERT INTO {USER_TABLE} (username, org, role, "
+                      f"public_key, issuer, cert_sig) "
+                      f"VALUES ($1, $2, $3, $4, $5, $6)",
+                      params=(username, org, role, public_key_hex, issuer,
+                              cert_sig_hex))
+        certificate = Certificate(
+            name=username, organization=org, role=role,
+            public_key_bytes=bytes.fromhex(public_key_hex),
+            issuer=issuer,
+            signature_bytes=bytes.fromhex(cert_sig_hex))
+        tx.on_commit_actions.append(
+            lambda: self.certs.register(certificate))
+
+    def delete_user_tx(self, tx: TransactionContext, username: str) -> None:
+        result = self._sql(tx,
+                           f"DELETE FROM {USER_TABLE} WHERE username = $1",
+                           params=(username,))
+        if result.rowcount == 0:
+            raise ContractError(f"no user {username!r}")
+        tx.on_commit_actions.append(lambda: self.certs.remove(username))

@@ -1,0 +1,7 @@
+"""Top-level facade: network bootstrap, clients, provenance."""
+
+from repro.core.client import BlockchainClient
+from repro.core.network import BlockchainNetwork
+from repro.core.provenance import ProvenanceAuditor
+
+__all__ = ["BlockchainClient", "BlockchainNetwork", "ProvenanceAuditor"]

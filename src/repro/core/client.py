@@ -1,0 +1,162 @@
+"""Client API (the libpq-equivalent of section 4.3).
+
+A client holds a registered identity, signs its transactions, and talks to
+
+* the ordering service (order-then-execute flow: "clients submit
+  transactions directly to any one of the ordering service nodes"), or
+* a database peer (execute-order-in-parallel: the peer executes, forwards
+  to other peers, and submits to ordering in the background),
+
+then listens for the commit/abort notification.  Extra APIs mirror the
+paper's libpq additions: fetch the latest block height, submit provenance
+queries, and drive contract deployment through the system contracts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.chain.transaction import ProcedureCall, Transaction
+from repro.common.identity import Identity
+from repro.errors import ReproError
+from repro.node.backend import FLOW_EXECUTE_ORDER
+from repro.node.peer import DatabaseNode
+from repro.sql.executor import Result
+
+
+class BlockchainClient:
+    """A signing client bound to one network."""
+
+    def __init__(self, identity: Identity, network,
+                 peer: Optional[DatabaseNode] = None):
+        self.identity = identity
+        self.network = network
+        self._peer = peer
+        self._nonce = itertools.count(1)
+        self._orderer_rr = itertools.count(0)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.identity.name
+
+    @property
+    def peer(self) -> DatabaseNode:
+        """The peer this client is connected to (defaults to its org's
+        first peer, falling back to the network's first node)."""
+        if self._peer is not None:
+            return self._peer
+        for node in self.network.nodes:
+            if node.organization == self.identity.organization:
+                return node
+        return self.network.nodes[0]
+
+    def use_peer(self, node: DatabaseNode) -> None:
+        self._peer = node
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def invoke(self, procedure: str, *args: Any,
+               snapshot_height: Optional[int] = None) -> str:
+        """Invoke a smart contract asynchronously; returns the tx id.
+
+        Order-then-execute: a fresh unique identifier is generated (the
+        client may submit the same call twice) and the transaction goes to
+        an orderer.  Execute-order-in-parallel: the identifier is
+        hash(user, call, height) per section 3.4.3 and the transaction goes
+        to the client's peer.
+        """
+        call = ProcedureCall(procedure=procedure, args=tuple(args))
+        if self.network.flow == FLOW_EXECUTE_ORDER:
+            height = snapshot_height if snapshot_height is not None \
+                else self.peer.block_height()
+            tx = Transaction.create(self.identity, call,
+                                    snapshot_height=height)
+            self.peer.submit_transaction(tx)
+        else:
+            nonce = next(self._nonce)
+            tx_id = Transaction.derive_tx_id(
+                f"{self.name}#{nonce}", call, None)
+            tx = Transaction.create(self.identity, call, tx_id=tx_id)
+            orderers = self.network.ordering.orderer_names
+            pick = orderers[next(self._orderer_rr) % len(orderers)]
+            self.network.ordering.submit(tx, orderer_name=pick)
+        return tx.tx_id
+
+    def invoke_and_wait(self, procedure: str, *args: Any,
+                        snapshot_height: Optional[int] = None,
+                        timeout: float = 30.0) -> Dict[str, Any]:
+        """Invoke, run the network until the transaction's outcome is
+        known (or ``timeout`` simulated seconds pass), return the ledger
+        entry (status committed/aborted, block, reason)."""
+        tx_id = self.invoke(procedure, *args,
+                            snapshot_height=snapshot_height)
+        waited = 0.0
+        step = 0.5
+        while waited < timeout:
+            self.network.advance(step)
+            waited += step
+            entry = self.peer.ledger.entry(tx_id)
+            if entry is not None and entry.get("status") != "pending":
+                return entry
+        return self.status(tx_id)
+
+    def status(self, tx_id: str) -> Dict[str, Any]:
+        """This client's view of a transaction's outcome (pgLedger)."""
+        entry = self.peer.ledger.entry(tx_id)
+        if entry is None:
+            return {"tx_id": tx_id, "status": "unknown"}
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Read-only SELECT against the connected peer (never recorded on
+        the chain)."""
+        return self.peer.query(sql, username=self.name, params=params)
+
+    def provenance_query(self, sql: str,
+                         params: Sequence[Any] = ()) -> Result:
+        """Provenance query: sees every committed row version and the
+        xmin/xmax/creator/deleter pseudo-columns (section 4.2)."""
+        return self.peer.query(sql, username=self.name, params=params,
+                               provenance=True)
+
+    def block_height(self) -> int:
+        return self.peer.block_height()
+
+    # ------------------------------------------------------------------
+    # Contract deployment workflow (section 3.7)
+    # ------------------------------------------------------------------
+
+    def propose_contract(self, create_function_sql: str) -> str:
+        """Admin: record a deployment proposal; returns its deploy id once
+        the proposal commits."""
+        result = self.invoke_and_wait("create_deployTx",
+                                      create_function_sql)
+        if result.get("status") != "committed":
+            raise ReproError(
+                f"deployment proposal failed: {result.get('reason')}")
+        # The deploy id is deterministic (hash of the SQL text).
+        from repro.common.crypto import sha256_hex
+        return sha256_hex(create_function_sql.encode())[:24]
+
+    def approve_contract(self, deploy_id: str) -> Dict[str, Any]:
+        return self.invoke_and_wait("approve_deployTx", deploy_id)
+
+    def reject_contract(self, deploy_id: str,
+                        reason: str = "") -> Dict[str, Any]:
+        return self.invoke_and_wait("reject_deployTx", deploy_id, reason)
+
+    def comment_contract(self, deploy_id: str,
+                         comment: str) -> Dict[str, Any]:
+        return self.invoke_and_wait("comment_deployTx", deploy_id, comment)
+
+    def submit_contract(self, deploy_id: str) -> Dict[str, Any]:
+        return self.invoke_and_wait("submit_deployTx", deploy_id)

@@ -1,0 +1,199 @@
+"""Network bootstrap (section 3.7) and the top-level facade.
+
+``BlockchainNetwork`` wires a full permissioned deployment in one call:
+per-organization identities (admin, peers, orderers), the chosen ordering
+service (kafka / raft / pbft), genesis configuration (schema DDL + initial
+contracts), database nodes running either transaction flow, and client
+onboarding.  Everything runs on one discrete-event scheduler, so a test or
+example drives the whole network deterministically with
+:meth:`BlockchainNetwork.settle`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.chain.block import make_genesis
+from repro.common.events import EventScheduler
+from repro.common.identity import (
+    Certificate,
+    Identity,
+    ROLE_ADMIN,
+    ROLE_CLIENT,
+    ROLE_ORDERER,
+    ROLE_PEER,
+)
+from repro.consensus import OrderingConfig, make_ordering_service
+from repro.core.client import BlockchainClient
+from repro.errors import ReproError
+from repro.net.transport import LAN, LatencyModel, SimNetwork
+from repro.node.backend import FLOW_EXECUTE_ORDER, FLOW_ORDER_EXECUTE
+from repro.node.peer import DatabaseNode
+
+
+class BlockchainNetwork:
+    """A complete in-process permissioned blockchain database network."""
+
+    def __init__(self, organizations: Sequence[str],
+                 flow: str = FLOW_ORDER_EXECUTE,
+                 consensus: str = "kafka",
+                 block_size: int = 100,
+                 block_timeout: float = 1.0,
+                 latency: LatencyModel = LAN,
+                 peers_per_org: int = 1,
+                 orderers_per_org: int = 1,
+                 schema_sql: str = "",
+                 contracts: Sequence[str] = (),
+                 checkpoint_interval: int = 1,
+                 min_block_signatures: int = 1,
+                 seed: int = 7):
+        if not organizations:
+            raise ReproError("need at least one organization")
+        self.organizations = list(organizations)
+        self.flow = flow
+        self.scheduler = EventScheduler()
+        self.network = SimNetwork(self.scheduler, default_latency=latency,
+                                  seed=seed)
+
+        # -- identities ----------------------------------------------------
+        self.admins: Dict[str, Identity] = {}
+        self.peer_identities: List[Identity] = []
+        self.orderer_identities: List[Identity] = []
+        for org in self.organizations:
+            admin = Identity.create(f"admin@{org}", org, ROLE_ADMIN)
+            self.admins[org] = admin
+            for i in range(peers_per_org):
+                self.peer_identities.append(Identity.create(
+                    f"peer{i}@{org}", org, ROLE_PEER, issuer=admin))
+            for i in range(orderers_per_org):
+                self.orderer_identities.append(Identity.create(
+                    f"orderer{i}@{org}", org, ROLE_ORDERER, issuer=admin))
+
+        # -- genesis ---------------------------------------------------------
+        genesis = make_genesis(metadata={
+            "genesis": True,
+            "organizations": self.organizations,
+            "flow": flow,
+            "schema_sql": schema_sql,
+            "contracts": list(contracts),
+        })
+
+        # -- ordering service ---------------------------------------------------
+        config = OrderingConfig(block_size=block_size,
+                                block_timeout=block_timeout,
+                                consensus=consensus)
+        self.ordering = make_ordering_service(
+            consensus, self.scheduler, self.network,
+            self.orderer_identities, config, genesis)
+
+        # -- database nodes -------------------------------------------------------
+        bootstrap_certs: List[Certificate] = (
+            [admin.certificate for admin in self.admins.values()]
+            + [ident.certificate for ident in self.peer_identities]
+            + [ident.certificate for ident in self.orderer_identities])
+        self.nodes: List[DatabaseNode] = []
+        for identity in self.peer_identities:
+            node = DatabaseNode(
+                identity, self.scheduler, self.network, flow=flow,
+                organizations=self.organizations, ordering=self.ordering,
+                min_block_signatures=min_block_signatures,
+                checkpoint_interval=checkpoint_interval)
+            node.register_certificates(bootstrap_certs)
+            self.nodes.append(node)
+        self.ordering.start()
+        self.settle()  # deliver genesis everywhere
+
+        self.clients: Dict[str, BlockchainClient] = {}
+        self._admin_clients: Dict[str, BlockchainClient] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def node_of(self, org: str, index: int = 0) -> DatabaseNode:
+        matches = [n for n in self.nodes if n.organization == org]
+        if not matches:
+            raise ReproError(f"no peers for organization {org!r}")
+        return matches[index]
+
+    @property
+    def primary_node(self) -> DatabaseNode:
+        return self.nodes[0]
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+
+    def register_client(self, name: str, org: str) -> BlockchainClient:
+        """Onboard a client user: the org admin issues a certificate which
+        every node installs (bootstrap path; see also create_userTx for the
+        on-chain path)."""
+        if org not in self.admins:
+            raise ReproError(f"unknown organization {org!r}")
+        identity = Identity.create(name, org, ROLE_CLIENT,
+                                   issuer=self.admins[org])
+        for node in self.nodes:
+            node.certs.register(identity.certificate)
+        client = BlockchainClient(identity, self)
+        self.clients[name] = client
+        return client
+
+    def admin_client(self, org: str) -> BlockchainClient:
+        """A client wielding the organization's admin identity (system
+        contracts require it)."""
+        if org not in self._admin_clients:
+            self._admin_clients[org] = BlockchainClient(self.admins[org],
+                                                        self)
+        return self._admin_clients[org]
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+
+    def settle(self, timeout: float = 30.0) -> None:
+        """Run the event loop until the queue drains or ``timeout``
+        simulated seconds elapse (consensus protocols with periodic
+        heartbeats never fully drain the queue)."""
+        self.scheduler.run(until=self.scheduler.now + timeout)
+
+    def advance(self, seconds: float) -> None:
+        """Run the event loop for a bounded amount of simulated time."""
+        self.scheduler.run(until=self.scheduler.now + seconds)
+
+    # ------------------------------------------------------------------
+    # Whole-network assertions (used heavily by tests)
+    # ------------------------------------------------------------------
+
+    def assert_consistent(self, tables: Optional[Sequence[str]] = None
+                          ) -> None:
+        """Verify every live node holds identical committed state."""
+        live = [n for n in self.nodes if not n.crashed]
+        if len(live) < 2:
+            return
+        reference = live[0]
+        table_names = list(tables) if tables else [
+            t for t in reference.db.catalog.table_names()
+            if t != "pgledger"]
+        for table in table_names:
+            want = self._table_fingerprint(reference, table)
+            for node in live[1:]:
+                got = self._table_fingerprint(node, table)
+                if want != got:
+                    raise AssertionError(
+                        f"table {table!r} diverged between "
+                        f"{reference.name} and {node.name}:\n"
+                        f"  {want}\n  {got}")
+        heights = {n.name: n.db.committed_height for n in live}
+        if len(set(heights.values())) > 1:
+            raise AssertionError(f"nodes at different heights: {heights}")
+
+    @staticmethod
+    def _table_fingerprint(node: DatabaseNode, table: str):
+        from repro.storage.visibility import latest_committed_visible
+        heap = node.db.catalog.heap_of(table)
+        rows = []
+        for version in heap.all_versions():
+            if latest_committed_visible(version, node.db.statuses):
+                rows.append(tuple(sorted(version.values.items(),
+                                         key=lambda kv: kv[0])))
+        return sorted(rows, key=repr)

@@ -1,0 +1,25 @@
+"""MVCC transaction layer: contexts, database, and the SSI validators."""
+
+from repro.mvcc.block_ssi import BlockAwareSSI
+from repro.mvcc.conflicts import (
+    build_conflict_graph,
+    graph_has_cycle,
+    has_rw_edge,
+    near_conflicts,
+    out_conflicts,
+)
+from repro.mvcc.database import Database
+from repro.mvcc.ssi import AbortDuringCommitSSI, validate_ww
+from repro.mvcc.transaction import (
+    PredicateRead,
+    TransactionContext,
+    TxState,
+    WriteSetEntry,
+)
+
+__all__ = [
+    "BlockAwareSSI", "build_conflict_graph", "graph_has_cycle",
+    "has_rw_edge", "near_conflicts", "out_conflicts", "Database",
+    "AbortDuringCommitSSI", "validate_ww", "PredicateRead",
+    "TransactionContext", "TxState", "WriteSetEntry",
+]

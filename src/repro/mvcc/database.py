@@ -1,0 +1,163 @@
+"""The node-local database: catalog + transaction machinery.
+
+One :class:`Database` instance backs one peer node.  It owns the catalog
+(tables, indexes), the transaction status table (CLOG analogue), the WAL,
+xid allocation, and the low-level commit/abort mechanics — stamping
+creator/deleter block numbers, resolving xmax winners, cleaning up aborted
+versions.  Serialization *validation* lives in the SSI modules; the node's
+block processor drives the serial commit order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.errors import SerializationFailure
+from repro.mvcc.transaction import (
+    Snapshot,
+    TransactionContext,
+    TxState,
+    WriteSetEntry,
+)
+from repro.sql.catalog import Catalog
+from repro.storage.snapshot import BlockSnapshot, SeqSnapshot, TxStatusTable
+from repro.storage.wal import (
+    WAL_ABORT,
+    WAL_BEGIN,
+    WAL_COMMIT,
+    WriteAheadLog,
+)
+
+
+class Database:
+    """MVCC database instance for a single node."""
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None):
+        self.catalog = Catalog()
+        self.statuses = TxStatusTable()
+        self.wal = wal or WriteAheadLog()
+        self._xid_counter = itertools.count(1)
+        self.committed_height = 0  # height of the last fully committed block
+        # all transactions ever started on this node, by xid
+        self.transactions: Dict[int, TransactionContext] = {}
+        # still-interesting transactions for SSI conflict checks
+        self._active: Dict[int, TransactionContext] = {}
+        self._recently_committed: List[TransactionContext] = []
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, snapshot: Optional[Snapshot] = None,
+              **kwargs) -> TransactionContext:
+        """Start a transaction.  Default snapshot: latest committed state
+        (sequence snapshot)."""
+        xid = next(self._xid_counter)
+        if snapshot is None:
+            snapshot = SeqSnapshot(self.statuses.current_commit_seq)
+        tx = TransactionContext(
+            xid=xid, snapshot=snapshot,
+            begin_seq=self.statuses.current_commit_seq, **kwargs)
+        self.statuses.begin(xid)
+        self.transactions[xid] = tx
+        self._active[xid] = tx
+        self.wal.append(WAL_BEGIN, xid=xid, tx_id=tx.tx_id)
+        return tx
+
+    def begin_at_height(self, height: int, **kwargs) -> TransactionContext:
+        """Start an execute-order-in-parallel transaction pinned to a block
+        height (section 3.4.1)."""
+        return self.begin(snapshot=BlockSnapshot(height), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Commit / abort mechanics (no SSI here — callers validate first)
+    # ------------------------------------------------------------------
+
+    def apply_commit(self, tx: TransactionContext,
+                     block_number: Optional[int] = None) -> None:
+        """Make ``tx``'s writes durable and visible: resolve ww winners,
+        stamp creator/deleter block numbers, flip CLOG status."""
+        if tx.state is TxState.ABORTED:
+            raise SerializationFailure(
+                f"cannot commit aborted transaction {tx.tx_id or tx.xid}",
+                reason=tx.abort_reason)
+        stamp = block_number if block_number is not None \
+            else self.committed_height
+        for entry in tx.writes:
+            if entry.new_version is not None:
+                entry.new_version.creator_block = stamp
+            if entry.old_version is not None:
+                entry.old_version.set_delete_winner(tx.xid, stamp)
+        self.statuses.commit(tx.xid, block_number=stamp)
+        tx.state = TxState.COMMITTED
+        tx.block_number = stamp
+        self._active.pop(tx.xid, None)
+        self._recently_committed.append(tx)
+        self.wal.append(WAL_COMMIT, xid=tx.xid, tx_id=tx.tx_id, block=stamp)
+
+    def apply_abort(self, tx: TransactionContext, reason: str = "") -> None:
+        """Discard ``tx``'s writes and mark it aborted."""
+        if tx.state is TxState.ABORTED:
+            return
+        for table_name in tx.tables_written:
+            if self.catalog.has_table(table_name):
+                self.catalog.heap_of(table_name).cleanup_aborted(tx.xid)
+        self.statuses.abort(tx.xid)
+        tx.state = TxState.ABORTED
+        tx.abort_reason = reason or tx.abort_reason
+        self._active.pop(tx.xid, None)
+        self.wal.append(WAL_ABORT, xid=tx.xid, tx_id=tx.tx_id, reason=reason)
+
+    def rollback_committed(self, tx: TransactionContext) -> None:
+        """Recovery path (section 3.6): undo a committed transaction so its
+        block can be re-executed."""
+        for table_name in tx.tables_written:
+            if self.catalog.has_table(table_name):
+                self.catalog.heap_of(table_name).rollback_committed(tx.xid)
+        self.statuses.rollback_commit(tx.xid)
+        tx.state = TxState.ACTIVE
+        if tx.xid not in self._active:
+            self._active[tx.xid] = tx
+        self._recently_committed = [
+            t for t in self._recently_committed if t.xid != tx.xid]
+
+    # ------------------------------------------------------------------
+    # SSI support queries
+    # ------------------------------------------------------------------
+
+    def concurrent_with(self, tx: TransactionContext
+                        ) -> List[TransactionContext]:
+        """Transactions whose execution window overlapped ``tx``'s: every
+        still-active transaction plus those that committed after ``tx``
+        began."""
+        out: List[TransactionContext] = []
+        for other in self._active.values():
+            if other.xid != tx.xid:
+                out.append(other)
+        for other in self._recently_committed:
+            if other.xid == tx.xid:
+                continue
+            commit_seq = self.statuses.commit_seq(other.xid)
+            if commit_seq is not None and commit_seq > tx.begin_seq:
+                out.append(other)
+        return out
+
+    def committed_before_began(self, a: TransactionContext,
+                               b: TransactionContext) -> bool:
+        """True when ``a`` committed before ``b`` began (not concurrent)."""
+        seq = self.statuses.commit_seq(a.xid)
+        return seq is not None and seq <= b.begin_seq
+
+    def prune_committed(self, keep_last: int = 512) -> None:
+        """Bound the recently-committed list used for conflict detection."""
+        if len(self._recently_committed) > keep_last:
+            self._recently_committed = self._recently_committed[-keep_last:]
+
+    # ------------------------------------------------------------------
+
+    def current_snapshot(self) -> SeqSnapshot:
+        return SeqSnapshot(self.statuses.current_commit_seq)
+
+    def height_snapshot(self) -> BlockSnapshot:
+        return BlockSnapshot(self.committed_height)

@@ -1,0 +1,5 @@
+"""Simulated network substrate."""
+
+from repro.net.transport import INSTANT, LAN, LatencyModel, SimNetwork, WAN
+
+__all__ = ["INSTANT", "LAN", "LatencyModel", "SimNetwork", "WAN"]

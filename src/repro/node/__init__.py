@@ -1,0 +1,42 @@
+"""Peer node pipeline: backends, block processor, ledger, checkpointing,
+recovery, notifications and access control."""
+
+from repro.node.access_control import READ, WRITE, AccessController
+from repro.node.backend import (
+    Backend,
+    ExecutionOutcome,
+    FLOW_EXECUTE_ORDER,
+    FLOW_ORDER_EXECUTE,
+)
+from repro.node.block_processor import (
+    BlockMetrics,
+    BlockProcessor,
+    SimulatedCrash,
+)
+from repro.node.checkpoint import CheckpointManager, write_set_digest
+from repro.node.ledger import (
+    LEDGER_TABLE,
+    Ledger,
+    STATUS_ABORTED,
+    STATUS_COMMITTED,
+    STATUS_PENDING,
+)
+from repro.node.notifications import (
+    CHANNEL_BLOCKS,
+    CHANNEL_CHECKPOINTS,
+    CHANNEL_TX_STATUS,
+    Notification,
+    NotificationHub,
+)
+from repro.node.peer import DatabaseNode
+from repro.node.recovery import RecoveryManager
+
+__all__ = [
+    "READ", "WRITE", "AccessController", "Backend", "ExecutionOutcome",
+    "FLOW_EXECUTE_ORDER", "FLOW_ORDER_EXECUTE", "BlockMetrics",
+    "BlockProcessor", "SimulatedCrash", "CheckpointManager",
+    "write_set_digest", "LEDGER_TABLE", "Ledger", "STATUS_ABORTED",
+    "STATUS_COMMITTED", "STATUS_PENDING", "CHANNEL_BLOCKS",
+    "CHANNEL_CHECKPOINTS", "CHANNEL_TX_STATUS", "Notification",
+    "NotificationHub", "DatabaseNode", "RecoveryManager",
+]

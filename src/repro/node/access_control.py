@@ -1,0 +1,89 @@
+"""Role- and table-level access control (section 2(3), 3.7).
+
+The paper leans on the database's existing ACL machinery: users belong to
+organizations, admins manage users, and on the blockchain schema "both
+users and admins can execute only PL/SQL procedures and individual SELECT
+statements" — all DML must happen inside contracts.  This module provides:
+
+* role rules — admins may do DDL; system tables reject direct writes from
+  user sessions;
+* optional per-table grants (GRANT/REVOKE equivalents) with
+  default-permissive behaviour for application tables, matching the
+  paper's note that fine-grained policy lives inside contracts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.identity import CertificateRegistry, ROLE_ADMIN
+from repro.errors import AccessDenied, UnknownIdentity
+from repro.sql.executor import AccessChecker
+
+READ = "read"
+WRITE = "write"
+
+_SYSTEM_TABLES = {"pgledger", "pgdeployments", "pgdeployvotes", "pgusers"}
+
+
+class AccessController(AccessChecker):
+    """Table-level privilege checks for one node."""
+
+    def __init__(self, certs: CertificateRegistry):
+        self.certs = certs
+        # (username, table) -> set of privileges; None entry = default
+        self._grants: Dict[Tuple[str, str], Set[str]] = {}
+        self._restricted_tables: Set[str] = set()
+
+    # -- policy management ------------------------------------------------
+
+    def restrict_table(self, table: str) -> None:
+        """Switch ``table`` from default-permissive to grants-only."""
+        self._restricted_tables.add(table.lower())
+
+    def grant(self, username: str, table: str, privilege: str) -> None:
+        if privilege not in (READ, WRITE):
+            raise ValueError(f"unknown privilege {privilege!r}")
+        self._grants.setdefault((username, table.lower()),
+                                set()).add(privilege)
+
+    def revoke(self, username: str, table: str, privilege: str) -> None:
+        self._grants.get((username, table.lower()), set()).discard(privilege)
+
+    # -- checks --------------------------------------------------------------
+
+    def _role_of(self, username: str) -> Optional[str]:
+        if username in ("", "@system"):
+            return "system"
+        try:
+            return self.certs.get(username).role
+        except UnknownIdentity:
+            return None
+
+    def check_read(self, username: str, table: str) -> None:
+        table = table.lower()
+        role = self._role_of(username)
+        if role is None:
+            raise AccessDenied(f"unknown user {username!r}")
+        if role in ("system", ROLE_ADMIN):
+            return
+        if table in self._restricted_tables:
+            if READ not in self._grants.get((username, table), set()):
+                raise AccessDenied(
+                    f"user {username!r} may not read {table!r}")
+
+    def check_write(self, username: str, table: str) -> None:
+        table = table.lower()
+        role = self._role_of(username)
+        if role is None:
+            raise AccessDenied(f"unknown user {username!r}")
+        if role == "system":
+            return
+        if table in _SYSTEM_TABLES:
+            raise AccessDenied(
+                f"table {table!r} is a system table; it is only writable "
+                f"through system contracts")
+        if table in self._restricted_tables:
+            if WRITE not in self._grants.get((username, table), set()):
+                raise AccessDenied(
+                    f"user {username!r} may not write {table!r}")

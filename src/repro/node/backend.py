@@ -1,0 +1,107 @@
+"""Backends: per-transaction execution workers (section 4.1/4.5).
+
+In PostgreSQL a backend process executes each transaction; here a
+:class:`Backend` performs the same pipeline for one blockchain transaction:
+
+1. authenticate the client signature against pgCerts,
+2. reject duplicate transaction identifiers,
+3. open a transaction context with the flow's snapshot (latest committed
+   state for order-then-execute; the client-pinned block height for
+   execute-order-in-parallel),
+4. run the invoked procedure (user contract or system contract),
+5. leave the context PREPARED — "ready to either commit or abort, but
+   waits without proceeding" (section 3.3.2) — for the block processor's
+   serial commit step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.chain.transaction import Transaction
+from repro.errors import (
+    DuplicateTransactionError,
+    InvalidSignature,
+    ReproError,
+    UnknownIdentity,
+)
+from repro.mvcc.transaction import TransactionContext, TxState
+
+FLOW_ORDER_EXECUTE = "order-execute"
+FLOW_EXECUTE_ORDER = "execute-order"
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of running one transaction up to its commit point."""
+
+    tx: Transaction
+    context: Optional[TransactionContext]
+    prepared: bool
+    error: str = ""
+    error_kind: str = ""
+
+
+class Backend:
+    """Executes transactions against one node's database."""
+
+    def __init__(self, node):
+        self.node = node
+
+    # ------------------------------------------------------------------
+
+    def authenticate(self, tx: Transaction) -> None:
+        """Verify the invoker's signature (sections 3.3.2 step 2)."""
+        self.node.certs.verify(tx.username, tx.signing_payload(),
+                               tx.signature)
+
+    def is_duplicate(self, tx: Transaction) -> bool:
+        """Duplicate unique identifiers are rejected (section 3.4.3)."""
+        if tx.tx_id in self.node.executing:
+            return True
+        return self.node.ledger.has_transaction(tx.tx_id)
+
+    # ------------------------------------------------------------------
+
+    def execute(self, tx: Transaction,
+                check_duplicate: bool = True) -> ExecutionOutcome:
+        """Run ``tx`` to its commit point."""
+        try:
+            self.authenticate(tx)
+        except (InvalidSignature, UnknownIdentity) as exc:
+            return ExecutionOutcome(tx=tx, context=None, prepared=False,
+                                    error=str(exc), error_kind="auth")
+        if check_duplicate and self.is_duplicate(tx):
+            return ExecutionOutcome(
+                tx=tx, context=None, prepared=False,
+                error=f"duplicate transaction id {tx.tx_id}",
+                error_kind="duplicate")
+
+        flow = self.node.flow
+        if flow == FLOW_EXECUTE_ORDER and tx.snapshot_height is not None:
+            context = self.node.db.begin_at_height(
+                tx.snapshot_height, tx_id=tx.tx_id, username=tx.username,
+                require_index=True, forbid_blind_updates=True)
+        else:
+            context = self.node.db.begin(
+                tx_id=tx.tx_id, username=tx.username)
+        self.node.executing[tx.tx_id] = context
+
+        try:
+            self._invoke(context, tx)
+        except ReproError as exc:
+            self.node.db.apply_abort(context, reason=str(exc))
+            return ExecutionOutcome(
+                tx=tx, context=context, prepared=False, error=str(exc),
+                error_kind=type(exc).__name__)
+        context.state = TxState.PREPARED
+        return ExecutionOutcome(tx=tx, context=context, prepared=True)
+
+    def _invoke(self, context: TransactionContext, tx: Transaction) -> Any:
+        name = tx.call.procedure
+        if self.node.system_contracts.handles(name):
+            return self.node.system_contracts.invoke(context, name,
+                                                     tx.call.args)
+        procedure = self.node.contracts.get(name)
+        return self.node.runtime.invoke(context, procedure, tx.call.args)

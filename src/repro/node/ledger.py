@@ -1,0 +1,166 @@
+"""pgLedger: the append-only ledger table (sections 3.3.2, 4.2).
+
+Every transaction of every block is recorded here — first when the block
+is processed (step 1), then with its commit/abort status once the block
+commits (step 2).  The two-step write is what the recovery protocol of
+section 3.6 keys on.  The table is a real SQL table so provenance queries
+can join against it (Table 3: ``invoices.xmax = pgLedger.txid``).
+
+Ledger writes go through short-lived *system transactions* so they are
+versioned like everything else, but they are excluded from checkpoint
+write-set hashes (commit_time is node-local wall clock and would never
+match across nodes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.chain.block import Block
+from repro.mvcc.database import Database
+from repro.sql.catalog import ColumnDef, TableSchema
+from repro.sql.executor import Executor
+from repro.sql.parser import parse_one
+
+LEDGER_TABLE = "pgledger"
+
+STATUS_PENDING = "pending"
+STATUS_COMMITTED = "committed"
+STATUS_ABORTED = "aborted"
+
+
+def create_ledger_table(catalog) -> None:
+    catalog.create_table(TableSchema(
+        name=LEDGER_TABLE,
+        columns=[
+            ColumnDef("tx_id", "TEXT", not_null=True),
+            ColumnDef("blocknumber", "INT", not_null=True),
+            ColumnDef("blockposition", "INT", not_null=True),
+            ColumnDef("txid", "INT"),          # local xid (joins with xmax)
+            ColumnDef("username", "TEXT", not_null=True),
+            ColumnDef("procedure", "TEXT", not_null=True),
+            ColumnDef("args_text", "TEXT"),
+            ColumnDef("status", "TEXT", not_null=True),
+            ColumnDef("reason", "TEXT"),
+            ColumnDef("committime", "FLOAT"),
+        ],
+        primary_key=["tx_id"], system=True), if_not_exists=True)
+    catalog.create_index(f"{LEDGER_TABLE}_block_idx", LEDGER_TABLE,
+                         ["blocknumber"], if_not_exists=True)
+    catalog.create_index(f"{LEDGER_TABLE}_txid_idx", LEDGER_TABLE,
+                         ["txid"], if_not_exists=True)
+    catalog.create_index(f"{LEDGER_TABLE}_user_idx", LEDGER_TABLE,
+                         ["username"], if_not_exists=True)
+
+
+class Ledger:
+    """Node-local interface to the pgLedger table."""
+
+    def __init__(self, db: Database, clock=None):
+        self.db = db
+        self._clock = clock or time.time
+        create_ledger_table(db.catalog)
+
+    # -- system transaction helper ------------------------------------------
+
+    def _run(self, fn) -> None:
+        tx = self.db.begin(allow_nondeterministic=True, username="@system")
+        executor = Executor(self.db, tx)
+        try:
+            fn(executor)
+        except BaseException:
+            self.db.apply_abort(tx, reason="ledger write failed")
+            raise
+        self.db.apply_commit(tx, block_number=self.db.committed_height)
+
+    # -- step 1: record the block's transactions ------------------------------
+
+    def record_block(self, block: Block) -> None:
+        """Atomically insert one row per transaction (status pending).
+
+        Idempotent: rows already present (a crash between the ledger write
+        and the status write, section 3.6) are left untouched so recovery
+        can re-run block processing."""
+        def _write(executor: Executor) -> None:
+            for position, tx in enumerate(block.transactions):
+                existing = executor.execute(parse_one(
+                    f"SELECT tx_id FROM {LEDGER_TABLE} WHERE tx_id = $1"),
+                    params=(tx.tx_id,))
+                if existing.rows:
+                    continue
+                stmt = parse_one(
+                    f"INSERT INTO {LEDGER_TABLE} (tx_id, blocknumber, "
+                    f"blockposition, txid, username, procedure, args_text, "
+                    f"status, reason, committime) VALUES "
+                    f"($1, $2, $3, NULL, $4, $5, $6, $7, NULL, NULL)")
+                executor.execute(stmt, params=(
+                    tx.tx_id, block.number, position, tx.username,
+                    tx.call.procedure, repr(list(tx.call.args)),
+                    STATUS_PENDING))
+        self._run(_write)
+
+    # -- step 2: record statuses -----------------------------------------------
+
+    def record_statuses(self, block: Block,
+                        outcomes: Dict[str, Any]) -> None:
+        """Atomically set the status of every transaction of ``block``.
+        ``outcomes[tx_id] = (status, reason, local_xid)``."""
+        now = self._clock()
+
+        def _write(executor: Executor) -> None:
+            for tx in block.transactions:
+                status, reason, local_xid = outcomes[tx.tx_id]
+                stmt = parse_one(
+                    f"UPDATE {LEDGER_TABLE} SET status = $2, reason = $3, "
+                    f"txid = $4, committime = $5 WHERE tx_id = $1")
+                executor.execute(stmt, params=(
+                    tx.tx_id, status, reason, local_xid, now))
+        self._run(_write)
+
+    # -- queries -------------------------------------------------------------
+
+    def entry(self, tx_id: str) -> Optional[Dict[str, Any]]:
+        tx = self.db.begin(allow_nondeterministic=True, read_only=True,
+                           username="@system")
+        try:
+            executor = Executor(self.db, tx)
+            stmt = parse_one(
+                f"SELECT tx_id, blocknumber, blockposition, txid, username, "
+                f"procedure, status, reason, committime FROM {LEDGER_TABLE} "
+                f"WHERE tx_id = $1")
+            result = executor.execute(stmt, params=(tx_id,))
+            if not result.rows:
+                return None
+            return dict(zip(result.columns, result.rows[0]))
+        finally:
+            self.db.apply_abort(tx, reason="read-only")
+
+    def has_transaction(self, tx_id: str) -> bool:
+        return self.entry(tx_id) is not None
+
+    def block_statuses(self, block_number: int) -> List[Dict[str, Any]]:
+        tx = self.db.begin(allow_nondeterministic=True, read_only=True,
+                           username="@system")
+        try:
+            executor = Executor(self.db, tx)
+            stmt = parse_one(
+                f"SELECT tx_id, blockposition, status, reason, txid FROM "
+                f"{LEDGER_TABLE} WHERE blocknumber = $1 "
+                f"ORDER BY blockposition")
+            result = executor.execute(stmt, params=(block_number,))
+            return result.as_dicts()
+        finally:
+            self.db.apply_abort(tx, reason="read-only")
+
+    def last_recorded_block(self) -> Optional[int]:
+        tx = self.db.begin(allow_nondeterministic=True, read_only=True,
+                           username="@system")
+        try:
+            executor = Executor(self.db, tx)
+            stmt = parse_one(
+                f"SELECT max(blocknumber) FROM {LEDGER_TABLE}")
+            result = executor.execute(stmt)
+            return result.scalar()
+        finally:
+            self.db.apply_abort(tx, reason="read-only")

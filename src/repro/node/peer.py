@@ -1,0 +1,348 @@
+"""The database peer node (section 3.1).
+
+Composes everything an organization runs: the MVCC database + SQL engine,
+certificate registry (pgCerts), contract registry and runtime, pgLedger,
+block store (pgBlockstore), block processor, communication middleware,
+checkpoint manager, notification hub and access control.
+
+The middleware role (section 4.2) is folded in here: receiving forwarded
+transactions and blocks from the network, collecting orderer signatures
+until the configured quorum, appending blocks to the block store and
+driving in-order block processing — plus, for the execute-order-in-parallel
+flow, forwarding client transactions to the other peers and the ordering
+service while execution starts locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.common.identity import Certificate, CertificateRegistry, Identity
+from repro.contracts.procedure import Procedure, ProcedureRuntime
+from repro.contracts.registry import ContractRegistry
+from repro.contracts.system_contracts import (
+    SystemContracts,
+    create_system_tables,
+)
+from repro.errors import BlockValidationError, ReproError
+from repro.mvcc.database import Database
+from repro.node.access_control import AccessController
+from repro.node.backend import (
+    Backend,
+    ExecutionOutcome,
+    FLOW_EXECUTE_ORDER,
+    FLOW_ORDER_EXECUTE,
+)
+from repro.node.block_processor import BlockProcessor
+from repro.node.checkpoint import CheckpointManager
+from repro.node.ledger import Ledger
+from repro.node.notifications import NotificationHub
+from repro.sql.ast_nodes import CreateFunction
+from repro.sql.executor import Executor, Result
+from repro.sql.parser import parse_one, parse_sql
+from repro.storage.blockstore import BlockStore
+
+
+class DatabaseNode:
+    """One organization's database replica."""
+
+    def __init__(self, identity: Identity, scheduler, network,
+                 flow: str = FLOW_ORDER_EXECUTE,
+                 organizations: Sequence[str] = (),
+                 ordering=None, min_block_signatures: int = 1,
+                 checkpoint_interval: int = 1):
+        if flow not in (FLOW_ORDER_EXECUTE, FLOW_EXECUTE_ORDER):
+            raise ValueError(f"unknown flow {flow!r}")
+        self.identity = identity
+        self.name = identity.name
+        self.organization = identity.organization
+        self.scheduler = scheduler
+        self.network = network
+        self.flow = flow
+        self.ordering = ordering
+        self.min_block_signatures = min_block_signatures
+
+        self.db = Database()
+        self.certs = CertificateRegistry()
+        self.contracts = ContractRegistry()
+        create_system_tables(self.db.catalog)
+        self.ledger = Ledger(self.db)
+        self.system_contracts = SystemContracts(
+            self.db, self.contracts, self.certs, organizations)
+        self.acl = AccessController(self.certs)
+        self.runtime = ProcedureRuntime(self.db, acl=self.acl)
+        self.backend = Backend(self)
+        self.processor = BlockProcessor(self)
+        self.blockstore = BlockStore()
+        self.checkpoints = CheckpointManager(
+            self.name, interval=checkpoint_interval)
+        self.notifications = NotificationHub()
+
+        # tx_id -> in-flight TransactionContext / ExecutionOutcome
+        self.executing: Dict[str, Any] = {}
+        self.pending_outcomes: Dict[str, ExecutionOutcome] = {}
+        # EO transactions waiting for their snapshot height
+        self.deferred: List[Transaction] = []
+        # blocks waiting for signature quorum or their turn
+        self._block_buffer: Dict[int, Block] = {}
+        self.crashed = False
+        self.processing_error: Optional[str] = None
+
+        network.register(self.name, self.on_message)
+        if ordering is not None:
+            ordering.register_peer(self.name, self.on_block)
+
+    # ------------------------------------------------------------------
+    # Bootstrap (section 3.7)
+    # ------------------------------------------------------------------
+
+    def register_certificates(self,
+                              certificates: Sequence[Certificate]) -> None:
+        """Install the certificates shared at network startup (org admins,
+        peers, orderers, initial clients)."""
+        self.certs.register_all(certificates)
+
+    def apply_genesis_config(self, metadata: Dict[str, Any]) -> None:
+        """Apply genesis-block configuration: schema DDL and initial
+        contracts.  Every node applies the same genesis, so the resulting
+        state is identical everywhere."""
+        schema_sql = metadata.get("schema_sql", "")
+        if schema_sql:
+            tx = self.db.begin(allow_nondeterministic=True,
+                               username="@system")
+            executor = Executor(self.db, tx)
+            for stmt in parse_sql(schema_sql):
+                executor.execute(stmt)
+            self.db.apply_commit(tx, block_number=0)
+        for contract_sql in metadata.get("contracts", ()):
+            self.install_contract(contract_sql)
+
+    def install_contract(self, create_function_sql: str) -> Procedure:
+        """Directly install a contract (bootstrap path; runtime deployments
+        go through the section 3.7 system contracts)."""
+        stmt = parse_one(create_function_sql)
+        if not isinstance(stmt, CreateFunction):
+            raise ReproError("expected CREATE FUNCTION")
+        procedure = Procedure.compile(stmt.name, stmt.params, stmt.returns,
+                                      stmt.body, deployer="@genesis")
+        return self.contracts.deploy(procedure)
+
+    # ------------------------------------------------------------------
+    # Client entry points
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Client submission in the execute-order-in-parallel flow
+        (section 3.4.1): authenticate, start executing, and forward to the
+        other peers and the ordering service in the background."""
+        if self.crashed:
+            raise ReproError(f"node {self.name} is down")
+        if self.flow != FLOW_EXECUTE_ORDER:
+            # In order-then-execute clients talk to the ordering service;
+            # a peer receiving one simply proxies it (section 3.3.1).
+            self.ordering.submit(tx)
+            return
+        if tx.tx_id in self.executing or \
+                self.ledger.has_transaction(tx.tx_id):
+            return  # duplicate: first-seen wins (section 3.4.3)
+        self._execute_or_defer(tx)
+        # Forward to other peers and the ordering service.
+        for peer_name in self.ordering.peer_names():
+            if peer_name != self.name:
+                self.network.send(self.name, peer_name,
+                                  ("tx_forward", tx), tx.size_bytes())
+        self.ordering.submit(tx)
+
+    def query(self, sql: str, username: str = "@system",
+              params: Sequence[Any] = (),
+              provenance: bool = False) -> Result:
+        """Read-only query against this node's latest committed state
+        (individual SELECTs are never recorded on the chain)."""
+        if self.crashed:
+            raise ReproError(f"node {self.name} is down")
+        tx = self.db.begin(allow_nondeterministic=True, read_only=True,
+                           username=username, provenance=provenance)
+        try:
+            executor = Executor(self.db, tx, acl=self.acl)
+            result = Result()
+            for stmt in parse_sql(sql):
+                result = executor.execute(stmt, params=params)
+            return result
+        finally:
+            self.db.apply_abort(tx, reason="read-only")
+
+    def block_height(self) -> int:
+        """Latest committed block height (clients pin EO snapshots here)."""
+        return self.db.committed_height
+
+    # ------------------------------------------------------------------
+    # Network message handling (middleware)
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: str, message: Tuple[str, Any]) -> None:
+        if self.crashed:
+            return
+        kind, payload = message
+        if kind == "tx_forward":
+            self._on_forwarded_tx(payload)
+        elif kind == "block":
+            self.on_block(payload, sender)
+
+    def _on_forwarded_tx(self, tx: Transaction) -> None:
+        if self.flow != FLOW_EXECUTE_ORDER:
+            return
+        if tx.tx_id in self.executing or \
+                self.ledger.has_transaction(tx.tx_id):
+            return
+        self._execute_or_defer(tx)
+
+    def _execute_or_defer(self, tx: Transaction) -> None:
+        """Begin executing an EO transaction, or queue it until this node
+        reaches its snapshot height (section 3.4.1: 'the transaction would
+        start executing once the node completes processing all blocks ...
+        up to the specified snapshot-height')."""
+        height = tx.snapshot_height or 0
+        if height > self.db.committed_height:
+            self.deferred.append(tx)
+            return
+        outcome = self.backend.execute(tx)
+        self.pending_outcomes[tx.tx_id] = outcome
+
+    def _drain_deferred(self) -> None:
+        ready = [tx for tx in self.deferred
+                 if (tx.snapshot_height or 0) <= self.db.committed_height]
+        self.deferred = [tx for tx in self.deferred
+                         if (tx.snapshot_height or 0) >
+                         self.db.committed_height]
+        for tx in ready:
+            if tx.tx_id not in self.executing and \
+                    not self.ledger.has_transaction(tx.tx_id):
+                outcome = self.backend.execute(tx)
+                self.pending_outcomes[tx.tx_id] = outcome
+
+    # ------------------------------------------------------------------
+    # Block intake and processing
+    # ------------------------------------------------------------------
+
+    def on_block(self, block: Block, from_orderer: str) -> None:
+        """Middleware: verify, collect signature quorum, store, process."""
+        if self.crashed:
+            return
+        if block.number <= self.blockstore.height:
+            # Already stored; merge any new orderer signatures (BFT quorum
+            # collection across copies).
+            stored = self.blockstore.maybe_get(block.number)
+            if stored is not None and \
+                    stored.block_hash == block.block_hash:
+                stored.orderer_signatures.update(block.orderer_signatures)
+            return
+        buffered = self._block_buffer.get(block.number)
+        if buffered is not None and \
+                buffered.block_hash == block.block_hash:
+            buffered.orderer_signatures.update(block.orderer_signatures)
+        else:
+            self._block_buffer[block.number] = block
+        self._try_process_buffered()
+
+    def _try_process_buffered(self) -> None:
+        while True:
+            next_number = self.blockstore.height + 1
+            block = self._block_buffer.get(next_number)
+            if block is None:
+                return
+            try:
+                # Genesis carries the out-of-band network configuration and
+                # is not signed by orderers (section 3.7).
+                min_sigs = 0 if block.number == 0 \
+                    else self.min_block_signatures
+                block.verify(self.certs,
+                             expected_prev_hash=(
+                                 self.blockstore.tip().block_hash
+                                 if self.blockstore.tip() else None),
+                             min_signatures=min_sigs)
+            except BlockValidationError:
+                return  # wait for more signatures or the right block
+            del self._block_buffer[next_number]
+            self.blockstore.append(block)
+            if block.number == 0:
+                self.apply_genesis_config(block.metadata)
+                continue
+            try:
+                self.processor.process_block(block)
+            except ReproError as exc:
+                self.processing_error = str(exc)
+                raise
+            self._drain_deferred()
+
+    # ------------------------------------------------------------------
+    # Non-blockchain (private) schema — section 3.7
+    # ------------------------------------------------------------------
+
+    def private_execute(self, sql: str, username: str = "@system",
+                        params: Sequence[Any] = ()) -> Result:
+        """Run DDL/DML on this organization's *private* schema using the
+        default single-node transaction flow (no consensus, no
+        replication).  Writes touching blockchain-schema tables are
+        rejected — those may only change through smart contracts."""
+        from repro.sql.catalog import SCHEMA_PRIVATE
+
+        if self.crashed:
+            raise ReproError(f"node {self.name} is down")
+        tx = self.db.begin(allow_nondeterministic=True, username=username)
+        executor = Executor(self.db, tx, acl=self.acl)
+        try:
+            result = Result()
+            for stmt in parse_sql(sql):
+                from repro.sql.ast_nodes import CreateTable
+                result = executor.execute(stmt, params=params)
+                if isinstance(stmt, CreateTable):
+                    # Tables created through the private path live in the
+                    # non-blockchain schema.
+                    self.db.catalog.schema_of(stmt.name).schema = \
+                        SCHEMA_PRIVATE
+            for table in tx.tables_written:
+                schema = self.db.catalog.schema_of(table)
+                if schema.schema != SCHEMA_PRIVATE and not schema.system:
+                    raise ReproError(
+                        f"table {table!r} belongs to the blockchain "
+                        f"schema; direct DML is only allowed through "
+                        f"smart contracts (section 3.7)")
+        except BaseException:
+            self.db.apply_abort(tx, reason="private tx failed")
+            raise
+        self.db.apply_commit(tx, block_number=self.db.committed_height)
+        return result
+
+    # ------------------------------------------------------------------
+    # Vacuum (section 7)
+    # ------------------------------------------------------------------
+
+    def vacuum(self, keep_blocks: int = 16):
+        """Prune dead row versions older than ``keep_blocks`` blocks of
+        history (section 7's creator/deleter-aware vacuum)."""
+        from repro.storage.vacuum import vacuum_database
+
+        horizon = self.db.committed_height - keep_blocks
+        if horizon < 0:
+            from repro.storage.vacuum import VacuumReport
+            return VacuumReport(horizon_block=horizon)
+        return vacuum_database(self.db, horizon)
+
+    # ------------------------------------------------------------------
+    # Failure simulation
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the node down: it stops receiving traffic and loses
+        unflushed WAL records (section 3.6)."""
+        self.crashed = True
+        self.network.take_down(self.name)
+        self.db.wal.crash()
+
+    def restart(self) -> None:
+        """Bring the node back; the caller should then run
+        :class:`repro.node.recovery.RecoveryManager`."""
+        self.crashed = False
+        self.network.bring_up(self.name)

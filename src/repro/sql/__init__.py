@@ -1,0 +1,18 @@
+"""SQL engine: lexer, parser, expression evaluation and execution."""
+
+from repro.sql.catalog import (
+    Catalog,
+    ColumnDef,
+    SCHEMA_BLOCKCHAIN,
+    SCHEMA_PRIVATE,
+    TableSchema,
+    coerce_value,
+)
+from repro.sql.executor import AccessChecker, Executor, Result, run_sql
+from repro.sql.parser import parse_one, parse_procedure_body, parse_sql
+
+__all__ = [
+    "Catalog", "ColumnDef", "SCHEMA_BLOCKCHAIN", "SCHEMA_PRIVATE",
+    "TableSchema", "coerce_value", "AccessChecker", "Executor", "Result",
+    "run_sql", "parse_one", "parse_procedure_body", "parse_sql",
+]

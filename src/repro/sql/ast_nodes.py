@@ -1,0 +1,319 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Plain dataclasses; the parser builds these and the executor interprets
+them.  Expression nodes implement ``walk()`` so analysis passes (the
+determinism checker, index-predicate extraction) can traverse uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base expression node."""
+
+    def children(self) -> List["Expr"]:
+        return []
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None  # alias qualifier
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Param(Expr):
+    """$1 (1-based positional) or :name."""
+    name: str  # "$1" or ":invoice_id"
+
+
+@dataclass
+class Star(Expr):
+    table: Optional[str] = None  # for t.*
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return [self.left, self.right]
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # NOT, -, +
+    operand: Expr
+
+    def children(self):
+        return [self.operand]
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str  # lower-cased
+    args: List[Expr] = field(default_factory=list)
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+    def children(self):
+        return list(self.args)
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def children(self):
+        return [self.operand]
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self):
+        return [self.operand, self.low, self.high]
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: List[Expr]
+    negated: bool = False
+
+    def children(self):
+        return [self.operand] + list(self.items)
+
+
+@dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self):
+        return [self.operand, self.pattern]
+
+
+@dataclass
+class CaseExpr(Expr):
+    whens: List[Tuple[Expr, Expr]]
+    else_: Optional[Expr] = None
+
+    def children(self):
+        out: List[Expr] = []
+        for cond, result in self.whens:
+            out.extend([cond, result])
+        if self.else_ is not None:
+            out.append(self.else_)
+        return out
+
+
+@dataclass
+class IntervalLiteral(Expr):
+    """INTERVAL '24 hours' — value in seconds."""
+    seconds: float
+    text: str = ""
+
+
+@dataclass
+class SubqueryExpr(Expr):
+    """Scalar subquery or EXISTS(...)."""
+    select: "Select"
+    exists: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Statement:
+    """Base statement node."""
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: str  # defaults to name
+
+
+@dataclass
+class Join:
+    kind: str  # INNER, LEFT, CROSS
+    table: TableRef
+    on: Optional[Expr] = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select(Statement):
+    items: List[SelectItem]
+    from_table: Optional[TableRef] = None
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+    provenance: bool = False  # PROVENANCE SELECT — sees all row versions
+    into_vars: List[str] = field(default_factory=list)  # PL: SELECT .. INTO
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: List[str]
+    rows: List[List[Expr]] = field(default_factory=list)
+    select: Optional[Select] = None
+
+
+@dataclass
+class SetClause:
+    column: str
+    value: Expr
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    sets: List[SetClause]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class ColumnDefNode:
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Optional[Expr] = None
+    check: Optional[Expr] = None
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[ColumnDefNode]
+    primary_key: List[str] = field(default_factory=list)
+    checks: List[Expr] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: List[str]
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateFunction(Statement):
+    """CREATE [OR REPLACE] FUNCTION name(params) RETURNS type AS $$...$$"""
+    name: str
+    params: List[Tuple[str, str]]  # (name, type)
+    returns: str
+    body: str
+    or_replace: bool = False
+
+
+@dataclass
+class DropFunction(Statement):
+    name: str
+    if_exists: bool = False
+
+
+# ---------------------------------------------------------------------------
+# PL (procedural) statements — bodies of smart contracts
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PLBlock(Statement):
+    declarations: List[Tuple[str, str, Optional[Expr]]]  # name, type, init
+    statements: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class PLAssign(Statement):
+    name: str
+    value: Expr
+
+
+@dataclass
+class PLIf(Statement):
+    branches: List[Tuple[Expr, List[Statement]]]  # (condition, body)
+    else_body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class PLRaise(Statement):
+    """RAISE EXCEPTION 'message' — aborts the transaction;
+    RAISE NOTICE 'message' — informational only."""
+    level: str  # EXCEPTION or NOTICE
+    message: Expr
+
+
+@dataclass
+class PLReturn(Statement):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class PLPerform(Statement):
+    """PERFORM <select> — run a query, discard results."""
+    select: Select

@@ -1,0 +1,416 @@
+"""Expression evaluation with SQL three-valued logic.
+
+``None`` doubles as SQL NULL.  Comparisons involving NULL yield NULL;
+AND/OR follow Kleene logic; WHERE treats NULL as not-satisfied.  Aggregate
+calls are *not* evaluated here — the executor computes them per group and
+supplies their values through ``EvalContext.aggregate_values`` keyed by the
+expression fingerprint.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sql import functions
+from repro.sql.ast_nodes import (
+    Between, BinaryOp, CaseExpr, ColumnRef, Expr, FunctionCall, InList,
+    IntervalLiteral, IsNull, Like, Literal, Param, Star, SubqueryExpr,
+    UnaryOp,
+)
+
+
+def expr_fingerprint(expr: Expr) -> str:
+    """Stable textual identity of an expression (used to key aggregate
+    values and GROUP BY matching)."""
+    return repr(expr)
+
+
+@dataclass
+class EvalContext:
+    """Everything needed to evaluate an expression against one row.
+
+    ``outer`` chains to the enclosing query's row context so correlated
+    subqueries resolve names with proper SQL scoping: the innermost scope
+    wins; only unresolved names escape outward.
+    """
+
+    # alias -> column values for the current joined row
+    env: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    # PL variables and procedure parameters by name
+    variables: Dict[str, Any] = field(default_factory=dict)
+    # positional parameters ($1 is params[0])
+    params: Sequence[Any] = ()
+    allow_nondeterministic: bool = True
+    # fingerprint -> computed aggregate value (set by the executor)
+    aggregate_values: Optional[Dict[str, Any]] = None
+    # callback to run subqueries: fn(select_ast, outer_ctx) -> list of rows
+    subquery_fn: Optional[Callable] = None
+    # enclosing query's row context (correlated subqueries)
+    outer: Optional["EvalContext"] = None
+
+    def child_for_row(self, env: Dict[str, Dict[str, Any]]) -> "EvalContext":
+        return EvalContext(env=env, variables=self.variables,
+                           params=self.params,
+                           allow_nondeterministic=self.allow_nondeterministic,
+                           aggregate_values=self.aggregate_values,
+                           subquery_fn=self.subquery_fn,
+                           outer=self.outer)
+
+
+def _resolve_column(ref: ColumnRef, ctx: EvalContext) -> Any:
+    scope: Optional[EvalContext] = ctx
+    saw_alias = False
+    while scope is not None:
+        env = scope.env
+        if ref.table is not None:
+            if ref.table in env:
+                saw_alias = True
+                values = env[ref.table]
+                if ref.name in values:
+                    return values[ref.name]
+            scope = scope.outer
+            continue
+        matches = [alias for alias, values in env.items()
+                   if ref.name in values]
+        if len(matches) > 1:
+            raise ExecutionError(
+                f"ambiguous column reference {ref.name!r}")
+        if matches:
+            return env[matches[0]][ref.name]
+        scope = scope.outer
+    if ref.table is not None:
+        if saw_alias:
+            raise ExecutionError(
+                f"column {ref.name!r} not found in {ref.table!r}")
+        raise ExecutionError(f"unknown table alias {ref.table!r}")
+    if ref.name in ctx.variables:
+        return ctx.variables[ref.name]
+    raise ExecutionError(f"unknown column or variable {ref.name!r}")
+
+
+def _numeric_pair(left: Any, right: Any):
+    """Reconcile Decimal/float mixes for arithmetic and comparison."""
+    if isinstance(left, Decimal) and isinstance(right, float):
+        return float(left), right
+    if isinstance(left, float) and isinstance(right, Decimal):
+        return left, float(right)
+    return left, right
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if op == "||":
+        return str(left) + str(right)
+    if isinstance(left, IntervalValue) or isinstance(right, IntervalValue):
+        return IntervalValue.combine(op, left, right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        raise TypeMismatchError(f"cannot apply {op} to booleans")
+    if isinstance(left, str) or isinstance(right, str):
+        if op == "+" and isinstance(left, str) and isinstance(right, str):
+            raise TypeMismatchError("use || for string concatenation")
+        raise TypeMismatchError(f"cannot apply {op} to strings")
+    left, right = _numeric_pair(left, right)
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                # SQL integer division truncates toward zero.
+                q = abs(left) // abs(right)
+                return q if (left >= 0) == (right >= 0) else -q
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left % right
+    except TypeError:
+        raise TypeMismatchError(
+            f"cannot apply {op} to {type(left).__name__} and "
+            f"{type(right).__name__}") from None
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def compare_values(left: Any, right: Any) -> Optional[int]:
+    """SQL comparison: returns -1/0/1, or None when either side is NULL."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, IntervalValue) and isinstance(right, IntervalValue):
+        left, right = left.seconds, right.seconds
+    left, right = _numeric_pair(left, right)
+    if isinstance(left, bool) != isinstance(right, bool):
+        if isinstance(left, (int, float, Decimal)) and \
+                isinstance(right, (int, float, Decimal)):
+            left, right = (int(left) if isinstance(left, bool) else left,
+                           int(right) if isinstance(right, bool) else right)
+    try:
+        if left == right:
+            return 0
+        return -1 if left < right else 1
+    except TypeError:
+        raise TypeMismatchError(
+            f"cannot compare {type(left).__name__} with "
+            f"{type(right).__name__}") from None
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    cmp = compare_values(left, right)
+    if cmp is None:
+        return None
+    if op == "=":
+        return cmp == 0
+    if op == "<>":
+        return cmp != 0
+    if op == "<":
+        return cmp < 0
+    if op == "<=":
+        return cmp <= 0
+    if op == ">":
+        return cmp > 0
+    if op == ">=":
+        return cmp >= 0
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _logical_and(left: Optional[bool], right: Optional[bool]):
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _logical_or(left: Optional[bool], right: Optional[bool]):
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+@dataclass(frozen=True)
+class IntervalValue:
+    """Runtime value of INTERVAL literals (seconds)."""
+
+    seconds: float
+
+    @staticmethod
+    def combine(op: str, left: Any, right: Any) -> Any:
+        lsec = left.seconds if isinstance(left, IntervalValue) else left
+        rsec = right.seconds if isinstance(right, IntervalValue) else right
+        if op == "+":
+            return lsec + rsec
+        if op == "-":
+            return lsec - rsec
+        raise TypeMismatchError(f"cannot apply {op} to intervals")
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def evaluate(expr: Expr, ctx: EvalContext) -> Any:
+    """Evaluate ``expr`` in ``ctx``; returns a Python value (None = NULL)."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, IntervalLiteral):
+        return IntervalValue(expr.seconds)
+    if isinstance(expr, ColumnRef):
+        return _resolve_column(expr, ctx)
+    if isinstance(expr, Param):
+        return _resolve_param(expr, ctx)
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is only valid in SELECT lists or COUNT(*)")
+    if isinstance(expr, UnaryOp):
+        return _eval_unary(expr, ctx)
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, ctx)
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, ctx)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, Between):
+        return _eval_between(expr, ctx)
+    if isinstance(expr, InList):
+        return _eval_in(expr, ctx)
+    if isinstance(expr, Like):
+        return _eval_like(expr, ctx)
+    if isinstance(expr, CaseExpr):
+        return _eval_case(expr, ctx)
+    if isinstance(expr, FunctionCall):
+        return _eval_function(expr, ctx)
+    if isinstance(expr, SubqueryExpr):
+        return _eval_subquery(expr, ctx)
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _resolve_param(expr: Param, ctx: EvalContext) -> Any:
+    token = expr.name
+    if token.startswith("$"):
+        position = int(token[1:]) - 1
+        if not 0 <= position < len(ctx.params):
+            raise ExecutionError(f"parameter {token} out of range")
+        return ctx.params[position]
+    name = token[1:]
+    if name in ctx.variables:
+        return ctx.variables[name]
+    raise ExecutionError(f"unbound parameter {token}")
+
+
+def _eval_unary(expr: UnaryOp, ctx: EvalContext) -> Any:
+    value = evaluate(expr.operand, ctx)
+    if expr.op == "NOT":
+        if value is None:
+            return None
+        return not _as_bool(value)
+    if value is None:
+        return None
+    if expr.op == "-":
+        return -value
+    if expr.op == "+":
+        return value
+    raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise TypeMismatchError(
+        f"expected boolean, got {type(value).__name__}")
+
+
+def _eval_binary(expr: BinaryOp, ctx: EvalContext) -> Any:
+    if expr.op == "AND":
+        return _logical_and(_bool_or_none(evaluate(expr.left, ctx)),
+                            _bool_or_none(evaluate(expr.right, ctx)))
+    if expr.op == "OR":
+        return _logical_or(_bool_or_none(evaluate(expr.left, ctx)),
+                           _bool_or_none(evaluate(expr.right, ctx)))
+    if expr.op == "IN_SUBQUERY":
+        needle = evaluate(expr.left, ctx)
+        rows = _run_subquery(expr.right, ctx)
+        if needle is None:
+            return None
+        found = any(row and compare_values(needle, row[0]) == 0
+                    for row in rows)
+        return found
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if expr.op in {"=", "<>", "<", "<=", ">", ">="}:
+        return _compare(expr.op, left, right)
+    return _arith(expr.op, left, right)
+
+
+def _bool_or_none(value: Any) -> Optional[bool]:
+    if value is None:
+        return None
+    return _as_bool(value)
+
+
+def _eval_between(expr: Between, ctx: EvalContext) -> Optional[bool]:
+    operand = evaluate(expr.operand, ctx)
+    low = evaluate(expr.low, ctx)
+    high = evaluate(expr.high, ctx)
+    lower = _compare(">=", operand, low)
+    upper = _compare("<=", operand, high)
+    result = _logical_and(lower, upper)
+    if result is None:
+        return None
+    return (not result) if expr.negated else result
+
+
+def _eval_in(expr: InList, ctx: EvalContext) -> Optional[bool]:
+    operand = evaluate(expr.operand, ctx)
+    if operand is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        value = evaluate(item, ctx)
+        if value is None:
+            saw_null = True
+            continue
+        if compare_values(operand, value) == 0:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _eval_like(expr: Like, ctx: EvalContext) -> Optional[bool]:
+    operand = evaluate(expr.operand, ctx)
+    pattern = evaluate(expr.pattern, ctx)
+    if operand is None or pattern is None:
+        return None
+    result = bool(_like_to_regex(str(pattern)).match(str(operand)))
+    return (not result) if expr.negated else result
+
+
+def _eval_case(expr: CaseExpr, ctx: EvalContext) -> Any:
+    for cond, result in expr.whens:
+        value = evaluate(cond, ctx)
+        if value is True:
+            return evaluate(result, ctx)
+    if expr.else_ is not None:
+        return evaluate(expr.else_, ctx)
+    return None
+
+
+def _eval_function(expr: FunctionCall, ctx: EvalContext) -> Any:
+    if expr.name in functions.AGGREGATE_NAMES:
+        if ctx.aggregate_values is None:
+            raise ExecutionError(
+                f"aggregate {expr.name}() not allowed here")
+        key = expr_fingerprint(expr)
+        if key not in ctx.aggregate_values:
+            raise ExecutionError(
+                f"aggregate {expr.name}() was not computed for this query")
+        return ctx.aggregate_values[key]
+    args = [evaluate(arg, ctx) for arg in expr.args]
+    return functions.call(expr.name, args,
+                          allow_nondeterministic=ctx.allow_nondeterministic)
+
+
+def _run_subquery(expr: Expr, ctx: EvalContext) -> List[tuple]:
+    if not isinstance(expr, SubqueryExpr):
+        raise ExecutionError("expected subquery")
+    if ctx.subquery_fn is None:
+        raise ExecutionError("subqueries are not allowed in this context")
+    return ctx.subquery_fn(expr.select, ctx)
+
+
+def _eval_subquery(expr: SubqueryExpr, ctx: EvalContext) -> Any:
+    rows = _run_subquery(expr, ctx)
+    if expr.exists:
+        return len(rows) > 0
+    if not rows:
+        return None
+    if len(rows) > 1:
+        raise ExecutionError("scalar subquery returned more than one row")
+    if len(rows[0]) != 1:
+        raise ExecutionError("scalar subquery must select one column")
+    return rows[0][0]
+
+
+def evaluate_predicate(expr: Optional[Expr], ctx: EvalContext) -> bool:
+    """WHERE/HAVING semantics: NULL counts as not-satisfied."""
+    if expr is None:
+        return True
+    return evaluate(expr, ctx) is True

@@ -1,0 +1,80 @@
+"""pgBlockstore: the append-only block store each peer maintains.
+
+Section 4.2: "the received blocks are stored in an append-only file named
+pgBlockstore".  Every appended block must chain (prev-hash) onto the last
+stored block; retrieval by number supports the block processor's in-order
+processing and the recovery path's gap detection (section 3.6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.chain.block import Block
+from repro.errors import BlockValidationError
+
+
+class BlockStore:
+    """Append-only, hash-chained block storage."""
+
+    def __init__(self):
+        self._blocks: List[Block] = []
+
+    def append(self, block: Block) -> None:
+        """Append ``block``; it must be the next in sequence and chain onto
+        the current tip (genesis excepted)."""
+        expected_number = len(self._blocks)
+        if block.number != expected_number:
+            raise BlockValidationError(
+                f"expected block {expected_number}, got {block.number}")
+        if self._blocks and block.prev_hash != self._blocks[-1].block_hash:
+            raise BlockValidationError(
+                f"block {block.number} does not chain onto block "
+                f"{self._blocks[-1].number}")
+        if block.block_hash != block.compute_hash():
+            raise BlockValidationError(
+                f"block {block.number}: stored hash mismatch")
+        self._blocks.append(block)
+
+    @property
+    def height(self) -> int:
+        """Number of the highest stored block (-1 when empty)."""
+        return len(self._blocks) - 1
+
+    def get(self, number: int) -> Block:
+        if not 0 <= number < len(self._blocks):
+            raise KeyError(f"no block {number} (height {self.height})")
+        return self._blocks[number]
+
+    def maybe_get(self, number: int) -> Optional[Block]:
+        if 0 <= number < len(self._blocks):
+            return self._blocks[number]
+        return None
+
+    def tip(self) -> Optional[Block]:
+        return self._blocks[-1] if self._blocks else None
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def verify_chain(self) -> None:
+        """Re-validate the whole chain (tamper detection, section 3.5(6))."""
+        prev_hash = None
+        for i, block in enumerate(self._blocks):
+            if block.number != i:
+                raise BlockValidationError(f"gap at block {i}")
+            if block.block_hash != block.compute_hash():
+                raise BlockValidationError(f"block {i} hash mismatch")
+            if prev_hash is not None and block.prev_hash != prev_hash:
+                raise BlockValidationError(f"block {i} chain break")
+            prev_hash = block.block_hash
+
+    def tamper(self, number: int, **mutations) -> None:
+        """Testing hook: mutate a stored block *without* re-sealing, so
+        verify_chain() can demonstrate tamper evidence."""
+        block = self.get(number)
+        for key, value in mutations.items():
+            setattr(block, key, value)

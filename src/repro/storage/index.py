@@ -1,0 +1,127 @@
+"""B-tree style secondary indexes.
+
+The paper requires every predicate read in the execute-order-in-parallel
+flow to be served by an index (section 4.3) — the phantom/stale-read checks
+are run over the index entries matching the predicate.  Like PostgreSQL,
+indexes here point at *row versions* (every version gets an entry; dead
+versions are filtered by visibility at scan time).
+
+Keys are normalized so heterogeneous values order deterministically across
+nodes (None < booleans < numbers < strings).
+"""
+
+from __future__ import annotations
+
+import bisect
+from decimal import Decimal
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TypeMismatchError
+
+_RANK_NONE = 0
+_RANK_BOOL = 1
+_RANK_NUM = 2
+_RANK_STR = 3
+
+_NEG_INF = (-1,)
+_POS_INF = (4,)
+
+
+def normalize_key_part(value: Any) -> Tuple:
+    """Map a single value to a tuple that compares deterministically."""
+    if value is None:
+        return (_RANK_NONE,)
+    if isinstance(value, bool):
+        return (_RANK_BOOL, int(value))
+    if isinstance(value, (int, float, Decimal)):
+        return (_RANK_NUM, float(value))
+    if isinstance(value, str):
+        return (_RANK_STR, value)
+    raise TypeMismatchError(f"unindexable value type {type(value).__name__}")
+
+
+def normalize_key(values: Sequence[Any]) -> Tuple:
+    return tuple(normalize_key_part(v) for v in values)
+
+
+class Index:
+    """A sorted (key, version_id) multimap supporting point and range scans.
+
+    Entries are append-only: versions are never physically removed (the
+    blockchain database keeps all history); deletions are logical via
+    MVCC visibility.
+    """
+
+    def __init__(self, name: str, table_name: str, columns: Sequence[str],
+                 unique: bool = False):
+        self.name = name
+        self.table_name = table_name
+        self.columns = tuple(columns)
+        self.unique = unique
+        self._keys: List[Tuple] = []
+        self._entries: List[Tuple[Tuple, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, values: dict) -> Tuple:
+        """Extract this index's normalized key from a row's values."""
+        return normalize_key([values.get(col) for col in self.columns])
+
+    def insert(self, values: dict, version_id: int) -> None:
+        key = self.key_for(values)
+        pos = bisect.bisect_right(self._keys, key)
+        self._keys.insert(pos, key)
+        self._entries.insert(pos, (key, version_id))
+
+    def scan_eq(self, key_values: Sequence[Any]) -> List[int]:
+        """All version ids whose key equals ``key_values`` (full key or
+        prefix of the index columns)."""
+        prefix = normalize_key(key_values)
+        return self._scan(prefix, prefix, True, True, len(prefix))
+
+    def scan_range(self, low: Optional[Sequence[Any]],
+                   high: Optional[Sequence[Any]],
+                   low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> List[int]:
+        """Version ids with low <= key <= high on the first index column."""
+        low_key = normalize_key(low) if low is not None else None
+        high_key = normalize_key(high) if high is not None else None
+        depth = max(len(low_key) if low_key else 0,
+                    len(high_key) if high_key else 0) or 1
+        return self._scan(low_key, high_key, low_inclusive, high_inclusive,
+                          depth)
+
+    def _scan(self, low_key: Optional[Tuple], high_key: Optional[Tuple],
+              low_inclusive: bool, high_inclusive: bool,
+              depth: int) -> List[int]:
+        if low_key is None:
+            start = 0
+        else:
+            probe = low_key if low_inclusive else low_key + (_POS_INF,)
+            start = bisect.bisect_left(self._keys, probe)
+        results: List[int] = []
+        for i in range(start, len(self._entries)):
+            key, version_id = self._entries[i]
+            prefix = key[:depth]
+            if high_key is not None:
+                cmp_key = prefix[:len(high_key)]
+                if cmp_key > high_key or (cmp_key == high_key
+                                          and not high_inclusive):
+                    break
+            if low_key is not None and not low_inclusive:
+                if prefix[:len(low_key)] == low_key:
+                    continue
+            results.append(version_id)
+        return results
+
+    def scan_all(self) -> List[int]:
+        """Every entry in key order (used for ORDER BY optimizations and
+        provenance)."""
+        return [version_id for _, version_id in self._entries]
+
+    def covers_columns(self, columns: Iterable[str]) -> bool:
+        """True when ``columns`` form a prefix of the index columns — the
+        condition for this index to serve a predicate on them."""
+        wanted = list(columns)
+        return tuple(wanted) == self.columns[:len(wanted)]

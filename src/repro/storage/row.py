@@ -1,0 +1,90 @@
+"""Row versions.
+
+PostgreSQL keeps every version of a row: each tuple header carries ``xmin``
+(the transaction that created it) and ``xmax`` (the transaction that deleted
+or replaced it); an update is a delete plus an insert (section 4.1).  The
+paper adds two more fields per row (section 4.3): the **creator block
+number** and **deleter block number**, which power the block-height snapshot
+isolation and provenance queries.
+
+The paper also changes ww-conflict handling (section 4.3): instead of an
+exclusive row lock, competing writers all record themselves in an *array of
+xmax candidates* and the serial commit step lets exactly one win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+
+@dataclass
+class RowVersion:
+    """One immutable version of a logical row.
+
+    Attributes
+    ----------
+    version_id:
+        Physical identifier, unique within a table (the analogue of ctid).
+    row_id:
+        Logical row identity; all versions of the same row share it.
+    values:
+        Column name -> value mapping for this version.
+    xmin:
+        Transaction id that created the version.
+    xmax_winner:
+        Transaction id that deleted/replaced the version and *committed*
+        (or is the designated winner pending commit).  ``None`` while live.
+    xmax_candidates:
+        The paper's xmax array: ids of concurrent transactions that have
+        marked this version for deletion but not yet won the serial commit.
+    creator_block / deleter_block:
+        Block heights stamped at commit time; drive block-height snapshots
+        (execute-order-in-parallel) and provenance queries.
+    """
+
+    version_id: int
+    row_id: int
+    values: Dict[str, Any]
+    xmin: int
+    xmax_winner: Optional[int] = None
+    xmax_candidates: Set[int] = field(default_factory=set)
+    creator_block: Optional[int] = None
+    deleter_block: Optional[int] = None
+
+    def mark_delete_candidate(self, xid: int) -> None:
+        """Record ``xid`` in the xmax array (no lock taken — section 4.3)."""
+        self.xmax_candidates.add(xid)
+
+    def clear_delete_candidate(self, xid: int) -> None:
+        """Remove ``xid`` from the xmax array (on abort)."""
+        self.xmax_candidates.discard(xid)
+        if self.xmax_winner == xid:
+            self.xmax_winner = None
+
+    def set_delete_winner(self, xid: int, block_number: Optional[int]) -> None:
+        """Commit-time resolution: ``xid`` wins the write; everyone else in
+        the array will be aborted by the SSI layer."""
+        self.xmax_winner = xid
+        self.deleter_block = block_number
+        self.xmax_candidates = {xid}
+
+    @property
+    def is_dead(self) -> bool:
+        """True once a deleter has committed (version superseded)."""
+        return self.xmax_winner is not None and self.deleter_block is not None
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        """A defensive copy of the column values."""
+        return dict(self.values)
+
+    def provenance_header(self) -> Dict[str, Any]:
+        """The pseudo-columns exposed to provenance queries (section 4.2)."""
+        return {
+            "xmin": self.xmin,
+            "xmax": self.xmax_winner,
+            "creator": self.creator_block,
+            "deleter": self.deleter_block,
+            "row_id": self.row_id,
+            "version_id": self.version_id,
+        }

@@ -1,0 +1,147 @@
+"""Heap table storage: append-only version store with MVCC headers.
+
+Every update is a logical delete (xmax-candidate marking on the old
+version) plus an insert of the new version — exactly PostgreSQL's
+behaviour, which the paper calls "ideal for our goal of building a
+blockchain that maintains all versions of data" (section 4.1).  Nothing is
+ever physically removed except when an *aborted* transaction's versions are
+cleaned up or during explicit recovery rollback.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ExecutionError
+from repro.storage.index import Index
+from repro.storage.row import RowVersion
+
+
+class HeapTable:
+    """Versioned storage for one table plus its indexes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._versions: Dict[int, RowVersion] = {}
+        self._version_counter = itertools.count(1)
+        self._row_counter = itertools.count(1)
+        self._indexes: Dict[str, Index] = {}
+        # xid -> version ids created by that xid (for abort cleanup)
+        self._created_by_xid: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+
+    def add_index(self, index: Index, backfill: bool = True) -> None:
+        if index.name in self._indexes:
+            raise ExecutionError(f"index {index.name!r} already exists")
+        self._indexes[index.name] = index
+        if backfill:
+            for version in self._versions.values():
+                index.insert(version.values, version.version_id)
+
+    def drop_index(self, name: str) -> None:
+        self._indexes.pop(name, None)
+
+    @property
+    def indexes(self) -> Dict[str, Index]:
+        return self._indexes
+
+    def find_index_for(self, columns: Iterable[str]) -> Optional[Index]:
+        """First index whose leading columns cover ``columns``."""
+        for index in self._indexes.values():
+            if index.covers_columns(columns):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Version access
+    # ------------------------------------------------------------------
+
+    def get_version(self, version_id: int) -> RowVersion:
+        return self._versions[version_id]
+
+    def maybe_version(self, version_id: int) -> Optional[RowVersion]:
+        return self._versions.get(version_id)
+
+    def all_versions(self) -> List[RowVersion]:
+        """All versions in insertion (version id) order — deterministic."""
+        return [self._versions[vid] for vid in sorted(self._versions)]
+
+    def versions_of_row(self, row_id: int) -> List[RowVersion]:
+        return [v for v in self.all_versions() if v.row_id == row_id]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    # ------------------------------------------------------------------
+    # Mutation (always via a transaction xid)
+    # ------------------------------------------------------------------
+
+    def insert_version(self, values: Dict[str, Any], xid: int,
+                       row_id: Optional[int] = None) -> RowVersion:
+        """Create a new version.  ``row_id`` is allocated for fresh inserts
+        and inherited for updates."""
+        version = RowVersion(
+            version_id=next(self._version_counter),
+            row_id=row_id if row_id is not None else next(self._row_counter),
+            values=dict(values),
+            xmin=xid,
+        )
+        self._versions[version.version_id] = version
+        self._created_by_xid.setdefault(xid, []).append(version.version_id)
+        for index in self._indexes.values():
+            index.insert(version.values, version.version_id)
+        return version
+
+    def update_version(self, old: RowVersion, new_values: Dict[str, Any],
+                       xid: int) -> RowVersion:
+        """Mark ``old`` deleted by ``xid`` and insert the successor version
+        carrying the same logical row id."""
+        old.mark_delete_candidate(xid)
+        return self.insert_version(new_values, xid, row_id=old.row_id)
+
+    def delete_version(self, old: RowVersion, xid: int) -> None:
+        old.mark_delete_candidate(xid)
+
+    # ------------------------------------------------------------------
+    # Abort / recovery cleanup
+    # ------------------------------------------------------------------
+
+    def cleanup_aborted(self, xid: int) -> None:
+        """Physically remove versions created by ``xid`` and clear its xmax
+        candidacies.  Called when a transaction aborts."""
+        for version_id in self._created_by_xid.pop(xid, []):
+            self._versions.pop(version_id, None)
+        for version in self._versions.values():
+            version.clear_delete_candidate(xid)
+        # Note: index entries for removed versions are left behind and
+        # filtered at scan time (version id no longer resolves).
+
+    def rollback_committed(self, xid: int) -> None:
+        """Recovery (section 3.6): undo a *committed* transaction so its
+        block can be re-executed.  Removes created versions and reverses
+        delete winners."""
+        for version_id in self._created_by_xid.pop(xid, []):
+            self._versions.pop(version_id, None)
+        for version in self._versions.values():
+            if version.xmax_winner == xid:
+                version.xmax_winner = None
+                version.deleter_block = None
+            version.xmax_candidates.discard(xid)
+
+    # ------------------------------------------------------------------
+    # Scan helpers
+    # ------------------------------------------------------------------
+
+    def resolve(self, version_ids: Iterable[int]) -> List[RowVersion]:
+        """Map version ids to live version objects, skipping entries whose
+        versions were physically removed by abort cleanup."""
+        out: List[RowVersion] = []
+        for version_id in version_ids:
+            version = self._versions.get(version_id)
+            if version is not None:
+                out.append(version)
+        return out

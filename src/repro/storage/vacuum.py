@@ -1,0 +1,76 @@
+"""Version pruning — the enhanced VACUUM of section 7.
+
+The paper keeps every row version for provenance, and notes: "we need to
+enhance the existing pruning tool such as vacuum to remove rows based on
+fields such as creator, deleter."  This module implements exactly that: a
+vacuum that removes *dead* versions (superseded by a committed deleter)
+whose ``deleter_block`` is at or below a retention horizon, so recent
+history stays queryable while ancient versions are reclaimed.
+
+Provenance queries over pruned ranges lose visibility — callers choose
+the horizon; the node API refuses to prune above
+``committed_height - keep_blocks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.storage.snapshot import TxStatusTable
+from repro.storage.table import HeapTable
+
+
+@dataclass
+class VacuumReport:
+    """What one vacuum pass removed."""
+
+    horizon_block: int
+    removed_versions: int = 0
+    scanned_versions: int = 0
+    per_table: Dict[str, int] = field(default_factory=dict)
+
+
+def vacuum_table(heap: HeapTable, statuses: TxStatusTable,
+                 horizon_block: int) -> int:
+    """Remove dead versions of ``heap`` deleted at or before
+    ``horizon_block``.  Returns the number of versions removed.
+
+    A version is reclaimable when its delete winner *committed* and the
+    deletion block is within the horizon — the same predicate the
+    paper's creator/deleter-aware vacuum would use.  Index entries for
+    removed versions resolve to nothing and are skipped at scan time.
+    """
+    removable: List[int] = []
+    for version in heap.all_versions():
+        if version.deleter_block is None or version.xmax_winner is None:
+            continue
+        if version.deleter_block > horizon_block:
+            continue
+        if not statuses.is_committed(version.xmax_winner):
+            continue
+        removable.append(version.version_id)
+    for version_id in removable:
+        heap._versions.pop(version_id, None)
+    return len(removable)
+
+
+def vacuum_database(db, horizon_block: int,
+                    skip_tables: tuple = ("pgledger",)) -> VacuumReport:
+    """Vacuum every table of a :class:`repro.mvcc.database.Database`.
+
+    ``pgledger`` is skipped by default: ledger rows are the provenance
+    join target and are never superseded in normal operation anyway
+    (status updates create new versions — those *are* pruned if included,
+    so audits should retain them)."""
+    report = VacuumReport(horizon_block=horizon_block)
+    for table_name in db.catalog.table_names():
+        if table_name in skip_tables:
+            continue
+        heap = db.catalog.heap_of(table_name)
+        report.scanned_versions += len(heap)
+        removed = vacuum_table(heap, db.statuses, horizon_block)
+        if removed:
+            report.per_table[table_name] = removed
+            report.removed_versions += removed
+    return report

@@ -1,0 +1,107 @@
+"""Write-ahead log.
+
+Section 3.6 relies on two logs for recovery: the default transaction log
+(which transactions committed) and the ledger table.  This module provides
+the transaction-log half: an append-only sequence of typed records with an
+explicit flush boundary, so tests can crash a node at any record boundary
+and exercise the recovery protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+WAL_BEGIN = "begin"
+WAL_INSERT = "insert"
+WAL_UPDATE = "update"
+WAL_DELETE = "delete"
+WAL_COMMIT = "commit"
+WAL_ABORT = "abort"
+WAL_BLOCK_START = "block_start"
+WAL_BLOCK_END = "block_end"
+WAL_CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class WALRecord:
+    """One log record."""
+
+    lsn: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"lsn": self.lsn, "kind": self.kind,
+                           "payload": self.payload}, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "WALRecord":
+        data = json.loads(line)
+        return cls(lsn=data["lsn"], kind=data["kind"],
+                   payload=data["payload"])
+
+
+class WriteAheadLog:
+    """In-memory WAL with optional file persistence.
+
+    ``flushed_lsn`` models the fsync horizon: records past it are lost on a
+    simulated crash (:meth:`crash`).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._records: List[WALRecord] = []
+        self._next_lsn = 1
+        self._flushed_lsn = 0
+        self._path = path
+        if path and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    record = WALRecord.from_json(line)
+                    self._records.append(record)
+                    self._next_lsn = record.lsn + 1
+        self._flushed_lsn = self._next_lsn - 1
+
+    def append(self, kind: str, **payload: Any) -> WALRecord:
+        record = WALRecord(lsn=self._next_lsn, kind=kind, payload=payload)
+        self._records.append(record)
+        self._next_lsn += 1
+        return record
+
+    def flush(self) -> None:
+        """Durably persist everything appended so far."""
+        self._flushed_lsn = self._next_lsn - 1
+        if self._path:
+            with open(self._path, "w", encoding="utf-8") as handle:
+                for record in self._records:
+                    handle.write(record.to_json() + "\n")
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    def crash(self) -> None:
+        """Simulate a crash: drop unflushed records."""
+        self._records = [r for r in self._records if r.lsn <= self._flushed_lsn]
+        self._next_lsn = self._flushed_lsn + 1
+
+    def records(self, kind: Optional[str] = None) -> Iterator[WALRecord]:
+        for record in self._records:
+            if record.lsn > self._flushed_lsn:
+                continue
+            if kind is None or record.kind == kind:
+                yield record
+
+    def committed_xids(self) -> List[int]:
+        """All xids with a durable commit record (recovery step 3)."""
+        return [r.payload["xid"] for r in self.records(WAL_COMMIT)]
+
+    def __len__(self) -> int:
+        return len(self._records)

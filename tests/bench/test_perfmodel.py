@@ -1,0 +1,163 @@
+"""The calibrated performance model must reproduce the paper's shapes."""
+
+import pytest
+
+from repro.bench.perfmodel import (
+    FLOW_EO,
+    FLOW_OE,
+    PipelineSimulator,
+    SimConfig,
+    peak_throughput,
+)
+from repro.bench.profiles import (
+    BFT_ORDERER_MODEL,
+    COMPLEX_GROUP,
+    COMPLEX_JOIN,
+    KAFKA_ORDERER_MODEL,
+    LAN_DEPLOYMENT,
+    SIMPLE,
+    WAN_DEPLOYMENT,
+)
+
+
+class TestCapacityShapes:
+    def test_oe_simple_peak_near_1800(self):
+        peak = peak_throughput(FLOW_OE, SIMPLE, 100)
+        assert 1600 <= peak <= 2000
+
+    def test_eo_simple_peak_near_2700(self):
+        peak = peak_throughput(FLOW_EO, SIMPLE, 100)
+        assert 2500 <= peak <= 3000
+
+    def test_eo_beats_oe_by_about_1_5x(self):
+        oe = peak_throughput(FLOW_OE, SIMPLE, 100)
+        eo = peak_throughput(FLOW_EO, SIMPLE, 100)
+        assert 1.3 <= eo / oe <= 1.7  # paper: 1.5x
+
+    def test_complex_join_oe_peak_near_400(self):
+        peak = peak_throughput(FLOW_OE, COMPLEX_JOIN, 100)
+        assert 300 <= peak <= 500
+
+    def test_complex_join_eo_more_than_twice_oe(self):
+        oe = peak_throughput(FLOW_OE, COMPLEX_JOIN, 100)
+        eo = peak_throughput(FLOW_EO, COMPLEX_JOIN, 100)
+        assert eo > 2 * oe  # section 5.2
+
+    def test_group_vs_join_ratios(self):
+        """Section 5.2: complex-group peaks 1.75x (OE) / 1.6x (EO) the
+        join contract's."""
+        oe_ratio = (peak_throughput(FLOW_OE, COMPLEX_GROUP, 100)
+                    / peak_throughput(FLOW_OE, COMPLEX_JOIN, 100))
+        eo_ratio = (peak_throughput(FLOW_EO, COMPLEX_GROUP, 100)
+                    / peak_throughput(FLOW_EO, COMPLEX_JOIN, 100))
+        assert 1.6 <= oe_ratio <= 1.9
+        assert 1.45 <= eo_ratio <= 1.75
+
+    def test_serial_execution_is_about_40_percent(self):
+        """Section 5.1: Ethereum-style serial execution reaches ~40% of
+        the concurrent pipeline."""
+        serial = peak_throughput(FLOW_OE, SIMPLE, 100,
+                                 serial_execution=True)
+        concurrent = peak_throughput(FLOW_OE, SIMPLE, 100)
+        assert 0.35 <= serial / concurrent <= 0.5
+
+    def test_larger_blocks_do_not_hurt_throughput(self):
+        peaks = [peak_throughput(FLOW_OE, SIMPLE, bs)
+                 for bs in (10, 100, 500)]
+        assert peaks[1] >= peaks[0] * 0.95
+        assert peaks[2] >= peaks[0] * 0.95
+
+
+class TestLatencyShapes:
+    def _latency(self, flow, rate, bs, duration=30.0):
+        sim = PipelineSimulator(SimConfig(
+            flow=flow, profile=SIMPLE, arrival_rate=rate, block_size=bs,
+            duration=duration))
+        return sim.run().avg_latency
+
+    def test_below_peak_latency_grows_with_block_size(self):
+        """Paper: below saturation, bigger blocks wait longer to fill."""
+        lat_small = self._latency(FLOW_OE, 1200, 10, duration=10.0)
+        lat_large = self._latency(FLOW_OE, 1200, 500, duration=10.0)
+        assert lat_large > lat_small
+
+    def test_above_peak_latency_shrinks_with_block_size(self):
+        """Paper: above saturation the ordering inverts — more
+        transactions execute in parallel per block."""
+        lat_small = self._latency(FLOW_OE, 2100, 10)
+        lat_large = self._latency(FLOW_OE, 2100, 500)
+        assert lat_large < lat_small
+
+    def test_saturation_latency_is_seconds(self):
+        """Paper: latency jumps 'from an order of 100s of milliseconds to
+        10s of seconds' past the peak (and keeps growing with backlog)."""
+        assert self._latency(FLOW_OE, 2100, 10) > 2.0
+
+    def test_sub_saturation_latency_is_sub_second(self):
+        assert self._latency(FLOW_OE, 1200, 10, duration=10.0) < 1.0
+
+
+class TestMicroMetrics:
+    def test_table4_bs100_shape(self):
+        result = PipelineSimulator(SimConfig(
+            flow=FLOW_OE, profile=SIMPLE, arrival_rate=2100,
+            block_size=100, duration=10.0)).run()
+        row = result.row()
+        # Table 4 @ bs=100: bpt 55.4, bet 47, bct 8.3, tet 0.2, su 99.1
+        assert 40 <= row["bpt"] <= 70
+        assert 35 <= row["bet"] <= 60
+        assert 5 <= row["bct"] <= 12
+        assert row["su"] >= 95
+
+    def test_table5_bs100_shape(self):
+        result = PipelineSimulator(SimConfig(
+            flow=FLOW_EO, profile=SIMPLE, arrival_rate=2400,
+            block_size=100, duration=10.0)).run()
+        row = result.row()
+        # Table 5 @ bs=100: bpt 35.26, bet 18.57, bct 16.69, mt 519, su 84
+        assert 25 <= row["bpt"] <= 45
+        assert 12 <= row["bet"] <= 25
+        assert 12 <= row["bct"] <= 22
+        assert 300 <= row["mt"] <= 700
+        assert 70 <= row["su"] <= 95
+
+    def test_missing_txs_grow_with_load(self):
+        low = PipelineSimulator(SimConfig(
+            flow=FLOW_EO, profile=SIMPLE, arrival_rate=1200,
+            block_size=100, duration=5.0)).run().missing_tx_rate
+        high = PipelineSimulator(SimConfig(
+            flow=FLOW_EO, profile=SIMPLE, arrival_rate=2400,
+            block_size=100, duration=5.0)).run().missing_tx_rate
+        assert high > low
+
+
+class TestDeploymentAndOrderers:
+    def test_wan_latency_increase_about_100ms(self):
+        rate = 200
+        lan = PipelineSimulator(SimConfig(
+            flow=FLOW_OE, profile=COMPLEX_JOIN, arrival_rate=rate,
+            block_size=100, duration=10.0)).run().avg_latency
+        wan = PipelineSimulator(SimConfig(
+            flow=FLOW_OE, profile=COMPLEX_JOIN, arrival_rate=rate,
+            block_size=100, duration=10.0,
+            deployment=WAN_DEPLOYMENT)).run().avg_latency
+        delta_ms = (wan - lan) * 1e3
+        assert 60 <= delta_ms <= 160  # paper: ~100 ms
+
+    def test_wan_throughput_drop_is_small(self):
+        lan = peak_throughput(FLOW_OE, COMPLEX_JOIN, 100)
+        wan = peak_throughput(FLOW_OE, COMPLEX_JOIN, 100,
+                              deployment=WAN_DEPLOYMENT)
+        drop = 1 - wan / lan
+        assert 0 <= drop <= 0.08  # paper: ~4% at bs=100
+
+    def test_kafka_flat_vs_orderer_count(self):
+        capacities = [KAFKA_ORDERER_MODEL.capacity(n)
+                      for n in (4, 16, 32)]
+        assert max(capacities) / min(capacities) < 1.05
+
+    def test_bft_decays_from_3000_to_650(self):
+        small = BFT_ORDERER_MODEL.capacity(4)
+        large = BFT_ORDERER_MODEL.capacity(32)
+        assert 2700 <= small <= 3300   # paper anchor: ~3000 tps
+        assert 550 <= large <= 750     # paper anchor: ~650 tps

@@ -1,0 +1,128 @@
+"""Transactions and blocks: signing, identifiers, hash chaining."""
+
+import pytest
+
+from repro.chain.block import Block, GENESIS_PREV_HASH, make_genesis
+from repro.chain.transaction import ProcedureCall, Transaction, new_call
+from repro.common.identity import CertificateRegistry, Identity
+from repro.errors import BlockValidationError, InvalidSignature
+
+
+@pytest.fixture
+def admin():
+    return Identity.create("admin@org1", "org1", "admin")
+
+
+@pytest.fixture
+def client(admin):
+    return Identity.create("carol", "org1", "client", issuer=admin)
+
+
+@pytest.fixture
+def orderer(admin):
+    return Identity.create("orderer0", "org1", "orderer", issuer=admin)
+
+
+class TestTransaction:
+    def test_signature_verifies(self, client):
+        tx = Transaction.create(client, new_call("p", 1, "x"))
+        client.public_key.verify(tx.signing_payload(), tx.signature)
+
+    def test_eo_tx_id_is_content_hash(self, client):
+        """Section 3.4.3: the identifier is hash(user, call, height)."""
+        call = new_call("p", 1)
+        tx1 = Transaction.create(client, call, snapshot_height=4)
+        tx2 = Transaction.create(client, call, snapshot_height=4)
+        assert tx1.tx_id == tx2.tx_id
+        tx3 = Transaction.create(client, call, snapshot_height=5)
+        assert tx3.tx_id != tx1.tx_id
+
+    def test_different_users_different_ids(self, client, admin):
+        call = new_call("p", 1)
+        a = Transaction.create(client, call, snapshot_height=1)
+        b = Transaction.create(admin, call, snapshot_height=1)
+        assert a.tx_id != b.tx_id
+
+    def test_oe_custom_tx_id(self, client):
+        tx = Transaction.create(client, new_call("p"), tx_id="custom-1")
+        assert tx.tx_id == "custom-1"
+
+    def test_tampered_args_break_signature(self, client):
+        tx = Transaction.create(client, new_call("p", 1))
+        forged = Transaction(tx_id=tx.tx_id, username=tx.username,
+                             call=new_call("p", 999),
+                             signature_bytes=tx.signature_bytes)
+        with pytest.raises(InvalidSignature):
+            client.public_key.verify(forged.signing_payload(),
+                                     forged.signature)
+
+    def test_size_bytes_positive(self, client):
+        assert Transaction.create(client, new_call("p")).size_bytes() > 100
+
+
+class TestBlock:
+    def test_seal_sets_hash(self, client):
+        block = Block(number=1, transactions=[
+            Transaction.create(client, new_call("p"), tx_id="a")],
+            prev_hash=GENESIS_PREV_HASH).seal()
+        assert block.block_hash == block.compute_hash()
+
+    def test_hash_covers_transactions(self, client):
+        tx_a = Transaction.create(client, new_call("p"), tx_id="a")
+        tx_b = Transaction.create(client, new_call("p"), tx_id="b")
+        b1 = Block(number=1, transactions=[tx_a],
+                   prev_hash=GENESIS_PREV_HASH).seal()
+        b2 = Block(number=1, transactions=[tx_b],
+                   prev_hash=GENESIS_PREV_HASH).seal()
+        assert b1.block_hash != b2.block_hash
+
+    def test_hash_covers_prev_hash(self):
+        b1 = Block(number=1, transactions=[],
+                   prev_hash=b"\x01" * 32).seal()
+        b2 = Block(number=1, transactions=[],
+                   prev_hash=b"\x02" * 32).seal()
+        assert b1.block_hash != b2.block_hash
+
+    def test_verify_requires_signatures(self, orderer, admin):
+        certs = CertificateRegistry()
+        certs.register_all([admin.certificate, orderer.certificate])
+        block = Block(number=1, transactions=[],
+                      prev_hash=GENESIS_PREV_HASH).seal()
+        with pytest.raises(BlockValidationError, match="signature"):
+            block.verify(certs, min_signatures=1)
+        block.sign(orderer.name, orderer.sign(block.block_hash))
+        block.verify(certs, min_signatures=1)
+
+    def test_verify_rejects_tampered_content(self, orderer, admin):
+        certs = CertificateRegistry()
+        certs.register_all([admin.certificate, orderer.certificate])
+        block = Block(number=1, transactions=[],
+                      prev_hash=GENESIS_PREV_HASH).seal()
+        block.sign(orderer.name, orderer.sign(block.block_hash))
+        block.metadata["injected"] = True
+        with pytest.raises(BlockValidationError, match="hash"):
+            block.verify(certs)
+
+    def test_verify_rejects_wrong_prev(self, orderer, admin):
+        certs = CertificateRegistry()
+        certs.register_all([admin.certificate, orderer.certificate])
+        block = Block(number=1, transactions=[],
+                      prev_hash=b"\x07" * 32).seal()
+        block.sign(orderer.name, orderer.sign(block.block_hash))
+        with pytest.raises(BlockValidationError, match="chain"):
+            block.verify(certs, expected_prev_hash=b"\x01" * 32)
+
+    def test_unknown_orderer_signature_not_counted(self, orderer, admin):
+        certs = CertificateRegistry()
+        certs.register_all([admin.certificate])  # orderer not registered
+        block = Block(number=1, transactions=[],
+                      prev_hash=GENESIS_PREV_HASH).seal()
+        block.sign(orderer.name, orderer.sign(block.block_hash))
+        with pytest.raises(BlockValidationError):
+            block.verify(certs, min_signatures=1)
+
+    def test_genesis(self):
+        genesis = make_genesis({"cfg": 1})
+        assert genesis.number == 0
+        assert genesis.prev_hash == GENESIS_PREV_HASH
+        assert genesis.metadata["cfg"] == 1

@@ -1,0 +1,117 @@
+"""ECDSA / hashing primitives."""
+
+import pytest
+
+from repro.common.crypto import (
+    N,
+    PrivateKey,
+    PublicKey,
+    Signature,
+    generate_keypair,
+    hash_chain,
+    sha256,
+    sha256_hex,
+)
+from repro.errors import CryptoError, InvalidSignature
+
+
+class TestHashing:
+    def test_sha256_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855")
+
+    def test_sha256_bytes_length(self):
+        assert len(sha256(b"abc")) == 32
+
+    def test_hash_chain_depends_on_both_inputs(self):
+        h1 = hash_chain(b"\x00" * 32, b"payload")
+        h2 = hash_chain(b"\x01" * 32, b"payload")
+        h3 = hash_chain(b"\x00" * 32, b"other")
+        assert len({h1, h2, h3}) == 3
+
+
+class TestKeys:
+    def test_seeded_generation_is_deterministic(self):
+        a, _ = generate_keypair(b"seed")
+        b, _ = generate_keypair(b"seed")
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_distinct_seeds_distinct_keys(self):
+        a, _ = generate_keypair(b"seed-a")
+        b, _ = generate_keypair(b"seed-b")
+        assert a.to_bytes() != b.to_bytes()
+
+    def test_public_key_roundtrip(self):
+        _, pk = generate_keypair(b"rt")
+        assert PublicKey.from_bytes(pk.to_bytes()) == pk
+
+    def test_public_key_rejects_off_curve_point(self):
+        with pytest.raises(CryptoError):
+            PublicKey(1, 2)
+
+    def test_private_key_rejects_out_of_range_scalar(self):
+        with pytest.raises(CryptoError):
+            PrivateKey(0)
+        with pytest.raises(CryptoError):
+            PrivateKey(N)
+
+    def test_private_key_roundtrip(self):
+        sk, _ = generate_keypair(b"rt2")
+        clone = PrivateKey.from_bytes(sk.to_bytes())
+        assert clone.public_key == sk.public_key
+
+    def test_fingerprint_is_short_hex(self):
+        _, pk = generate_keypair(b"fp")
+        assert len(pk.fingerprint()) == 16
+        int(pk.fingerprint(), 16)
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        sk, pk = generate_keypair(b"sv")
+        sig = sk.sign(b"hello world")
+        pk.verify(b"hello world", sig)  # no exception
+
+    def test_deterministic_signing_rfc6979(self):
+        sk, _ = generate_keypair(b"det")
+        assert sk.sign(b"msg").to_bytes() == sk.sign(b"msg").to_bytes()
+
+    def test_different_messages_different_signatures(self):
+        sk, _ = generate_keypair(b"dm")
+        assert sk.sign(b"a") != sk.sign(b"b")
+
+    def test_tampered_message_fails(self):
+        sk, pk = generate_keypair(b"tm")
+        sig = sk.sign(b"original")
+        with pytest.raises(InvalidSignature):
+            pk.verify(b"tampered", sig)
+
+    def test_wrong_key_fails(self):
+        sk, _ = generate_keypair(b"k1")
+        _, other_pk = generate_keypair(b"k2")
+        sig = sk.sign(b"msg")
+        with pytest.raises(InvalidSignature):
+            other_pk.verify(b"msg", sig)
+
+    def test_signature_is_low_s(self):
+        sk, _ = generate_keypair(b"lows")
+        for i in range(8):
+            assert sk.sign(bytes([i])).s <= N // 2
+
+    def test_signature_roundtrip_bytes(self):
+        sk, pk = generate_keypair(b"rt3")
+        sig = Signature.from_bytes(sk.sign(b"x").to_bytes())
+        pk.verify(b"x", sig)
+
+    def test_out_of_range_signature_rejected(self):
+        _, pk = generate_keypair(b"oor")
+        with pytest.raises(InvalidSignature):
+            pk.verify(b"x", Signature(0, 1))
+        with pytest.raises(InvalidSignature):
+            pk.verify(b"x", Signature(1, N))
+
+    def test_forged_signature_rejected(self):
+        _, pk = generate_keypair(b"forge")
+        with pytest.raises(InvalidSignature):
+            pk.verify(b"x", Signature(12345, 67890))

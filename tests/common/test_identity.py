@@ -1,0 +1,96 @@
+"""Certificates and the pgCerts registry."""
+
+import pytest
+
+from repro.common.identity import (
+    Certificate,
+    CertificateRegistry,
+    Identity,
+    ROLE_ADMIN,
+    ROLE_CLIENT,
+)
+from repro.errors import InvalidSignature, UnknownIdentity
+
+
+@pytest.fixture
+def admin():
+    return Identity.create("admin1", "org1", ROLE_ADMIN)
+
+
+@pytest.fixture
+def client(admin):
+    return Identity.create("alice", "org1", ROLE_CLIENT, issuer=admin)
+
+
+class TestIdentityCreation:
+    def test_self_signed_admin(self, admin):
+        assert admin.certificate.issuer == admin.name
+
+    def test_issued_client_cert_names_issuer(self, admin, client):
+        assert client.certificate.issuer == admin.name
+        assert client.organization == "org1"
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError):
+            Identity.create("x", "org1", "superuser")
+
+    def test_deterministic_keys_by_name(self):
+        a = Identity.create("bob", "org2", ROLE_CLIENT, seed=b"s")
+        b = Identity.create("bob", "org2", ROLE_CLIENT, seed=b"s")
+        assert a.public_key == b.public_key
+
+
+class TestRegistry:
+    def test_register_and_verify(self, admin, client):
+        reg = CertificateRegistry()
+        reg.register_all([admin.certificate, client.certificate])
+        sig = client.sign(b"payload")
+        cert = reg.verify("alice", b"payload", sig)
+        assert cert.organization == "org1"
+
+    def test_register_client_before_admin_fails(self, client):
+        reg = CertificateRegistry()
+        with pytest.raises(UnknownIdentity):
+            reg.register(client.certificate)
+
+    def test_register_all_orders_admins_first(self, admin, client):
+        reg = CertificateRegistry()
+        # Deliberately pass the client first.
+        reg.register_all([client.certificate, admin.certificate])
+        assert "alice" in reg
+
+    def test_verify_unknown_user(self, admin):
+        reg = CertificateRegistry()
+        reg.register(admin.certificate)
+        with pytest.raises(UnknownIdentity):
+            reg.verify("mallory", b"x", admin.sign(b"x"))
+
+    def test_verify_wrong_signature(self, admin, client):
+        reg = CertificateRegistry()
+        reg.register_all([admin.certificate, client.certificate])
+        with pytest.raises(InvalidSignature):
+            reg.verify("alice", b"payload", admin.sign(b"payload"))
+
+    def test_forged_certificate_rejected(self, admin):
+        reg = CertificateRegistry()
+        reg.register(admin.certificate)
+        mallory = Identity.create("mallory", "org1", ROLE_CLIENT,
+                                  issuer=admin)
+        forged = Certificate(
+            name="mallory", organization="org1", role=ROLE_CLIENT,
+            public_key_bytes=mallory.certificate.public_key_bytes,
+            issuer=admin.name,
+            signature_bytes=b"\x01" * 64)
+        with pytest.raises(InvalidSignature):
+            reg.register(forged)
+
+    def test_remove(self, admin, client):
+        reg = CertificateRegistry()
+        reg.register_all([admin.certificate, client.certificate])
+        reg.remove("alice")
+        assert "alice" not in reg
+
+    def test_names_sorted(self, admin, client):
+        reg = CertificateRegistry()
+        reg.register_all([admin.certificate, client.certificate])
+        assert reg.names() == ["admin1", "alice"]

@@ -1,0 +1,143 @@
+"""Canonical serialization, merkle trees and the event kernel."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.common.crypto import sha256
+from repro.common.events import EventScheduler
+from repro.common.merkle import merkle_proof, merkle_root, verify_proof
+from repro.common.serialization import (
+    canonical_bytes,
+    canonical_hash_hex,
+    from_canonical_bytes,
+)
+
+
+class TestCanonicalSerialization:
+    def test_key_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == \
+            canonical_bytes({"b": 2, "a": 1})
+
+    def test_roundtrip_scalars(self):
+        obj = {"i": 7, "f": 1.5, "s": "x", "b": True, "n": None}
+        assert from_canonical_bytes(canonical_bytes(obj)) == obj
+
+    def test_roundtrip_bytes(self):
+        obj = {"blob": b"\x00\xffdata"}
+        assert from_canonical_bytes(canonical_bytes(obj)) == obj
+
+    def test_roundtrip_decimal(self):
+        obj = {"amount": Decimal("12.340")}
+        back = from_canonical_bytes(canonical_bytes(obj))
+        assert back["amount"] == Decimal("12.340")
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_hash_stability(self):
+        h1 = canonical_hash_hex({"x": [1, 2, {"y": b"z"}]})
+        h2 = canonical_hash_hex({"x": [1, 2, {"y": b"z"}]})
+        assert h1 == h2
+
+
+class TestMerkle:
+    def test_empty_root_is_stable(self):
+        assert merkle_root([]) == merkle_root([])
+
+    def test_single_leaf(self):
+        root = merkle_root([b"only"])
+        proof = merkle_proof([b"only"], 0)
+        assert verify_proof(b"only", proof, root)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_proofs_verify(self, n):
+        leaves = [bytes([i]) * 4 for i in range(n)]
+        root = merkle_root(leaves)
+        for i in range(n):
+            proof = merkle_proof(leaves, i)
+            assert verify_proof(leaves[i], proof, root)
+
+    def test_wrong_leaf_fails(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        root = merkle_root(leaves)
+        proof = merkle_proof(leaves, 1)
+        assert not verify_proof(b"x", proof, root)
+
+    def test_leaf_order_matters(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_leaf_node_domain_separation(self):
+        # A two-leaf root differs from a single leaf whose payload is the
+        # concatenation of both leaf hashes.
+        leaves = [b"a", b"b"]
+        root = merkle_root(leaves)
+        fake = merkle_root([sha256(b"\x00a") + sha256(b"\x00b")])
+        assert root != fake
+
+    def test_out_of_range_proof(self):
+        with pytest.raises(IndexError):
+            merkle_proof([b"a"], 3)
+
+
+class TestEventScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sched = EventScheduler()
+        fired = []
+        for i in range(5):
+            sched.schedule(1.0, lambda i=i: fired.append(i))
+        sched.run_until_idle()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(2.5, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [2.5]
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, lambda: fired.append("x"))
+        sched.cancel(event)
+        sched.run_until_idle()
+        assert fired == []
+
+    def test_run_until_time_bound(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(5.0, lambda: fired.append(5))
+        sched.run(until=2.0)
+        assert fired == [1]
+        assert sched.now == 2.0
+
+    def test_nested_scheduling(self):
+        sched = EventScheduler()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sched.schedule(1.0, lambda: fired.append("inner"))
+
+        sched.schedule(1.0, outer)
+        sched.run_until_idle()
+        assert fired == ["outer", "inner"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)

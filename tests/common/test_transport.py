@@ -1,0 +1,112 @@
+"""Simulated network: latency, FIFO links, partitions, crashes."""
+
+import pytest
+
+from repro.common.events import EventScheduler
+from repro.net.transport import INSTANT, LAN, LatencyModel, SimNetwork, WAN
+
+
+@pytest.fixture
+def net():
+    scheduler = EventScheduler()
+    network = SimNetwork(scheduler, default_latency=LAN, seed=1)
+    return scheduler, network
+
+
+class TestDelivery:
+    def test_basic_delivery(self, net):
+        scheduler, network = net
+        received = []
+        network.register("b", lambda src, msg: received.append((src, msg)))
+        network.send("a", "b", ("ping", 1))
+        scheduler.run_until_idle()
+        assert received == [("a", ("ping", 1))]
+
+    def test_fifo_per_link(self, net):
+        scheduler, network = net
+        received = []
+        network.register("b", lambda src, msg: received.append(msg[1]))
+        for i in range(20):
+            network.send("a", "b", ("seq", i))
+        scheduler.run_until_idle()
+        assert received == list(range(20))
+
+    def test_latency_positive_and_size_dependent(self):
+        scheduler = EventScheduler()
+        network = SimNetwork(scheduler, default_latency=WAN, seed=2)
+        arrivals = []
+        network.register("b", lambda src, msg: arrivals.append(
+            scheduler.now))
+        network.send("a", "b", ("small", None), size_bytes=100)
+        scheduler.run_until_idle()
+        small_time = arrivals[-1]
+        assert small_time >= 0.03  # WAN one-way latency
+        network2 = SimNetwork(EventScheduler(), default_latency=WAN,
+                              seed=2)
+        big_delay = WAN.delay_for(10_000_000, network2._rng)
+        assert big_delay > small_time  # bandwidth term kicks in
+
+    def test_broadcast_excludes_sender(self, net):
+        scheduler, network = net
+        log = []
+        for name in ("a", "b", "c"):
+            network.register(name,
+                             lambda src, msg, n=name: log.append(n))
+        network.broadcast("a", ("hello", None))
+        scheduler.run_until_idle()
+        assert sorted(log) == ["b", "c"]
+
+    def test_per_link_override(self, net):
+        scheduler, network = net
+        network.set_link("a", "b", INSTANT)
+        times = []
+        network.register("b", lambda src, msg: times.append(scheduler.now))
+        network.send("a", "b", ("x", None))
+        scheduler.run_until_idle()
+        assert times[0] < 0.001
+
+
+class TestFaults:
+    def test_partition_drops_both_directions(self, net):
+        scheduler, network = net
+        received = []
+        network.register("a", lambda src, msg: received.append("a"))
+        network.register("b", lambda src, msg: received.append("b"))
+        network.partition("a", "b")
+        network.send("a", "b", ("x", None))
+        network.send("b", "a", ("y", None))
+        scheduler.run_until_idle()
+        assert received == []
+        network.heal("a", "b")
+        network.send("a", "b", ("x", None))
+        scheduler.run_until_idle()
+        assert received == ["b"]
+
+    def test_down_node_neither_sends_nor_receives(self, net):
+        scheduler, network = net
+        received = []
+        network.register("b", lambda src, msg: received.append(msg))
+        network.take_down("a")
+        network.send("a", "b", ("x", None))
+        scheduler.run_until_idle()
+        assert received == []
+        network.bring_up("a")
+        network.send("a", "b", ("x", None))
+        scheduler.run_until_idle()
+        assert len(received) == 1
+
+    def test_message_in_flight_to_crashing_node_dropped(self, net):
+        scheduler, network = net
+        received = []
+        network.register("b", lambda src, msg: received.append(msg))
+        network.send("a", "b", ("x", None))
+        network.take_down("b")  # crashes before delivery
+        scheduler.run_until_idle()
+        assert received == []
+
+    def test_stats_counted(self, net):
+        scheduler, network = net
+        network.register("b", lambda src, msg: None)
+        network.send("a", "b", ("x", None), size_bytes=512)
+        assert network.messages_sent == 1
+        assert network.bytes_sent == 512

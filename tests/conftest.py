@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.bench.contracts_appendix_a import (
+    ALL_CONTRACTS,
+    SCHEMA_SQL,
+    SEED_ACCOUNTS_CONTRACT,
+)
+from repro.core.network import BlockchainNetwork
+
+KV_SCHEMA = "CREATE TABLE kv (k TEXT PRIMARY KEY, v INT);"
+
+KV_CONTRACTS = [
+    """CREATE FUNCTION set_kv(key TEXT, val INT) RETURNS VOID AS $$
+    BEGIN
+        INSERT INTO kv (k, v) VALUES (key, val);
+    END $$ LANGUAGE plpgsql""",
+    """CREATE FUNCTION bump_kv(key TEXT, delta INT) RETURNS VOID AS $$
+    BEGIN
+        UPDATE kv SET v = v + delta WHERE k = key;
+    END $$ LANGUAGE plpgsql""",
+    """CREATE FUNCTION del_kv(key TEXT) RETURNS VOID AS $$
+    BEGIN
+        DELETE FROM kv WHERE k = key;
+    END $$ LANGUAGE plpgsql""",
+    """CREATE FUNCTION get_then_set(src TEXT, dst TEXT) RETURNS VOID AS $$
+    DECLARE cur INT;
+    BEGIN
+        SELECT v INTO cur FROM kv WHERE k = src;
+        IF cur IS NULL THEN
+            RAISE EXCEPTION 'missing source key';
+        END IF;
+        INSERT INTO kv (k, v) VALUES (dst, cur);
+    END $$ LANGUAGE plpgsql""",
+]
+
+
+def make_kv_network(flow: str, consensus: str = "kafka", orgs=None,
+                    block_size: int = 10, block_timeout: float = 0.2,
+                    **kwargs) -> BlockchainNetwork:
+    return BlockchainNetwork(
+        organizations=orgs or ["org1", "org2", "org3"],
+        flow=flow, consensus=consensus,
+        block_size=block_size, block_timeout=block_timeout,
+        schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS, **kwargs)
+
+
+@pytest.fixture
+def kv_network_oe():
+    return make_kv_network("order-execute")
+
+
+@pytest.fixture
+def kv_network_eo():
+    return make_kv_network("execute-order")
+
+
+@pytest.fixture(params=["order-execute", "execute-order"])
+def kv_network(request):
+    """Parametrized over both transaction flows."""
+    return make_kv_network(request.param)
+
+
+def make_bench_network(flow: str, **kwargs) -> BlockchainNetwork:
+    """Network with the Appendix A schema and contracts."""
+    return BlockchainNetwork(
+        organizations=kwargs.pop("orgs", ["org1", "org2"]),
+        flow=flow, block_size=kwargs.pop("block_size", 10),
+        block_timeout=kwargs.pop("block_timeout", 0.2),
+        schema_sql=SCHEMA_SQL,
+        contracts=ALL_CONTRACTS + [SEED_ACCOUNTS_CONTRACT], **kwargs)

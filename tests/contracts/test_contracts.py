@@ -1,0 +1,228 @@
+"""Smart contracts: compilation, determinism checks, runtime, registry."""
+
+import pytest
+
+from repro.contracts.determinism import check_determinism
+from repro.contracts.procedure import Procedure, ProcedureRuntime
+from repro.contracts.registry import ContractRegistry
+from repro.errors import (
+    ContractAborted,
+    ContractError,
+    ContractNotFound,
+    DeploymentError,
+    DeterminismViolation,
+)
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.sql.parser import parse_procedure_body
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    tx = database.begin(allow_nondeterministic=True)
+    run_sql(database, tx, """
+        CREATE TABLE wallet (owner TEXT PRIMARY KEY, balance FLOAT);
+        INSERT INTO wallet (owner, balance) VALUES
+            ('alice', 100.0), ('bob', 50.0);
+    """)
+    database.apply_commit(tx, block_number=1)
+    return database
+
+
+TRANSFER = """
+DECLARE src_bal FLOAT;
+BEGIN
+    SELECT balance INTO src_bal FROM wallet WHERE owner = src;
+    IF src_bal IS NULL THEN
+        RAISE EXCEPTION 'no such account';
+    END IF;
+    IF src_bal < amount THEN
+        RAISE EXCEPTION 'insufficient funds';
+    END IF;
+    UPDATE wallet SET balance = balance - amount WHERE owner = src;
+    UPDATE wallet SET balance = balance + amount WHERE owner = dst;
+    RETURN src_bal - amount;
+END
+"""
+
+
+class TestDeterminismChecker:
+    def check(self, body):
+        return check_determinism(parse_procedure_body(body), "test")
+
+    def test_clean_body_passes(self):
+        assert self.check(TRANSFER) == []
+
+    def test_now_rejected(self):
+        violations = self.check(
+            "BEGIN UPDATE wallet SET balance = now() WHERE owner = 'a'; "
+            "END")
+        assert any("now()" in v for v in violations)
+
+    def test_random_rejected(self):
+        violations = self.check(
+            "BEGIN UPDATE wallet SET balance = random() "
+            "WHERE owner = 'a'; END")
+        assert any("random()" in v for v in violations)
+
+    def test_limit_without_order_by_rejected(self):
+        violations = self.check(
+            "DECLARE x FLOAT; BEGIN SELECT balance INTO x FROM wallet "
+            "WHERE owner = 'a' LIMIT 1; END")
+        assert any("ORDER BY" in v for v in violations)
+
+    def test_limit_with_order_by_ok(self):
+        violations = self.check(
+            "DECLARE x FLOAT; BEGIN SELECT balance INTO x FROM wallet "
+            "WHERE owner = 'a' ORDER BY owner LIMIT 1; END")
+        assert violations == []
+
+    def test_row_header_in_where_rejected(self):
+        violations = self.check(
+            "DECLARE x FLOAT; BEGIN SELECT balance INTO x FROM wallet "
+            "WHERE xmin = 5; END")
+        assert any("xmin" in v for v in violations)
+
+    def test_select_star_without_predicate_rejected(self):
+        violations = self.check(
+            "BEGIN PERFORM * FROM wallet; END")
+        assert any("full" in v.lower() or "predicate" in v.lower()
+                   for v in violations)
+
+    def test_provenance_in_contract_rejected(self):
+        violations = self.check(
+            "BEGIN PROVENANCE SELECT balance FROM wallet "
+            "WHERE owner = 'a'; END")
+        assert any("PROVENANCE" in v for v in violations)
+
+    def test_unknown_function_rejected(self):
+        violations = self.check(
+            "BEGIN UPDATE wallet SET balance = mystery(1) "
+            "WHERE owner = 'a'; END")
+        assert any("mystery" in v for v in violations)
+
+    def test_compile_raises_on_violation(self):
+        with pytest.raises(DeterminismViolation):
+            Procedure.compile("bad", [], "VOID",
+                              "BEGIN PERFORM now(); END")
+
+
+class TestRuntime:
+    def make_transfer(self):
+        return Procedure.compile(
+            "transfer", [("src", "TEXT"), ("dst", "TEXT"),
+                         ("amount", "FLOAT")], "FLOAT", TRANSFER)
+
+    def test_successful_invocation(self, db):
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()
+        result = runtime.invoke(tx, self.make_transfer(),
+                                ("alice", "bob", 30.0))
+        assert result == 70.0
+        db.apply_commit(tx, block_number=2)
+        check = db.begin(allow_nondeterministic=True)
+        rows = run_sql(db, check,
+                       "SELECT owner, balance FROM wallet "
+                       "ORDER BY owner").rows
+        assert rows == [("alice", 70.0), ("bob", 80.0)]
+
+    def test_raise_exception_aborts(self, db):
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()
+        with pytest.raises(ContractAborted, match="insufficient"):
+            runtime.invoke(tx, self.make_transfer(),
+                           ("alice", "bob", 1e6))
+
+    def test_missing_account_branch(self, db):
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()
+        with pytest.raises(ContractAborted, match="no such account"):
+            runtime.invoke(tx, self.make_transfer(),
+                           ("nobody", "bob", 1.0))
+
+    def test_wrong_arity(self, db):
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()
+        with pytest.raises(ContractError, match="expects 3"):
+            runtime.invoke(tx, self.make_transfer(), ("alice",))
+
+    def test_argument_coercion(self, db):
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()
+        result = runtime.invoke(tx, self.make_transfer(),
+                                ("alice", "bob", "25"))
+        assert result == 75.0
+
+    def test_notice_collected(self, db):
+        proc = Procedure.compile("noisy", [], "VOID", """
+            BEGIN
+                RAISE NOTICE 'step one';
+                RAISE NOTICE 'step two';
+            END""")
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()
+        runtime.invoke(tx, proc, ())
+        assert tx.notices == ["step one", "step two"]
+
+    def test_nondeterministic_function_blocked_at_runtime(self, db):
+        # Even if a body slipped past static checks (system=True), the
+        # executor refuses non-deterministic builtins in contract txs.
+        proc = Procedure.compile("sneaky", [], "FLOAT",
+                                 "BEGIN RETURN now(); END", system=True)
+        runtime = ProcedureRuntime(db)
+        tx = db.begin()  # allow_nondeterministic defaults to False
+        with pytest.raises(Exception, match="non-deterministic"):
+            runtime.invoke(tx, proc, ())
+
+    def test_contract_version_recorded(self, db):
+        runtime = ProcedureRuntime(db)
+        proc = self.make_transfer()
+        proc.version = 3
+        tx = db.begin()
+        runtime.invoke(tx, proc, ("alice", "bob", 1.0))
+        assert tx.contract_versions["transfer"] == 3
+
+
+class TestRegistry:
+    def test_deploy_and_get(self):
+        reg = ContractRegistry()
+        proc = Procedure.compile("p", [], "VOID",
+                                 "BEGIN RETURN; END")
+        reg.deploy(proc)
+        assert reg.get("p").version == 1
+
+    def test_replace_bumps_version(self):
+        reg = ContractRegistry()
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN; END"))
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN 1; END"))
+        assert reg.get("p").version == 2
+
+    def test_drop_then_missing(self):
+        reg = ContractRegistry()
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN; END"))
+        reg.drop("p")
+        with pytest.raises(ContractNotFound):
+            reg.get("p")
+
+    def test_validate_versions_stale(self):
+        reg = ContractRegistry()
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN; END"))
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN 2; END"))
+        with pytest.raises(DeploymentError, match="stale"):
+            reg.validate_versions({"p": 1})
+        reg.validate_versions({"p": 2})  # current is fine
+
+    def test_redeploy_after_drop_keeps_counting(self):
+        reg = ContractRegistry()
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN; END"))
+        reg.drop("p")
+        reg.deploy(Procedure.compile("p", [], "VOID",
+                                     "BEGIN RETURN; END"))
+        assert reg.get("p").version == 2

@@ -1,0 +1,201 @@
+"""Contract deployment governance (section 3.7) and provenance queries
+(section 4.2, Table 3)."""
+
+import pytest
+
+from repro.core.provenance import ProvenanceAuditor
+from repro.errors import AccessDenied
+from tests.conftest import make_kv_network
+
+NEW_CONTRACT = """CREATE FUNCTION double_kv(key TEXT) RETURNS VOID AS $$
+BEGIN
+    UPDATE kv SET v = v * 2 WHERE k = key;
+END $$ LANGUAGE plpgsql"""
+
+
+class TestDeploymentWorkflow:
+    def test_full_approval_cycle(self, kv_network_oe):
+        net = kv_network_oe
+        admin1 = net.admin_client("org1")
+        admin2 = net.admin_client("org2")
+        admin3 = net.admin_client("org3")
+        deploy_id = admin1.propose_contract(NEW_CONTRACT)
+        # Approvals from every organization are required.
+        assert admin1.approve_contract(deploy_id)["status"] == "committed"
+        assert admin2.approve_contract(deploy_id)["status"] == "committed"
+        # Premature submit fails (org3 has not approved).
+        premature = admin1.submit_contract(deploy_id)
+        assert premature["status"] == "aborted"
+        assert "lacks approval" in premature["reason"]
+        assert admin3.approve_contract(deploy_id)["status"] == "committed"
+        final = admin1.submit_contract(deploy_id)
+        assert final["status"] == "committed"
+
+        # The contract is now callable network-wide.
+        client = net.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "d", 21)
+        result = client.invoke_and_wait("double_kv", "d")
+        assert result["status"] == "committed"
+        assert client.query("SELECT v FROM kv WHERE k = 'd'") \
+            .rows == [(42,)]
+        net.assert_consistent()
+
+    def test_rejection_blocks_submit(self, kv_network_oe):
+        net = kv_network_oe
+        admin1 = net.admin_client("org1")
+        admin2 = net.admin_client("org2")
+        deploy_id = admin1.propose_contract(NEW_CONTRACT)
+        admin1.approve_contract(deploy_id)
+        rejected = admin2.reject_contract(deploy_id, "too risky")
+        assert rejected["status"] == "committed"
+        result = admin1.submit_contract(deploy_id)
+        assert result["status"] == "aborted"
+        assert "rejected" in result["reason"]
+
+    def test_comments_recorded(self, kv_network_oe):
+        net = kv_network_oe
+        admin1 = net.admin_client("org1")
+        deploy_id = admin1.propose_contract(NEW_CONTRACT)
+        assert admin1.comment_contract(
+            deploy_id, "please add an index")["status"] == "committed"
+        votes = admin1.query(
+            "SELECT detail FROM pgdeployvotes WHERE deploy_id = $1",
+            params=(deploy_id,)).rows
+        assert ("please add an index",) in votes
+
+    def test_non_admin_cannot_deploy(self, kv_network_oe):
+        net = kv_network_oe
+        client = net.register_client("alice", "org1")
+        result = client.invoke_and_wait("create_deployTx", NEW_CONTRACT)
+        assert result["status"] == "aborted"
+        assert "admin" in result["reason"]
+
+    def test_nondeterministic_contract_rejected_at_proposal(
+            self, kv_network_oe):
+        net = kv_network_oe
+        admin1 = net.admin_client("org1")
+        bad = ("CREATE FUNCTION bad_contract() RETURNS VOID AS $$ "
+               "BEGIN UPDATE kv SET v = random() WHERE k = 'x'; END $$")
+        result = admin1.invoke_and_wait("create_deployTx", bad)
+        assert result["status"] == "aborted"
+
+    def test_replacement_aborts_inflight_old_version(self):
+        """Section 3.7: replacing a contract aborts uncommitted
+        transactions that executed the old version."""
+        net = make_kv_network("execute-order")
+        admins = [net.admin_client(org)
+                  for org in ("org1", "org2", "org3")]
+        client = net.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "r", 1)
+
+        replacement = """CREATE OR REPLACE FUNCTION bump_kv(key TEXT,
+            delta INT) RETURNS VOID AS $$
+        BEGIN
+            UPDATE kv SET v = v + delta + 100 WHERE k = key;
+        END $$"""
+        deploy_id = admins[0].propose_contract(replacement)
+        for admin in admins:
+            admin.approve_contract(deploy_id)
+
+        # Start a tx on the old version, then let the replacement land
+        # in the same block window before it commits.
+        client.invoke("bump_kv", "r", 1)
+        admins[0].invoke("submit_deployTx", deploy_id)
+        net.settle(timeout=60.0)
+        # Either the bump committed before the replacement (value 2) or
+        # it was aborted as stale-version (value 1) — never half-applied.
+        value = client.query("SELECT v FROM kv WHERE k = 'r'").scalar()
+        assert value in (1, 2)
+        net.assert_consistent()
+
+    def test_onchain_user_onboarding(self, kv_network_oe):
+        """create_userTx registers a brand-new client on every node."""
+        from repro.common.identity import Identity
+
+        net = kv_network_oe
+        admin1 = net.admin_client("org1")
+        new_user = Identity.create("newbie", "org1", "client",
+                                   issuer=net.admins["org1"])
+        cert = new_user.certificate
+        result = admin1.invoke_and_wait(
+            "create_userTx", cert.name, cert.organization, cert.role,
+            cert.public_key_bytes.hex(), cert.issuer,
+            cert.signature_bytes.hex())
+        assert result["status"] == "committed"
+        for node in net.nodes:
+            assert "newbie" in node.certs
+        # The onboarded user can transact.
+        from repro.core.client import BlockchainClient
+        newbie = BlockchainClient(new_user, net)
+        assert newbie.invoke_and_wait("set_kv", "nb", 1)["status"] == \
+            "committed"
+
+
+class TestProvenance:
+    def _loaded_network(self):
+        net = make_kv_network("order-execute")
+        alice = net.register_client("alice", "org1")
+        bob = net.register_client("bob", "org2")
+        alice.invoke_and_wait("set_kv", "audit", 1)    # block 1
+        bob.invoke_and_wait("bump_kv", "audit", 10)    # block 2
+        alice.invoke_and_wait("bump_kv", "audit", 100)  # block 3
+        return net, alice, bob
+
+    def test_plain_query_sees_only_latest(self):
+        net, alice, _ = self._loaded_network()
+        assert alice.query("SELECT v FROM kv WHERE k = 'audit'") \
+            .rows == [(111,)]
+
+    def test_provenance_sees_all_versions(self):
+        net, alice, _ = self._loaded_network()
+        rows = alice.provenance_query(
+            "SELECT v FROM kv WHERE k = 'audit' ORDER BY v").rows
+        assert [r[0] for r in rows] == [1, 11, 111]
+
+    def test_provenance_pseudo_columns(self):
+        net, alice, _ = self._loaded_network()
+        rows = alice.provenance_query(
+            "SELECT v, creator, deleter FROM kv WHERE k = 'audit' "
+            "ORDER BY creator").as_dicts()
+        assert rows[0]["deleter"] == rows[1]["creator"]
+        assert rows[-1]["deleter"] is None
+
+    def test_history_of_row_with_ledger_join(self):
+        """Table 3 query 2: who changed this row, in block order."""
+        net, alice, _ = self._loaded_network()
+        auditor = ProvenanceAuditor(alice)
+        history = auditor.history_of_row("kv", "k", "audit")
+        users = [h["changed_by"] for h in history]
+        assert users == ["alice", "bob", "alice"]
+        values = [h["v"] for h in history]
+        assert values == [1, 11, 111]
+
+    def test_rows_touched_by_user_between_blocks(self):
+        """Table 3 query 1."""
+        net, alice, bob = self._loaded_network()
+        auditor = ProvenanceAuditor(alice)
+        touched = auditor.rows_touched_by_user_between_blocks(
+            "kv", "bob", 1, 10)
+        assert any(row["v"] == 11 for row in touched)
+        untouched = auditor.rows_touched_by_user_between_blocks(
+            "kv", "bob", 100, 200)
+        assert untouched == []
+
+    def test_history_filtered_by_wall_clock_window(self):
+        net, alice, _ = self._loaded_network()
+        auditor = ProvenanceAuditor(alice)
+        recent = auditor.history_of_row("kv", "k", "audit",
+                                        since_seconds=24 * 3600)
+        assert len(recent) == 3
+
+    def test_transactions_of_user(self):
+        net, alice, bob = self._loaded_network()
+        auditor = ProvenanceAuditor(alice)
+        bobs = auditor.transactions_of_user("bob")
+        assert len(bobs) == 1
+        assert bobs[0]["procedure"] == "bump_kv"
+
+    def test_provenance_requires_provenance_session(self):
+        net, alice, _ = self._loaded_network()
+        with pytest.raises(AccessDenied):
+            alice.query("PROVENANCE SELECT v FROM kv WHERE k = 'audit'")

@@ -1,0 +1,152 @@
+"""Execute-order-in-parallel corner cases (section 3.4/3.5(2)) and
+client API behaviour."""
+
+import pytest
+
+from repro.errors import ReproError
+from tests.conftest import make_kv_network
+
+
+class TestMissingTransactions:
+    def test_peer_that_never_got_the_forward_executes_at_commit(self):
+        """Section 3.4.3: 'if all transactions are not running ... the
+        committer starts executing all missing transactions'."""
+        net = make_kv_network("execute-order")
+        client = net.register_client("alice", "org1")
+        submitting_peer = client.peer
+        # Partition peer-to-peer links so forwards are lost; orderer
+        # delivery still works (section 3.5(2): the transaction reaches
+        # the ordering service and is eventually in a block).
+        for node in net.nodes:
+            if node.name != submitting_peer.name:
+                net.network.partition(submitting_peer.name, node.name)
+        tx_id = client.invoke("set_kv", "late", 5)
+        net.settle(timeout=60.0)
+        for node in net.nodes:
+            entry = node.ledger.entry(tx_id)
+            assert entry and entry["status"] == "committed", node.name
+        # The non-submitting peers executed it as a missing transaction.
+        victim_metrics = [m for node in net.nodes
+                          if node.name != submitting_peer.name
+                          for m in node.processor.metrics
+                          if m.missing_txs]
+        assert victim_metrics
+        for node in net.nodes:
+            for other in net.nodes:
+                net.network.heal(node.name, other.name)
+        net.assert_consistent()
+
+    def test_deferred_execution_until_snapshot_height(self):
+        """Section 3.4.1: a transaction pinned above the node's committed
+        height waits for the node to reach it."""
+        net = make_kv_network("execute-order")
+        client = net.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "base", 1)
+        height = client.block_height()
+        # Pin the snapshot one block into the future.
+        tx_id = client.invoke("set_kv", "future", 2,
+                              snapshot_height=height + 1)
+        # It cannot commit yet — drive another block through.
+        client.invoke("set_kv", "filler", 3)
+        net.settle(timeout=60.0)
+        entry = client.peer.ledger.entry(tx_id)
+        assert entry and entry["status"] == "committed"
+        net.assert_consistent()
+
+
+class TestClientAPI:
+    def test_status_of_unknown_tx(self, kv_network_oe):
+        client = kv_network_oe.register_client("alice", "org1")
+        assert client.status("nope")["status"] == "unknown"
+
+    def test_client_binds_to_own_org_peer(self, kv_network_oe):
+        client = kv_network_oe.register_client("bob", "org2")
+        assert client.peer.organization == "org2"
+
+    def test_use_peer_override(self, kv_network_oe):
+        client = kv_network_oe.register_client("bob", "org2")
+        other = kv_network_oe.node_of("org3")
+        client.use_peer(other)
+        assert client.peer is other
+
+    def test_oe_resubmission_gets_fresh_id(self, kv_network_oe):
+        """Order-then-execute clients generate a fresh unique id per
+        submission, so retries are distinct transactions."""
+        client = kv_network_oe.register_client("alice", "org1")
+        id1 = client.invoke("set_kv", "r1", 1)
+        id2 = client.invoke("set_kv", "r1", 1)
+        assert id1 != id2
+        kv_network_oe.settle(timeout=30.0)
+        # First wins, duplicate-key constraint aborts the second.
+        statuses = sorted(
+            client.peer.ledger.entry(i)["status"] for i in (id1, id2))
+        assert statuses == ["aborted", "committed"]
+
+    def test_queries_rejected_when_peer_down(self, kv_network_oe):
+        client = kv_network_oe.register_client("alice", "org1")
+        client.peer.crash()
+        with pytest.raises(ReproError, match="down"):
+            client.query("SELECT count(*) FROM kv")
+
+    def test_block_height_visible_to_client(self, kv_network_oe):
+        client = kv_network_oe.register_client("alice", "org1")
+        before = client.block_height()
+        client.invoke_and_wait("set_kv", "h", 1)
+        assert client.block_height() == before + 1
+
+    def test_read_your_writes_after_settle(self, kv_network_eo):
+        client = kv_network_eo.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "ryw", 9)
+        assert client.query(
+            "SELECT v FROM kv WHERE k = 'ryw'").scalar() == 9
+
+
+class TestUserLifecycle:
+    def test_delete_user_revokes_access(self, kv_network_oe):
+        from repro.common.identity import Identity
+        from repro.core.client import BlockchainClient
+
+        net = kv_network_oe
+        admin = net.admin_client("org1")
+        user = Identity.create("temp", "org1", "client",
+                               issuer=net.admins["org1"])
+        cert = user.certificate
+        admin.invoke_and_wait(
+            "create_userTx", cert.name, cert.organization, cert.role,
+            cert.public_key_bytes.hex(), cert.issuer,
+            cert.signature_bytes.hex())
+        temp = BlockchainClient(user, net)
+        assert temp.invoke_and_wait("set_kv", "t1", 1)["status"] == \
+            "committed"
+        admin.invoke_and_wait("delete_userTx", "temp")
+        # Subsequent transactions fail authentication on every node.
+        result = temp.invoke_and_wait("set_kv", "t2", 2)
+        assert result["status"] == "aborted"
+
+    def test_update_user_rotates_key(self, kv_network_oe):
+        from repro.common.identity import Identity
+        from repro.core.client import BlockchainClient
+
+        net = kv_network_oe
+        admin = net.admin_client("org1")
+        old = Identity.create("rotator", "org1", "client",
+                              issuer=net.admins["org1"], seed=b"old-key")
+        cert = old.certificate
+        admin.invoke_and_wait(
+            "create_userTx", cert.name, cert.organization, cert.role,
+            cert.public_key_bytes.hex(), cert.issuer,
+            cert.signature_bytes.hex())
+        new = Identity.create("rotator", "org1", "client",
+                              issuer=net.admins["org1"], seed=b"new-key")
+        new_cert = new.certificate
+        admin.invoke_and_wait(
+            "update_userTx", new_cert.name, new_cert.organization,
+            new_cert.role, new_cert.public_key_bytes.hex(),
+            new_cert.issuer, new_cert.signature_bytes.hex())
+        # Old key no longer authenticates; new one does.
+        stale = BlockchainClient(old, net)
+        assert stale.invoke_and_wait("set_kv", "rot1", 1)["status"] == \
+            "aborted"
+        fresh = BlockchainClient(new, net)
+        assert fresh.invoke_and_wait("set_kv", "rot2", 2)["status"] == \
+            "committed"

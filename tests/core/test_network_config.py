@@ -1,0 +1,78 @@
+"""Network configuration knobs: checkpoint interval, multiple peers per
+org, WAN latency, EO over Raft."""
+
+import pytest
+
+from repro.net.transport import WAN
+from tests.conftest import KV_CONTRACTS, KV_SCHEMA, make_kv_network
+from repro.core.network import BlockchainNetwork
+
+
+class TestCheckpointInterval:
+    def test_interval_batches_checkpoints(self):
+        net = make_kv_network("order-execute", checkpoint_interval=2)
+        client = net.register_client("alice", "org1")
+        for i in range(4):
+            client.invoke_and_wait("set_kv", f"k{i}", i)
+        node = net.primary_node
+        # Digests exist only at even heights.
+        assert node.checkpoints.local_digest(2) is not None
+        assert node.checkpoints.local_digest(3) is None
+        assert node.checkpoints.local_digest(4) is not None
+        # And the batched digests still match across nodes.
+        digests = {n.checkpoints.local_digest(4) for n in net.nodes}
+        assert len(digests) == 1
+
+
+class TestTopology:
+    def test_multiple_peers_per_org(self):
+        net = BlockchainNetwork(
+            organizations=["org1", "org2"], flow="order-execute",
+            peers_per_org=2, block_size=5, block_timeout=0.2,
+            schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS)
+        assert len(net.nodes) == 4
+        client = net.register_client("alice", "org1")
+        assert client.invoke_and_wait("set_kv", "m", 1)["status"] == \
+            "committed"
+        net.assert_consistent()
+
+    def test_node_of_lookup(self):
+        net = make_kv_network("order-execute")
+        assert net.node_of("org2").organization == "org2"
+        with pytest.raises(Exception):
+            net.node_of("nope")
+
+    def test_wan_network_functional(self):
+        """The real engine over WAN latencies still converges — just
+        slower (section 5.3)."""
+        net = BlockchainNetwork(
+            organizations=["org1", "org2"], flow="order-execute",
+            latency=WAN, block_size=5, block_timeout=0.3,
+            schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS)
+        client = net.register_client("alice", "org1")
+        result = client.invoke_and_wait("set_kv", "wan", 1)
+        assert result["status"] == "committed"
+        net.assert_consistent()
+
+
+class TestFlowConsensusMatrix:
+    def test_eo_over_raft(self):
+        net = make_kv_network("execute-order", consensus="raft")
+        client = net.register_client("alice", "org1")
+        r1 = client.invoke_and_wait("set_kv", "er", 1, timeout=60.0)
+        assert r1["status"] == "committed"
+        r2 = client.invoke_and_wait("bump_kv", "er", 4, timeout=60.0)
+        assert r2["status"] == "committed"
+        assert client.query("SELECT v FROM kv WHERE k = 'er'") \
+            .scalar() == 5
+        net.advance(3.0)
+        net.assert_consistent()
+
+    def test_eo_over_pbft(self):
+        net = make_kv_network("execute-order", consensus="pbft",
+                              orgs=["org1", "org2", "org3", "org4"])
+        client = net.register_client("alice", "org1")
+        result = client.invoke_and_wait("set_kv", "ep", 2, timeout=60.0)
+        assert result["status"] == "committed"
+        net.advance(3.0)
+        net.assert_consistent()

@@ -1,0 +1,214 @@
+"""Node components: ledger, checkpoints, ACL, notifications, WAL."""
+
+import pytest
+
+from repro.chain.block import Block, make_genesis
+from repro.chain.transaction import ProcedureCall, Transaction
+from repro.common.identity import CertificateRegistry, Identity
+from repro.errors import AccessDenied, CheckpointMismatchError
+from repro.mvcc.database import Database
+from repro.mvcc.transaction import TransactionContext, WriteSetEntry
+from repro.node.access_control import READ, WRITE, AccessController
+from repro.node.checkpoint import CheckpointManager, write_set_digest
+from repro.node.ledger import Ledger, STATUS_ABORTED, STATUS_COMMITTED
+from repro.node.notifications import CHANNEL_TX_STATUS, NotificationHub
+from repro.storage.row import RowVersion
+from repro.storage.snapshot import SeqSnapshot
+from repro.storage.wal import WAL_COMMIT, WriteAheadLog
+
+
+def make_block(number, txs, prev_hash):
+    return Block(number=number, transactions=txs,
+                 prev_hash=prev_hash).seal()
+
+
+@pytest.fixture
+def admin():
+    return Identity.create("admin@org1", "org1", "admin")
+
+
+@pytest.fixture
+def client(admin):
+    return Identity.create("alice", "org1", "client", issuer=admin)
+
+
+class TestLedger:
+    def test_record_block_and_statuses(self, client):
+        db = Database()
+        ledger = Ledger(db, clock=lambda: 1234.5)
+        tx = Transaction.create(client, ProcedureCall("p", (1,)),
+                                tx_id="t1")
+        block = make_block(1, [tx], make_genesis().block_hash)
+        ledger.record_block(block)
+        entry = ledger.entry("t1")
+        assert entry["status"] == "pending"
+        assert entry["blocknumber"] == 1
+        ledger.record_statuses(block, {"t1": (STATUS_COMMITTED, "", 42)})
+        entry = ledger.entry("t1")
+        assert entry["status"] == "committed"
+        assert entry["txid"] == 42
+        assert entry["committime"] == 1234.5
+
+    def test_record_block_idempotent(self, client):
+        db = Database()
+        ledger = Ledger(db)
+        tx = Transaction.create(client, ProcedureCall("p", ()), tx_id="t1")
+        block = make_block(1, [tx], make_genesis().block_hash)
+        ledger.record_block(block)
+        ledger.record_block(block)  # crash-recovery re-run
+        assert ledger.has_transaction("t1")
+
+    def test_last_recorded_block(self, client):
+        db = Database()
+        ledger = Ledger(db)
+        assert ledger.last_recorded_block() is None
+        genesis = make_genesis()
+        b1 = make_block(1, [Transaction.create(
+            client, ProcedureCall("p", ()), tx_id="a")],
+            genesis.block_hash)
+        ledger.record_block(b1)
+        assert ledger.last_recorded_block() == 1
+
+    def test_block_statuses_ordered_by_position(self, client):
+        db = Database()
+        ledger = Ledger(db)
+        txs = [Transaction.create(client, ProcedureCall("p", (i,)),
+                                  tx_id=f"t{i}") for i in range(3)]
+        block = make_block(1, txs, make_genesis().block_hash)
+        ledger.record_block(block)
+        statuses = ledger.block_statuses(1)
+        assert [s["blockposition"] for s in statuses] == [0, 1, 2]
+
+
+class TestCheckpoints:
+    def _tx_with_write(self, table="t", value=1):
+        tx = TransactionContext(xid=1, snapshot=SeqSnapshot(0), tx_id="x")
+        version = RowVersion(version_id=1, row_id=1, values={"v": value},
+                             xmin=1)
+        tx.record_write(WriteSetEntry(table=table, kind="insert",
+                                      new_version=version))
+        return tx
+
+    def test_digest_deterministic(self):
+        a = write_set_digest([self._tx_with_write()])
+        b = write_set_digest([self._tx_with_write()])
+        assert a == b
+
+    def test_digest_sensitive_to_values(self):
+        assert write_set_digest([self._tx_with_write(value=1)]) != \
+            write_set_digest([self._tx_with_write(value=2)])
+
+    def test_ledger_table_excluded(self):
+        with_ledger = self._tx_with_write(table="pgledger")
+        empty = TransactionContext(xid=2, snapshot=SeqSnapshot(0),
+                                   tx_id="x")
+        assert write_set_digest([with_ledger]) == write_set_digest([empty])
+
+    def test_matching_remote_checkpoints_verify(self):
+        mgr = CheckpointManager("me")
+        digest = mgr.record_local(1, [self._tx_with_write()])
+        mgr.verify_remote({"1": {"other": digest, "me": digest}})
+        assert mgr.verified_heights == [1]
+
+    def test_divergent_remote_raises(self):
+        mgr = CheckpointManager("me")
+        mgr.record_local(1, [self._tx_with_write()])
+        with pytest.raises(CheckpointMismatchError):
+            mgr.verify_remote({"1": {"liar": "deadbeef"}})
+        assert mgr.mismatches
+
+    def test_interval_batches_blocks(self):
+        mgr = CheckpointManager("me", interval=3)
+        assert mgr.record_local(1, [self._tx_with_write()]) is None
+        assert mgr.record_local(2, [self._tx_with_write()]) is None
+        assert mgr.record_local(3, [self._tx_with_write()]) is not None
+
+
+class TestAccessControl:
+    def make(self, admin, client):
+        certs = CertificateRegistry()
+        certs.register_all([admin.certificate, client.certificate])
+        return AccessController(certs)
+
+    def test_system_tables_write_protected(self, admin, client):
+        acl = self.make(admin, client)
+        with pytest.raises(AccessDenied):
+            acl.check_write("alice", "pgledger")
+
+    def test_admin_reads_everything(self, admin, client):
+        acl = self.make(admin, client)
+        acl.check_read("admin@org1", "pgledger")
+
+    def test_unknown_user_denied(self, admin, client):
+        acl = self.make(admin, client)
+        with pytest.raises(AccessDenied):
+            acl.check_read("mallory", "kv")
+
+    def test_default_permissive_user_tables(self, admin, client):
+        acl = self.make(admin, client)
+        acl.check_read("alice", "invoices")
+        acl.check_write("alice", "invoices")
+
+    def test_restricted_table_needs_grant(self, admin, client):
+        acl = self.make(admin, client)
+        acl.restrict_table("secrets")
+        with pytest.raises(AccessDenied):
+            acl.check_read("alice", "secrets")
+        acl.grant("alice", "secrets", READ)
+        acl.check_read("alice", "secrets")
+        with pytest.raises(AccessDenied):
+            acl.check_write("alice", "secrets")
+        acl.grant("alice", "secrets", WRITE)
+        acl.check_write("alice", "secrets")
+        acl.revoke("alice", "secrets", WRITE)
+        with pytest.raises(AccessDenied):
+            acl.check_write("alice", "secrets")
+
+
+class TestNotifications:
+    def test_listen_and_notify(self):
+        hub = NotificationHub()
+        seen = []
+        hub.listen(CHANNEL_TX_STATUS, seen.append)
+        hub.notify(CHANNEL_TX_STATUS, tx_id="a", status="committed")
+        assert seen[0].payload["tx_id"] == "a"
+
+    def test_unlisten(self):
+        hub = NotificationHub()
+        seen = []
+        unlisten = hub.listen("chan", seen.append)
+        unlisten()
+        hub.notify("chan", x=1)
+        assert seen == []
+
+    def test_tx_status_lookup(self):
+        hub = NotificationHub()
+        hub.notify(CHANNEL_TX_STATUS, tx_id="a", status="aborted")
+        hub.notify(CHANNEL_TX_STATUS, tx_id="a", status="committed")
+        assert hub.tx_status("a")["status"] == "committed"
+        assert hub.tx_status("zzz") is None
+
+
+class TestWAL:
+    def test_crash_drops_unflushed(self):
+        wal = WriteAheadLog()
+        wal.append(WAL_COMMIT, xid=1)
+        wal.flush()
+        wal.append(WAL_COMMIT, xid=2)
+        wal.crash()
+        assert wal.committed_xids() == [1]
+
+    def test_records_filtered_by_kind(self):
+        wal = WriteAheadLog()
+        wal.append(WAL_COMMIT, xid=1)
+        wal.append("other", xid=2)
+        wal.flush()
+        assert [r.payload["xid"] for r in wal.records(WAL_COMMIT)] == [1]
+
+    def test_file_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(WAL_COMMIT, xid=7)
+        wal.flush()
+        reloaded = WriteAheadLog(path)
+        assert reloaded.committed_xids() == [7]

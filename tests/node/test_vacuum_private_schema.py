@@ -1,0 +1,117 @@
+"""Section 7 vacuum and section 3.7 non-blockchain schema."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.vacuum import vacuum_database, vacuum_table
+from tests.conftest import make_kv_network
+
+
+class TestVacuum:
+    def _network_with_history(self, updates=6):
+        net = make_kv_network("order-execute")
+        client = net.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "v", 0)
+        for i in range(updates):
+            client.invoke_and_wait("bump_kv", "v", 1)
+        return net, client
+
+    def test_vacuum_prunes_old_versions(self):
+        net, client = self._network_with_history()
+        node = net.primary_node
+        heap = node.db.catalog.heap_of("kv")
+        before = len(heap)
+        report = node.vacuum(keep_blocks=0)
+        assert report.removed_versions > 0
+        assert len(heap) < before
+        # Latest committed state untouched.
+        assert client.query("SELECT v FROM kv WHERE k = 'v'") \
+            .scalar() == 6
+
+    def test_vacuum_respects_retention_horizon(self):
+        net, client = self._network_with_history()
+        node = net.primary_node
+        height = node.db.committed_height
+        node.vacuum(keep_blocks=3)
+        # Versions deleted within the last 3 blocks survive.
+        rows = client.provenance_query(
+            "SELECT v, deleter FROM kv WHERE k = 'v'").as_dicts()
+        for row in rows:
+            if row["deleter"] is not None:
+                assert row["deleter"] > height - 3
+
+    def test_vacuum_before_any_history_is_noop(self):
+        net = make_kv_network("order-execute")
+        report = net.primary_node.vacuum(keep_blocks=100)
+        assert report.removed_versions == 0
+
+    def test_vacuum_keeps_live_versions(self):
+        net, client = self._network_with_history(updates=2)
+        node = net.primary_node
+        vacuum_database(node.db, node.db.committed_height)
+        # The live version is never pruned, whatever the horizon.
+        assert client.query("SELECT count(*) FROM kv").scalar() == 1
+
+    def test_vacuum_table_skips_uncommitted_deleter(self):
+        from repro.mvcc.database import Database
+        from repro.sql.executor import run_sql
+
+        db = Database()
+        setup = db.begin(allow_nondeterministic=True)
+        run_sql(db, setup, "CREATE TABLE t (id INT PRIMARY KEY); "
+                           "INSERT INTO t (id) VALUES (1)")
+        db.apply_commit(setup, block_number=1)
+        pending = db.begin(allow_nondeterministic=True)
+        run_sql(db, pending, "DELETE FROM t WHERE id = 1")
+        heap = db.catalog.heap_of("t")
+        # Deleter has not committed: not reclaimable.
+        assert vacuum_table(heap, db.statuses, horizon_block=99) == 0
+
+
+class TestPrivateSchema:
+    def test_private_tables_are_node_local(self):
+        net = make_kv_network("order-execute")
+        node1 = net.nodes[0]
+        node2 = net.nodes[1]
+        node1.private_execute(
+            "CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)")
+        node1.private_execute(
+            "INSERT INTO notes (id, body) VALUES (1, 'local only')")
+        assert node1.query("SELECT body FROM notes").rows == \
+            [("local only",)]
+        assert not node2.db.catalog.has_table("notes")
+
+    def test_private_queries_can_join_blockchain_tables(self):
+        """Section 3.7: 'Users of an organization can execute reports or
+        analytical queries combining the blockchain and non-blockchain
+        schema.'"""
+        net = make_kv_network("order-execute")
+        client = net.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "shared", 7)
+        node = client.peer
+        node.private_execute(
+            "CREATE TABLE weights (k TEXT PRIMARY KEY, w INT)")
+        node.private_execute(
+            "INSERT INTO weights (k, w) VALUES ('shared', 3)")
+        result = node.query(
+            "SELECT kv.v * weights.w FROM kv JOIN weights "
+            "ON kv.k = weights.k")
+        assert result.rows == [(21,)]
+
+    def test_private_writes_to_blockchain_schema_rejected(self):
+        net = make_kv_network("order-execute")
+        node = net.primary_node
+        with pytest.raises(ReproError, match="blockchain schema"):
+            node.private_execute(
+                "INSERT INTO kv (k, v) VALUES ('hack', 1)")
+        # Nothing leaked.
+        assert node.query("SELECT count(*) FROM kv").scalar() == 0
+
+    def test_private_state_excluded_from_consistency_check(self):
+        net = make_kv_network("order-execute")
+        client = net.register_client("alice", "org1")
+        net.primary_node.private_execute(
+            "CREATE TABLE scratch (id INT PRIMARY KEY)")
+        client.invoke_and_wait("set_kv", "x", 1)
+        # assert_consistent compares only tables all live nodes share.
+        net.assert_consistent(tables=["kv"])

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from decimal import Decimal
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.crypto import generate_keypair
+from repro.common.merkle import merkle_proof, merkle_root, verify_proof
+from repro.common.serialization import canonical_bytes, from_canonical_bytes
+from repro.mvcc.conflicts import build_conflict_graph, graph_has_cycle
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.storage.index import Index, normalize_key
+
+# Scalars that survive canonical serialization round trips.
+scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**53, max_value=2**53),
+    st.text(max_size=30),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+json_like = st.recursive(
+    scalars | st.binary(max_size=16),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12)
+
+
+class TestSerializationProperties:
+    @given(json_like)
+    @settings(max_examples=80)
+    def test_roundtrip(self, obj):
+        assert from_canonical_bytes(canonical_bytes(obj)) == obj
+
+    @given(st.dictionaries(st.text(max_size=6), scalars, max_size=6))
+    @settings(max_examples=50)
+    def test_canonical_bytes_deterministic(self, mapping):
+        items = list(mapping.items())
+        shuffled = dict(reversed(items))
+        assert canonical_bytes(mapping) == canonical_bytes(shuffled)
+
+
+class TestCryptoProperties:
+    @given(st.binary(min_size=0, max_size=64),
+           st.binary(min_size=1, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_sign_verify_roundtrip(self, message, seed):
+        sk, pk = generate_keypair(seed)
+        pk.verify(message, sk.sign(message))
+
+
+class TestMerkleProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=16), min_size=1,
+                    max_size=24))
+    @settings(max_examples=60)
+    def test_every_leaf_provable(self, leaves):
+        root = merkle_root(leaves)
+        for i in range(len(leaves)):
+            assert verify_proof(leaves[i], merkle_proof(leaves, i), root)
+
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=2,
+                    max_size=12))
+    @settings(max_examples=40)
+    def test_tampered_leaf_never_verifies(self, leaves):
+        root = merkle_root(leaves)
+        proof = merkle_proof(leaves, 0)
+        tampered = leaves[0] + b"\x00"
+        assert not verify_proof(tampered, proof, root)
+
+
+index_values = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    st.text(max_size=10))
+
+
+class TestIndexProperties:
+    @given(st.lists(index_values, min_size=0, max_size=40))
+    @settings(max_examples=60)
+    def test_scan_all_is_sorted(self, values):
+        index = Index("i", "t", ["a"])
+        for vid, value in enumerate(values):
+            index.insert({"a": value}, vid)
+        ordered = index.scan_all()
+        keys = [normalize_key([values[vid]]) for vid in ordered]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=0,
+                    max_size=40),
+           st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60)
+    def test_range_scan_equals_filter(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        index = Index("i", "t", ["a"])
+        for vid, value in enumerate(values):
+            index.insert({"a": value}, vid)
+        got = sorted(index.scan_range([low], [high]))
+        expect = sorted(vid for vid, v in enumerate(values)
+                        if low <= v <= high)
+        assert got == expect
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=0,
+                    max_size=30),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=60)
+    def test_eq_scan_equals_filter(self, values, needle):
+        index = Index("i", "t", ["a"])
+        for vid, value in enumerate(values):
+            index.insert({"a": value}, vid)
+        got = sorted(index.scan_eq([needle]))
+        expect = sorted(vid for vid, v in enumerate(values)
+                        if v == needle)
+        assert got == expect
+
+
+class TestSQLAggregateProperties:
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=0, max_size=25))
+    @settings(max_examples=40, suppress_health_check=[
+        HealthCheck.too_slow], deadline=None)
+    def test_sum_count_min_max_match_python(self, values):
+        db = Database()
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE nums (id INT PRIMARY KEY, v INT)")
+        for i, value in enumerate(values):
+            run_sql(db, tx, "INSERT INTO nums (id, v) VALUES ($1, $2)",
+                    params=(i, value))
+        result = run_sql(
+            db, tx, "SELECT count(*), sum(v), min(v), max(v) FROM nums")
+        count, total, low, high = result.rows[0]
+        assert count == len(values)
+        assert total == (sum(values) if values else None)
+        assert low == (min(values) if values else None)
+        assert high == (max(values) if values else None)
+        db.apply_abort(tx, reason="test")
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(min_value=0, max_value=50)),
+                    min_size=0, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_matches_python(self, pairs):
+        db = Database()
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx,
+                "CREATE TABLE g (id INT PRIMARY KEY, grp TEXT, v INT)")
+        for i, (grp, value) in enumerate(pairs):
+            run_sql(db, tx,
+                    "INSERT INTO g (id, grp, v) VALUES ($1, $2, $3)",
+                    params=(i, grp, value))
+        result = run_sql(db, tx, "SELECT grp, sum(v) FROM g GROUP BY grp "
+                                 "ORDER BY grp")
+        expect = {}
+        for grp, value in pairs:
+            expect[grp] = expect.get(grp, 0) + value
+        assert result.rows == sorted(expect.items())
+        db.apply_abort(tx, reason="test")
+
+
+class TestSSIProperties:
+    """The committed subset of any batch of conflicting transactions must
+    have an acyclic rw-graph (serializability)."""
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=1, max_value=4),   # key read
+                  st.integers(min_value=1, max_value=4)),  # key written
+        min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_committed_set_acyclic(self, ops):
+        from repro.mvcc.ssi import AbortDuringCommitSSI
+        from repro.errors import SerializationFailure
+
+        db = Database()
+        setup = db.begin(allow_nondeterministic=True)
+        run_sql(db, setup, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for key in range(1, 5):
+            run_sql(db, setup, "INSERT INTO t (id, v) VALUES ($1, 0)",
+                    params=(key,))
+        db.apply_commit(setup, block_number=1)
+
+        txs = []
+        for read_key, write_key in ops:
+            tx = db.begin(allow_nondeterministic=True)
+            run_sql(db, tx, "SELECT v FROM t WHERE id = $1",
+                    params=(read_key,))
+            run_sql(db, tx, "UPDATE t SET v = v + 1 WHERE id = $1",
+                    params=(write_key,))
+            txs.append(tx)
+
+        validator = AbortDuringCommitSSI(db)
+        for tx in txs:
+            if tx.is_aborted:
+                continue
+            try:
+                validator.validate(tx, candidates=[
+                    o for o in txs if o.xid != tx.xid])
+                db.apply_commit(tx, block_number=2)
+            except SerializationFailure:
+                db.apply_abort(tx, reason="ssi")
+
+        committed = [tx for tx in txs if tx.is_committed]
+        graph = build_conflict_graph(committed)
+        assert not graph_has_cycle(graph)

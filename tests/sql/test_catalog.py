@@ -1,0 +1,127 @@
+"""Catalog: type coercion, table/index management, schema metadata."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import CatalogError, TypeMismatchError
+from repro.sql.catalog import (
+    Catalog,
+    ColumnDef,
+    SCHEMA_BLOCKCHAIN,
+    TableSchema,
+    coerce_value,
+)
+
+
+class TestCoercion:
+    def test_int_accepts_numeric_strings(self):
+        assert coerce_value("42", "INT", "c") == 42
+
+    def test_int_accepts_integral_float(self):
+        assert coerce_value(3.0, "BIGINT", "c") == 3
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(3.5, "INT", "c")
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, "INT", "c")
+
+    def test_float_coercions(self):
+        assert coerce_value(1, "FLOAT", "c") == 1.0
+        assert coerce_value("2.5", "DOUBLE", "c") == 2.5
+        assert coerce_value(Decimal("1.25"), "FLOAT", "c") == 1.25
+
+    def test_numeric_is_decimal(self):
+        assert coerce_value("1.10", "NUMERIC", "c") == Decimal("1.10")
+        assert coerce_value(0.1, "DECIMAL", "c") == Decimal("0.1")
+
+    def test_text_accepts_scalars(self):
+        assert coerce_value(5, "TEXT", "c") == "5"
+        assert coerce_value("x", "VARCHAR", "c") == "x"
+
+    def test_boolean_parsing(self):
+        assert coerce_value("true", "BOOLEAN", "c") is True
+        assert coerce_value("f", "BOOLEAN", "c") is False
+        assert coerce_value(1, "BOOLEAN", "c") is True
+        with pytest.raises(TypeMismatchError):
+            coerce_value("maybe", "BOOLEAN", "c")
+
+    def test_null_passes_through(self):
+        assert coerce_value(None, "INT", "c") is None
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(1, "BLOB", "c")
+
+    def test_bad_string_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", "INT", "c")
+
+
+class TestCatalog:
+    def _schema(self, name="t"):
+        return TableSchema(
+            name=name,
+            columns=[ColumnDef("id", "INT", not_null=True),
+                     ColumnDef("v", "TEXT")],
+            primary_key=["id"])
+
+    def test_create_table_builds_pk_index(self):
+        catalog = Catalog()
+        heap = catalog.create_table(self._schema())
+        assert "t_pkey" in heap.indexes
+        assert heap.indexes["t_pkey"].unique
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(self._schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(self._schema())
+        # if_not_exists path returns the existing heap.
+        heap = catalog.create_table(self._schema(), if_not_exists=True)
+        assert heap is catalog.heap_of("t")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(self._schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+        catalog.drop_table("t", if_exists=True)
+
+    def test_create_index_validates_columns(self):
+        catalog = Catalog()
+        catalog.create_table(self._schema())
+        with pytest.raises(CatalogError):
+            catalog.create_index("bad", "t", ["missing_col"])
+        index = catalog.create_index("t_v", "t", ["v"])
+        assert index.columns == ("v",)
+
+    def test_unique_constraint_becomes_index(self):
+        catalog = Catalog()
+        schema = TableSchema(
+            name="u",
+            columns=[ColumnDef("id", "INT"), ColumnDef("email", "TEXT")],
+            primary_key=["id"], unique_constraints=[["email"]])
+        heap = catalog.create_table(schema)
+        assert any(ix.unique and ix.columns == ("email",)
+                   for ix in heap.indexes.values())
+
+    def test_schema_lookup_errors(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.schema_of("ghost")
+        with pytest.raises(CatalogError):
+            catalog.heap_of("ghost")
+
+    def test_column_lookup(self):
+        schema = self._schema()
+        assert schema.column("id").type_name == "INT"
+        with pytest.raises(CatalogError):
+            schema.column("nope")
+        assert schema.column_names() == ["id", "v"]
+        assert schema.schema == SCHEMA_BLOCKCHAIN

@@ -1,0 +1,174 @@
+"""Executor edge cases: joins with NULL sides, DISTINCT aggregates,
+defaults, composite keys, window checks through unique indexes."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, SerializationFailure
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.storage.snapshot import BlockSnapshot
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    tx = database.begin(allow_nondeterministic=True)
+    run_sql(database, tx, """
+        CREATE TABLE orders (
+            order_id INT PRIMARY KEY,
+            customer TEXT,
+            total FLOAT DEFAULT 0.0,
+            region TEXT DEFAULT 'emea'
+        );
+        CREATE INDEX orders_cust_idx ON orders (customer);
+        CREATE TABLE customers (
+            name TEXT PRIMARY KEY,
+            tier INT
+        );
+        INSERT INTO customers (name, tier) VALUES
+            ('ann', 1), ('bob', 2), ('idle', 3);
+        INSERT INTO orders (order_id, customer, total) VALUES
+            (1, 'ann', 10.0), (2, 'ann', 20.0), (3, 'bob', 5.0);
+    """)
+    database.apply_commit(tx, block_number=1)
+    database.committed_height = 1
+    return database
+
+
+def q(db, sql, params=()):
+    tx = db.begin(allow_nondeterministic=True)
+    try:
+        return run_sql(db, tx, sql, params=params)
+    finally:
+        if not tx.is_aborted and not tx.is_committed:
+            db.apply_abort(tx, reason="test")
+
+
+class TestJoins:
+    def test_left_join_aggregate_counts_null_side_as_zero(self, db):
+        result = q(db, """
+            SELECT c.name, count(o.order_id) FROM customers c
+            LEFT JOIN orders o ON o.customer = c.name
+            GROUP BY c.name ORDER BY c.name""")
+        assert result.rows == [("ann", 2), ("bob", 1), ("idle", 0)]
+
+    def test_inner_join_drops_unmatched(self, db):
+        result = q(db, """
+            SELECT DISTINCT c.name FROM customers c
+            JOIN orders o ON o.customer = c.name ORDER BY c.name""")
+        assert [r[0] for r in result.rows] == ["ann", "bob"]
+
+    def test_self_join(self, db):
+        result = q(db, """
+            SELECT a.order_id, b.order_id FROM orders a
+            JOIN orders b ON a.customer = b.customer
+            WHERE a.order_id < b.order_id""")
+        assert result.rows == [(1, 2)]
+
+    def test_join_condition_with_expression(self, db):
+        result = q(db, """
+            SELECT count(*) FROM customers c JOIN orders o
+            ON o.customer = c.name AND o.total > 8.0""")
+        assert result.scalar() == 2
+
+    def test_three_way_join(self, db):
+        result = q(db, """
+            SELECT count(*) FROM customers c
+            JOIN orders o ON o.customer = c.name
+            JOIN orders o2 ON o2.customer = c.name""")
+        assert result.scalar() == 5  # ann 2x2 + bob 1x1
+
+
+class TestAggregates:
+    def test_distinct_aggregate(self, db):
+        result = q(db, "SELECT count(DISTINCT customer) FROM orders")
+        assert result.scalar() == 2
+
+    def test_sum_distinct(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO orders (order_id, customer, total) "
+                        "VALUES (4, 'bob', 5.0)")
+        result = run_sql(db, tx, "SELECT sum(DISTINCT total) FROM orders")
+        assert result.scalar() == 35.0  # 10 + 20 + 5 (dup dropped)
+        db.apply_abort(tx, reason="test")
+
+    def test_aggregate_of_expression(self, db):
+        result = q(db, "SELECT sum(total * 2) FROM orders")
+        assert result.scalar() == 70.0
+
+    def test_having_on_aggregate_not_in_select(self, db):
+        result = q(db, """
+            SELECT customer FROM orders GROUP BY customer
+            HAVING sum(total) > 10 ORDER BY customer""")
+        assert result.rows == [("ann",)]
+
+    def test_order_by_aggregate_desc(self, db):
+        result = q(db, """
+            SELECT customer FROM orders GROUP BY customer
+            ORDER BY sum(total) DESC""")
+        assert [r[0] for r in result.rows] == ["ann", "bob"]
+
+    def test_group_by_expression(self, db):
+        result = q(db, """
+            SELECT CASE WHEN total >= 10 THEN 'big' ELSE 'small' END
+                AS bucket, count(*)
+            FROM orders GROUP BY CASE WHEN total >= 10 THEN 'big'
+                ELSE 'small' END
+            ORDER BY bucket""")
+        assert result.rows == [("big", 2), ("small", 1)]
+
+
+class TestDefaultsAndConstraints:
+    def test_defaults_applied_when_column_omitted(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO orders (order_id, customer) "
+                        "VALUES (9, 'cat')")
+        result = run_sql(db, tx, "SELECT total, region FROM orders "
+                                 "WHERE order_id = 9")
+        assert result.rows == [(0.0, "emea")]
+        db.apply_abort(tx, reason="test")
+
+    def test_explicit_null_overrides_default(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO orders (order_id, customer, region) "
+                        "VALUES (9, 'cat', NULL)")
+        result = run_sql(db, tx, "SELECT region FROM orders "
+                                 "WHERE order_id = 9")
+        assert result.rows == [(None,)]
+        db.apply_abort(tx, reason="test")
+
+    def test_composite_primary_key_uniqueness(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, """
+            CREATE TABLE pairs (a INT, b INT, PRIMARY KEY (a, b));
+            INSERT INTO pairs (a, b) VALUES (1, 1), (1, 2);
+        """)
+        with pytest.raises(ConstraintViolation):
+            run_sql(db, tx, "INSERT INTO pairs (a, b) VALUES (1, 1)")
+        db.apply_abort(tx, reason="test")
+
+    def test_update_to_conflicting_unique_value(self, db):
+        with pytest.raises(ConstraintViolation):
+            q(db, "UPDATE orders SET order_id = 1 WHERE order_id = 2")
+
+    def test_update_keeping_own_key_allowed(self, db):
+        result = q(db, "UPDATE orders SET total = 11.0 WHERE order_id = 1")
+        assert result.rowcount == 1
+
+
+class TestWindowChecksThroughUniqueIndex:
+    def test_insert_at_old_height_sees_window_phantom(self, db):
+        """A unique-key insert at a stale snapshot height must abort when
+        the same key was inserted in the window (would otherwise create a
+        duplicate on other nodes)."""
+        writer = db.begin(allow_nondeterministic=True)
+        run_sql(db, writer, "INSERT INTO orders (order_id, customer) "
+                            "VALUES (50, 'dan')")
+        db.apply_commit(writer, block_number=2)
+        db.committed_height = 2
+        stale = db.begin(snapshot=BlockSnapshot(1),
+                         allow_nondeterministic=True)
+        with pytest.raises(SerializationFailure):
+            run_sql(db, stale, "INSERT INTO orders (order_id, customer) "
+                               "VALUES (50, 'eve')")
+        db.apply_abort(stale, reason="test")

@@ -1,0 +1,210 @@
+"""Expression evaluation semantics and scalar builtins."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.sql import functions
+from repro.sql.expressions import (
+    EvalContext,
+    compare_values,
+    evaluate,
+    evaluate_predicate,
+)
+from repro.sql.parser import Parser
+
+
+def ev(text, env=None, variables=None, params=()):
+    expr = Parser(text).parse_expr()
+    ctx = EvalContext(env=env or {}, variables=variables or {},
+                      params=list(params))
+    return evaluate(expr, ctx)
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert ev("-5 + 3") == -2
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert ev("7 / 2") == 3
+        assert ev("-7 / 2") == -3
+
+    def test_float_division(self):
+        assert ev("7.0 / 2") == 3.5
+
+    def test_modulo(self):
+        assert ev("7 % 3") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            ev("1 / 0")
+        with pytest.raises(ExecutionError):
+            ev("1 % 0")
+
+    def test_string_concat_operator(self):
+        assert ev("'a' || 'b' || 1") == "ab1"
+
+    def test_string_plus_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            ev("'a' + 'b'")
+
+    def test_decimal_float_mix(self):
+        ctx_vars = {"d": Decimal("1.5"), "f": 2.0}
+        assert ev("d + f", variables=ctx_vars) == 3.5
+
+    def test_null_propagates(self):
+        assert ev("NULL + 1") is None
+        assert ev("1 * NULL") is None
+
+
+class TestLogic:
+    def test_three_valued_and(self):
+        assert ev("TRUE AND NULL") is None
+        assert ev("FALSE AND NULL") is False
+        assert ev("TRUE AND TRUE") is True
+
+    def test_three_valued_or(self):
+        assert ev("TRUE OR NULL") is True
+        assert ev("FALSE OR NULL") is None
+
+    def test_not_null(self):
+        assert ev("NOT NULL") is None
+        assert ev("NOT FALSE") is True
+
+    def test_comparisons_with_null(self):
+        assert ev("NULL = NULL") is None
+        assert ev("1 < NULL") is None
+
+    def test_is_null(self):
+        assert ev("NULL IS NULL") is True
+        assert ev("1 IS NOT NULL") is True
+
+    def test_between(self):
+        assert ev("5 BETWEEN 1 AND 10") is True
+        assert ev("5 NOT BETWEEN 1 AND 10") is False
+        assert ev("NULL BETWEEN 1 AND 10") is None
+
+    def test_in_list(self):
+        assert ev("2 IN (1, 2, 3)") is True
+        assert ev("9 IN (1, 2, 3)") is False
+        assert ev("9 IN (1, NULL)") is None  # SQL: unknown
+        assert ev("2 NOT IN (1, 3)") is True
+
+    def test_like(self):
+        assert ev("'hello' LIKE 'h%'") is True
+        assert ev("'hello' LIKE 'h_llo'") is True
+        assert ev("'hello' LIKE 'x%'") is False
+        assert ev("'h.llo' LIKE 'h.llo'") is True  # dot is literal
+        assert ev("'hello' NOT LIKE 'x%'") is True
+
+    def test_case(self):
+        assert ev("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' "
+                  "ELSE 'c' END") == "b"
+        assert ev("CASE WHEN FALSE THEN 1 END") is None
+
+    def test_predicate_semantics(self):
+        expr = Parser("NULL").parse_expr()
+        assert evaluate_predicate(expr, EvalContext()) is False
+
+
+class TestCompareValues:
+    def test_orderings(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values("b", "a") == 1
+        assert compare_values(1.0, 1) == 0
+
+    def test_null_returns_none(self):
+        assert compare_values(None, 1) is None
+
+    def test_incomparable_types(self):
+        with pytest.raises(TypeMismatchError):
+            compare_values("a", 1)
+
+
+class TestColumnResolution:
+    def test_qualified(self):
+        env = {"t": {"a": 1}, "u": {"a": 2}}
+        assert ev("t.a", env=env) == 1
+        assert ev("u.a", env=env) == 2
+
+    def test_unqualified_unique(self):
+        assert ev("b", env={"t": {"b": 5}}) == 5
+
+    def test_ambiguous_raises(self):
+        env = {"t": {"a": 1}, "u": {"a": 2}}
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            ev("a", env=env)
+
+    def test_variable_fallback(self):
+        assert ev("x", variables={"x": 9}) == 9
+
+    def test_positional_params(self):
+        assert ev("$1 + $2", params=(3, 4)) == 7
+
+    def test_param_out_of_range(self):
+        with pytest.raises(ExecutionError):
+            ev("$3", params=(1,))
+
+
+class TestBuiltins:
+    def test_math(self):
+        assert ev("abs(-3)") == 3
+        assert ev("ceil(1.2)") == 2
+        assert ev("floor(1.8)") == 1
+        assert ev("round(2.567, 2)") == 2.57
+        assert ev("mod(10, 3)") == 1
+        assert ev("power(2, 10)") == 1024
+        assert ev("sqrt(16.0)") == 4.0
+        assert ev("sign(-9)") == -1
+
+    def test_strings(self):
+        assert ev("length('abc')") == 3
+        assert ev("upper('ab')") == "AB"
+        assert ev("lower('AB')") == "ab"
+        assert ev("substr('hello', 2, 3)") == "ell"
+        assert ev("replace('aaa', 'a', 'b')") == "bbb"
+        assert ev("trim('  x  ')") == "x"
+        assert ev("strpos('hello', 'll')") == 3
+        assert ev("concat('a', NULL, 'b')") == "ab"
+
+    def test_null_handling_builtins(self):
+        assert ev("coalesce(NULL, NULL, 3)") == 3
+        assert ev("nullif(1, 1)") is None
+        assert ev("nullif(1, 2)") == 1
+        assert ev("greatest(1, NULL, 5)") == 5
+        assert ev("least(1, NULL, 5)") == 1
+
+    def test_null_guard(self):
+        assert ev("abs(NULL)") is None
+        assert ev("length(NULL)") is None
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            ev("definitely_not_a_function(1)")
+
+    def test_nondeterministic_blocked_in_contract_mode(self):
+        expr = Parser("now()").parse_expr()
+        ctx = EvalContext(allow_nondeterministic=False)
+        with pytest.raises(ExecutionError, match="non-deterministic"):
+            evaluate(expr, ctx)
+
+    def test_now_allowed_interactively(self):
+        assert ev("now()") > 0
+
+    def test_interval_arithmetic(self):
+        result = ev("now() - INTERVAL '1 hours'")
+        assert result < ev("now()")
+
+    def test_registry_flags(self):
+        assert not functions.lookup("now").deterministic
+        assert functions.lookup("abs").deterministic
+        assert "random" in functions.NON_DETERMINISTIC_NAMES
+
+    def test_arity_enforced(self):
+        with pytest.raises(ExecutionError):
+            ev("abs(1, 2)")

@@ -1,0 +1,257 @@
+"""Lexer and parser coverage."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast_nodes import (
+    Between, BinaryOp, CaseExpr, ColumnRef, CreateFunction, CreateIndex,
+    CreateTable, Delete, FunctionCall, InList, Insert, IsNull, Like,
+    Literal, Param, PLIf, PLRaise, PLReturn, Select, Star, SubqueryExpr,
+    Update,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_one, parse_procedure_body, parse_sql
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select SELECT SeLeCt")
+        assert all(t.value == "SELECT" for t in tokens[:-1])
+
+    def test_string_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD", "NUMBER"]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("SELECT /* multi\nline */ 1")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD", "NUMBER"]
+
+    def test_dollar_quoted_body(self):
+        tokens = tokenize("$$ BEGIN END $$")
+        assert tokens[0].kind == "STRING"
+        assert "BEGIN" in tokens[0].value
+
+    def test_positional_and_named_params(self):
+        tokens = tokenize("$1 :name")
+        assert tokens[0].kind == "PARAM" and tokens[0].value == "$1"
+        assert tokens[1].kind == "PARAM" and tokens[1].value == ":name"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "1e3",
+                                                  "2.5e-2"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_char(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse_one("SELECT a, b FROM t WHERE a = 1")
+        assert isinstance(stmt, Select)
+        assert len(stmt.items) == 2
+        assert stmt.from_table.name == "t"
+        assert isinstance(stmt.where, BinaryOp)
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_one("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.items[1].expr.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_one("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_table.alias == "u"
+
+    def test_join_on(self):
+        stmt = parse_one(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.x = c.x")
+        assert [j.kind for j in stmt.joins] == ["INNER", "LEFT"]
+
+    def test_join_requires_on(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_one("SELECT * FROM a JOIN b")
+
+    def test_comma_join(self):
+        stmt = parse_one("SELECT * FROM a, b WHERE a.id = b.id")
+        assert stmt.joins[0].kind == "CROSS"
+
+    def test_group_having_order_limit(self):
+        stmt = parse_one(
+            "SELECT org, sum(v) FROM t GROUP BY org HAVING sum(v) > 3 "
+            "ORDER BY sum(v) DESC, org ASC LIMIT 5 OFFSET 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert isinstance(stmt.limit, Literal)
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+    def test_operators_precedence(self):
+        stmt = parse_one("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_chain(self):
+        stmt = parse_one("SELECT * FROM t WHERE a >= 1 AND b <> 2 OR c < 3")
+        assert stmt.where.op == "OR"
+
+    def test_between_in_like_null(self):
+        stmt = parse_one(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2) "
+            "AND c LIKE 'x%' AND d IS NOT NULL")
+        kinds = [type(c).__name__ for c in _conjuncts(stmt.where)]
+        assert kinds == ["Between", "InList", "Like", "IsNull"]
+
+    def test_negated_predicates(self):
+        stmt = parse_one(
+            "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 "
+            "AND b NOT IN (3) AND c NOT LIKE 'y%'")
+        conjuncts = _conjuncts(stmt.where)
+        assert all(getattr(c, "negated") for c in conjuncts)
+
+    def test_case_expression(self):
+        stmt = parse_one(
+            "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t")
+        assert isinstance(stmt.items[0].expr, CaseExpr)
+
+    def test_subquery_expressions(self):
+        stmt = parse_one(
+            "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u) "
+            "AND a IN (SELECT b FROM u)")
+        conjuncts = _conjuncts(stmt.where)
+        assert isinstance(conjuncts[0], SubqueryExpr)
+        assert conjuncts[1].op == "IN_SUBQUERY"
+
+    def test_interval_literal(self):
+        stmt = parse_one("SELECT now() - INTERVAL '24 hours'")
+        expr = stmt.items[0].expr
+        assert expr.right.seconds == 24 * 3600
+
+    def test_provenance_select(self):
+        stmt = parse_one("PROVENANCE SELECT * FROM t WHERE a = 1")
+        assert stmt.provenance
+
+
+def _conjuncts(expr):
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+class TestDMLParsing:
+    def test_insert_values(self):
+        stmt = parse_one(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_one("INSERT INTO t (a) SELECT b FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, Update)
+        assert [s.column for s in stmt.sets] == ["a", "b"]
+
+    def test_blind_update_parses(self):
+        assert parse_one("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse_one("DELETE FROM t WHERE id = 1")
+        assert isinstance(stmt, Delete)
+
+
+class TestDDLParsing:
+    def test_create_table(self):
+        stmt = parse_one("""
+            CREATE TABLE t (
+                id INT PRIMARY KEY,
+                name TEXT NOT NULL,
+                amount NUMERIC(10, 2) DEFAULT 0,
+                flag BOOLEAN,
+                CHECK (amount >= 0)
+            )""")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.primary_key == ["id"]
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default is not None
+        assert len(stmt.checks) == 1
+
+    def test_composite_primary_key(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_create_index(self):
+        stmt = parse_one("CREATE UNIQUE INDEX i ON t (a, b)")
+        assert isinstance(stmt, CreateIndex)
+        assert stmt.unique
+        assert stmt.columns == ["a", "b"]
+
+    def test_create_function(self):
+        stmt = parse_one("""
+            CREATE OR REPLACE FUNCTION f(a INT, b TEXT) RETURNS INT AS $$
+            BEGIN RETURN a; END $$ LANGUAGE plpgsql""")
+        assert isinstance(stmt, CreateFunction)
+        assert stmt.or_replace
+        assert stmt.params == [("a", "INT"), ("b", "TEXT")]
+        assert stmt.returns == "INT"
+
+    def test_multiple_statements(self):
+        statements = parse_sql("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+
+class TestPLParsing:
+    def test_declare_and_body(self):
+        block = parse_procedure_body("""
+            DECLARE total FLOAT; cnt INT = 0;
+            BEGIN
+                SELECT sum(v) INTO total FROM t WHERE k = 'x';
+                cnt = cnt + 1;
+                RETURN total;
+            END""")
+        assert len(block.declarations) == 2
+        assert isinstance(block.statements[-1], PLReturn)
+
+    def test_if_elsif_else(self):
+        block = parse_procedure_body("""
+            BEGIN
+                IF a > 0 THEN
+                    RETURN 1;
+                ELSIF a < 0 THEN
+                    RETURN -1;
+                ELSE
+                    RETURN 0;
+                END IF;
+            END""")
+        stmt = block.statements[0]
+        assert isinstance(stmt, PLIf)
+        assert len(stmt.branches) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_raise(self):
+        block = parse_procedure_body(
+            "BEGIN RAISE EXCEPTION 'boom'; RAISE NOTICE 'info'; END")
+        assert block.statements[0].level == "EXCEPTION"
+        assert block.statements[1].level == "NOTICE"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_procedure_body("BEGIN RETURN 1; END garbage")

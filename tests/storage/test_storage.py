@@ -1,0 +1,287 @@
+"""MVCC storage: rows, tables, indexes, snapshots, visibility."""
+
+import pytest
+
+from repro.errors import BlockValidationError, TypeMismatchError
+from repro.chain.block import Block, make_genesis
+from repro.storage.blockstore import BlockStore
+from repro.storage.index import Index, normalize_key
+from repro.storage.snapshot import (
+    BlockSnapshot,
+    SeqSnapshot,
+    TxStatus,
+    TxStatusTable,
+)
+from repro.storage.table import HeapTable
+from repro.storage.visibility import (
+    version_committed_in_window,
+    version_deleted_in_window,
+    version_visible,
+)
+
+
+class TestIndex:
+    def make(self):
+        return Index("idx", "t", ["a"])
+
+    def test_eq_scan(self):
+        idx = self.make()
+        idx.insert({"a": 5}, 1)
+        idx.insert({"a": 7}, 2)
+        idx.insert({"a": 5}, 3)
+        assert sorted(idx.scan_eq([5])) == [1, 3]
+
+    def test_range_scan_inclusive(self):
+        idx = self.make()
+        for i in range(10):
+            idx.insert({"a": i}, i)
+        assert idx.scan_range([3], [6]) == [3, 4, 5, 6]
+
+    def test_range_scan_exclusive(self):
+        idx = self.make()
+        for i in range(10):
+            idx.insert({"a": i}, i)
+        assert idx.scan_range([3], [6], low_inclusive=False,
+                              high_inclusive=False) == [4, 5]
+
+    def test_open_ended_ranges(self):
+        idx = self.make()
+        for i in range(5):
+            idx.insert({"a": i}, i)
+        assert idx.scan_range(None, [2]) == [0, 1, 2]
+        assert idx.scan_range([3], None) == [3, 4]
+
+    def test_null_values_sort_first(self):
+        idx = self.make()
+        idx.insert({"a": None}, 1)
+        idx.insert({"a": 0}, 2)
+        assert idx.scan_all() == [1, 2]
+
+    def test_mixed_numeric_types(self):
+        idx = self.make()
+        idx.insert({"a": 1}, 1)
+        idx.insert({"a": 1.5}, 2)
+        idx.insert({"a": 2}, 3)
+        assert idx.scan_range([1], [2]) == [1, 2, 3]
+
+    def test_multi_column_prefix(self):
+        idx = Index("idx2", "t", ["a", "b"])
+        idx.insert({"a": 1, "b": 1}, 1)
+        idx.insert({"a": 1, "b": 2}, 2)
+        idx.insert({"a": 2, "b": 1}, 3)
+        assert idx.scan_eq([1]) == [1, 2]
+        assert idx.scan_eq([1, 2]) == [2]
+
+    def test_covers_columns(self):
+        idx = Index("idx3", "t", ["a", "b"])
+        assert idx.covers_columns(["a"])
+        assert idx.covers_columns(["a", "b"])
+        assert not idx.covers_columns(["b"])
+
+    def test_unindexable_type(self):
+        with pytest.raises(TypeMismatchError):
+            normalize_key([object()])
+
+
+class TestHeapTable:
+    def test_insert_assigns_distinct_ids(self):
+        heap = HeapTable("t")
+        v1 = heap.insert_version({"x": 1}, xid=1)
+        v2 = heap.insert_version({"x": 2}, xid=1)
+        assert v1.version_id != v2.version_id
+        assert v1.row_id != v2.row_id
+
+    def test_update_keeps_row_id(self):
+        heap = HeapTable("t")
+        v1 = heap.insert_version({"x": 1}, xid=1)
+        v2 = heap.update_version(v1, {"x": 2}, xid=2)
+        assert v2.row_id == v1.row_id
+        assert 2 in v1.xmax_candidates
+
+    def test_cleanup_aborted_removes_versions(self):
+        heap = HeapTable("t")
+        keep = heap.insert_version({"x": 1}, xid=1)
+        heap.insert_version({"x": 2}, xid=2)
+        heap.delete_version(keep, xid=2)
+        heap.cleanup_aborted(2)
+        assert len(heap) == 1
+        assert keep.xmax_candidates == set()
+
+    def test_rollback_committed_reverses_winner(self):
+        heap = HeapTable("t")
+        v1 = heap.insert_version({"x": 1}, xid=1)
+        v1.set_delete_winner(2, block_number=5)
+        heap._created_by_xid.setdefault(2, [])
+        heap.rollback_committed(2)
+        assert v1.xmax_winner is None
+        assert v1.deleter_block is None
+
+    def test_indexes_cover_new_versions(self):
+        heap = HeapTable("t")
+        heap.add_index(Index("i", "t", ["x"]))
+        heap.insert_version({"x": 9}, xid=1)
+        assert len(heap.indexes["i"]) == 1
+
+    def test_index_backfill(self):
+        heap = HeapTable("t")
+        heap.insert_version({"x": 1}, xid=1)
+        heap.add_index(Index("late", "t", ["x"]), backfill=True)
+        assert heap.indexes["late"].scan_eq([1])
+
+    def test_resolve_skips_dead_version_ids(self):
+        heap = HeapTable("t")
+        v = heap.insert_version({"x": 1}, xid=9)
+        heap.cleanup_aborted(9)
+        assert heap.resolve([v.version_id]) == []
+
+
+class TestVisibility:
+    def setup_method(self):
+        self.heap = HeapTable("t")
+        self.statuses = TxStatusTable()
+
+    def _commit(self, xid, block=1):
+        self.statuses.begin(xid)
+        return self.statuses.commit(xid, block_number=block)
+
+    def test_uncommitted_invisible_to_others(self):
+        self.statuses.begin(1)
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        snap = SeqSnapshot(self.statuses.current_commit_seq)
+        assert not version_visible(v, snap, self.statuses, own_xid=99)
+        assert version_visible(v, snap, self.statuses, own_xid=1)
+
+    def test_committed_visible_within_snapshot(self):
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        record = self._commit(1)
+        v.creator_block = 1
+        snap = SeqSnapshot(record.commit_seq)
+        assert version_visible(v, snap, self.statuses, own_xid=None)
+
+    def test_commit_after_snapshot_invisible(self):
+        snap = SeqSnapshot(self.statuses.current_commit_seq)
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        self._commit(1)
+        assert not version_visible(v, snap, self.statuses, own_xid=None)
+
+    def test_deleted_by_committed_invisible(self):
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        self._commit(1, block=1)
+        v.creator_block = 1
+        self.statuses.begin(2)
+        v.mark_delete_candidate(2)
+        v.set_delete_winner(2, block_number=2)
+        self.statuses.commit(2, block_number=2)
+        snap = SeqSnapshot(self.statuses.current_commit_seq)
+        assert not version_visible(v, snap, self.statuses, own_xid=None)
+
+    def test_own_delete_hides_row(self):
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        self._commit(1)
+        v.creator_block = 1
+        self.statuses.begin(2)
+        v.mark_delete_candidate(2)
+        snap = SeqSnapshot(self.statuses.current_commit_seq)
+        assert not version_visible(v, snap, self.statuses, own_xid=2)
+        # But others still see it: the deleter has not committed.
+        assert version_visible(v, snap, self.statuses, own_xid=3)
+
+    def test_block_snapshot_visibility(self):
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        self._commit(1, block=5)
+        v.creator_block = 5
+        assert version_visible(v, BlockSnapshot(5), self.statuses, None)
+        assert not version_visible(v, BlockSnapshot(4), self.statuses, None)
+
+    def test_block_snapshot_sees_past_deleted_version(self):
+        """Figure 3: a snapshot at height h sees rows deleted after h."""
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        self._commit(1, block=1)
+        v.creator_block = 1
+        self.statuses.begin(2)
+        v.set_delete_winner(2, block_number=3)
+        self.statuses.commit(2, block_number=3)
+        assert version_visible(v, BlockSnapshot(2), self.statuses, None)
+        assert not version_visible(v, BlockSnapshot(3), self.statuses, None)
+
+    def test_window_helpers(self):
+        v = self.heap.insert_version({"x": 1}, xid=1)
+        self._commit(1, block=5)
+        v.creator_block = 5
+        assert version_committed_in_window(v, self.statuses, 2, 6)
+        assert not version_committed_in_window(v, self.statuses, 5, 6)
+        self.statuses.begin(2)
+        v.set_delete_winner(2, block_number=7)
+        self.statuses.commit(2, block_number=7)
+        assert version_deleted_in_window(v, self.statuses, 5, 8)
+        assert not version_deleted_in_window(v, self.statuses, 7, 8)
+
+
+class TestTxStatusTable:
+    def test_commit_sequences_monotonic(self):
+        table = TxStatusTable()
+        table.begin(1)
+        table.begin(2)
+        r1 = table.commit(1)
+        r2 = table.commit(2)
+        assert r2.commit_seq == r1.commit_seq + 1
+
+    def test_double_commit_rejected(self):
+        table = TxStatusTable()
+        table.begin(1)
+        table.commit(1)
+        with pytest.raises(ValueError):
+            table.commit(1)
+
+    def test_rollback_commit_for_recovery(self):
+        table = TxStatusTable()
+        table.begin(1)
+        table.commit(1, block_number=3)
+        table.rollback_commit(1)
+        assert table.status_of(1) is TxStatus.IN_PROGRESS
+        assert table.commit_seq(1) is None
+
+    def test_unknown_xid_is_aborted(self):
+        table = TxStatusTable()
+        assert table.is_aborted(404)
+
+
+class TestBlockStore:
+    def _chain(self, n):
+        store = BlockStore()
+        genesis = make_genesis()
+        store.append(genesis)
+        prev = genesis.block_hash
+        for i in range(1, n):
+            block = Block(number=i, transactions=[], prev_hash=prev).seal()
+            store.append(block)
+            prev = block.block_hash
+        return store
+
+    def test_height_tracks_appends(self):
+        store = self._chain(4)
+        assert store.height == 3
+        assert len(store) == 4
+
+    def test_gap_rejected(self):
+        store = self._chain(2)
+        block = Block(number=5, transactions=[],
+                      prev_hash=store.tip().block_hash).seal()
+        with pytest.raises(BlockValidationError):
+            store.append(block)
+
+    def test_wrong_prev_hash_rejected(self):
+        store = self._chain(2)
+        block = Block(number=2, transactions=[],
+                      prev_hash=b"\x00" * 32).seal()
+        with pytest.raises(BlockValidationError):
+            store.append(block)
+
+    def test_verify_chain_detects_tamper(self):
+        store = self._chain(3)
+        store.tamper(1, metadata={"evil": True})
+        with pytest.raises(BlockValidationError):
+            store.verify_chain()
+
+    def test_verify_chain_clean(self):
+        self._chain(5).verify_chain()
