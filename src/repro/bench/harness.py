@@ -236,10 +236,15 @@ def build_functional_network(flow: str, organizations: Sequence[str] =
 def run_functional_workload(flow: str, kind: str, count: int = 60,
                             consensus: str = "kafka") -> Dict:
     """Push ``count`` real transactions through the engine; returns
-    wall-clock commit rate and abort statistics."""
+    wall-clock commit rate, abort statistics, and the SQL engine's own
+    per-statement planning/execution timings (so fig6/fig7-style runs can
+    report the join/aggregate speedup)."""
+    from repro.sql.planner import QUERY_TIMINGS
+
     net, clients = build_functional_network(flow, consensus=consensus)
     orgs = [c.identity.organization for c in clients]
     calls = workload_calls(kind, count, orgs)
+    QUERY_TIMINGS.reset()  # measure the workload, not the seeding
     started = time.perf_counter()
     tx_ids = []
     for i, (procedure, args) in enumerate(calls):
@@ -259,6 +264,7 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
                     for t in metrics.tx_execution_times]
     avg_exec_ms = (1e3 * sum(exec_samples) / len(exec_samples)
                    if exec_samples else 0.0)
+    sql_timings = QUERY_TIMINGS.snapshot()
     return {
         "flow": flow, "kind": kind, "count": count,
         "committed": committed, "aborted": aborted,
@@ -266,4 +272,9 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
         "engine_tps": round(committed / elapsed, 1) if elapsed else 0.0,
         "avg_tx_exec_ms": round(avg_exec_ms, 3),
         "blocks": node.blockstore.height,
+        "sql_statements": sql_timings["statements"],
+        "sql_plan_ms_avg": sql_timings["plan_ms_avg"],
+        "sql_exec_ms_avg": sql_timings["exec_ms_avg"],
+        "sql_plan_ms_total": sql_timings["plan_ms_total"],
+        "sql_exec_ms_total": sql_timings["exec_ms_total"],
     }

@@ -89,6 +89,8 @@ class Database:
                 entry.new_version.creator_block = stamp
             if entry.old_version is not None:
                 entry.old_version.set_delete_winner(tx.xid, stamp)
+            if entry.kind == "delete" and self.catalog.has_table(entry.table):
+                self.catalog.heap_of(entry.table).note_committed_delete()
         self.statuses.commit(tx.xid, block_number=stamp)
         tx.state = TxState.COMMITTED
         tx.block_number = stamp
@@ -100,6 +102,15 @@ class Database:
         """Discard ``tx``'s writes and mark it aborted."""
         if tx.state is TxState.ABORTED:
             return
+        for entry in tx.writes:
+            if entry.kind != "insert" or entry.new_version is None \
+                    or not self.catalog.has_table(entry.table):
+                continue
+            heap = self.catalog.heap_of(entry.table)
+            # Guard against versions already removed (e.g. a recovery
+            # rollback preceded this abort) — don't double-decrement.
+            if heap.maybe_version(entry.new_version.version_id) is not None:
+                heap.note_insert_discarded()
         for table_name in tx.tables_written:
             if self.catalog.has_table(table_name):
                 self.catalog.heap_of(table_name).cleanup_aborted(tx.xid)
@@ -112,6 +123,14 @@ class Database:
     def rollback_committed(self, tx: TransactionContext) -> None:
         """Recovery path (section 3.6): undo a committed transaction so its
         block can be re-executed."""
+        for entry in tx.writes:
+            if not self.catalog.has_table(entry.table):
+                continue
+            heap = self.catalog.heap_of(entry.table)
+            if entry.kind == "insert":
+                heap.note_insert_discarded()
+            elif entry.kind == "delete":
+                heap.note_delete_reversed()
         for table_name in tx.tables_written:
             if self.catalog.has_table(table_name):
                 self.catalog.heap_of(table_name).rollback_committed(tx.xid)

@@ -8,11 +8,14 @@ from repro.sql.catalog import (
     TableSchema,
     coerce_value,
 )
+from repro.sql.catalog import TableStats
 from repro.sql.executor import AccessChecker, Executor, Result, run_sql
 from repro.sql.parser import parse_one, parse_procedure_body, parse_sql
+from repro.sql.planner import QUERY_TIMINGS, Planner
 
 __all__ = [
     "Catalog", "ColumnDef", "SCHEMA_BLOCKCHAIN", "SCHEMA_PRIVATE",
-    "TableSchema", "coerce_value", "AccessChecker", "Executor", "Result",
+    "TableSchema", "TableStats", "coerce_value", "AccessChecker",
+    "Executor", "Planner", "QUERY_TIMINGS", "Result",
     "run_sql", "parse_one", "parse_procedure_body", "parse_sql",
 ]

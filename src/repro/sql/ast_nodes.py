@@ -257,6 +257,12 @@ class CreateIndex(Statement):
 
 
 @dataclass
+class Explain(Statement):
+    """EXPLAIN <stmt> — render the physical plan instead of executing."""
+    statement: Statement
+
+
+@dataclass
 class DropTable(Statement):
     name: str
     if_exists: bool = False

@@ -95,6 +95,17 @@ def coerce_value(value: Any, type_name: str, column: str) -> Any:
     raise TypeMismatchError(f"column {column!r}: unknown type {type_name!r}")
 
 
+@dataclass(frozen=True)
+class TableStats:
+    """Planner-facing statistics for one table (see HeapTable counters)."""
+
+    table: str
+    live_rows: int
+    total_versions: int
+    vacuumed_versions: int
+    index_count: int
+
+
 @dataclass
 class ColumnDef:
     """Declared column."""
@@ -186,6 +197,22 @@ class Catalog:
 
     def table_names(self) -> List[str]:
         return sorted(self._schemas)
+
+    # -- statistics --------------------------------------------------------
+
+    def stats_of(self, name: str) -> TableStats:
+        """Live row / version counts maintained by the heap (updated on
+        insert, commit, abort and vacuum) — the planner's costing input."""
+        heap = self.heap_of(name)
+        return TableStats(
+            table=name,
+            live_rows=heap.live_rows,
+            total_versions=len(heap),
+            vacuumed_versions=heap.vacuumed_versions,
+            index_count=len(heap.indexes))
+
+    def stats(self) -> Dict[str, TableStats]:
+        return {name: self.stats_of(name) for name in self.table_names()}
 
     # -- indexes -----------------------------------------------------------
 

@@ -1,30 +1,27 @@
-"""SQL executor.
+"""SQL executor: statement orchestration over the plan-based engine.
 
-Interprets parsed statements against a :class:`repro.mvcc.database.Database`
-within a :class:`TransactionContext`.  Responsibilities beyond plain SQL
-evaluation:
+Statements execute in three stages:
 
-* **SIREAD recording** — every row read and every predicate (index-range)
-  read is recorded on the transaction, feeding the SSI validators.
-* **Index-backed predicate enforcement** — under the execute-order-in-
-  parallel flow, a scan without a usable index aborts the transaction
-  (paper section 4.3).
-* **Phantom / stale-read detection at snapshot height** — when a
-  transaction runs at a block height below the node's current committed
-  height, scans inspect the committed window between the two and abort on
-  the paper's two rules (section 3.4.1).
-* **ww bookkeeping** — updates/deletes mark xmax candidates on old
-  versions; the serial commit step resolves winners.
+1. the binder/planner (:mod:`repro.sql.planner`) turns the parsed AST
+   into a physical operator tree, choosing index access paths and join
+   strategies from catalog statistics;
+2. the operator tree (:mod:`repro.sql.plan`) runs Volcano-style; the
+   scan operators own the SSI responsibilities (SIREAD recording, the
+   execute-order-in-parallel missing-index abort, the section 3.4.1
+   phantom/stale window checks);
+3. this module drives DML side effects (constraint checks, version
+   creation, ww bookkeeping) and DDL against the catalog.
+
+``EXPLAIN <stmt>`` returns the rendered physical plan as a one-column
+result, so plans are observable and testable end-to-end.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Any,
-    Callable,
     Dict,
     List,
     Optional,
@@ -37,9 +34,6 @@ from repro.errors import (
     BlindUpdateError,
     ConstraintViolation,
     ExecutionError,
-    MissingIndexError,
-    SerializationFailure,
-    SQLError,
 )
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.mvcc.database import Database
@@ -49,36 +43,28 @@ from repro.mvcc.transaction import (
     TransactionContext,
     WriteSetEntry,
 )
-from repro.sql import functions
 from repro.sql.ast_nodes import (
-    Between, BinaryOp, ColumnRef, CreateFunction, CreateIndex, CreateTable,
-    Delete, DropFunction, DropTable, Expr, FunctionCall, InList, Insert,
-    Join, Like, Literal, OrderItem, Param, Select, SelectItem, Star,
-    Statement, SubqueryExpr, TableRef, UnaryOp, Update,
+    CreateFunction, CreateIndex, CreateTable, Delete, DropFunction,
+    DropTable, Explain, Insert, Select, Statement, Update,
 )
 from repro.sql.catalog import (
-    Catalog,
     ColumnDef,
     TableSchema,
     coerce_value,
 )
 from repro.sql.expressions import (
     EvalContext,
-    compare_values,
     evaluate,
     evaluate_predicate,
-    expr_fingerprint,
 )
-from repro.storage.index import Index, normalize_key
-from repro.storage.row import RowVersion
-from repro.storage.snapshot import BlockSnapshot
-from repro.storage.visibility import (
-    version_committed_in_window,
-    version_deleted_in_window,
-    version_visible,
-)
+from repro.sql.plan import PROVENANCE_COLUMNS, Runtime, window_checks
+from repro.sql.planner import QUERY_TIMINGS, Planner, timed
+from repro.storage.index import normalize_key
+from repro.storage.visibility import version_visible
 
-PROVENANCE_COLUMNS = ("xmin", "xmax", "creator", "deleter", "row_id")
+__all__ = [
+    "AccessChecker", "Executor", "PROVENANCE_COLUMNS", "Result", "run_sql",
+]
 
 
 @dataclass
@@ -98,10 +84,55 @@ class Result:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
-@dataclass
-class _ScanRow:
-    values: Dict[str, Any]
-    version: Optional[RowVersion]
+def _referenced_tables(stmt: Statement) -> set:
+    """Every table a statement would read or write, including tables
+    inside subqueries (used by EXPLAIN's access check)."""
+    from repro.sql.ast_nodes import Expr, SubqueryExpr
+
+    out: set = set()
+
+    def visit_expr(expr: Optional[Expr]) -> None:
+        if expr is None:
+            return
+        for node in expr.walk():
+            if isinstance(node, SubqueryExpr):
+                visit_select(node.select)
+
+    def visit_select(sel: Select) -> None:
+        if sel.from_table is not None:
+            out.add(sel.from_table.name)
+        for join in sel.joins:
+            out.add(join.table.name)
+            visit_expr(join.on)
+        for item in sel.items:
+            visit_expr(item.expr)
+        visit_expr(sel.where)
+        visit_expr(sel.having)
+        for expr in sel.group_by:
+            visit_expr(expr)
+        for order in sel.order_by:
+            visit_expr(order.expr)
+        visit_expr(sel.limit)
+        visit_expr(sel.offset)
+
+    if isinstance(stmt, Select):
+        visit_select(stmt)
+    elif isinstance(stmt, Update):
+        out.add(stmt.table)
+        visit_expr(stmt.where)
+        for clause in stmt.sets:
+            visit_expr(clause.value)
+    elif isinstance(stmt, Delete):
+        out.add(stmt.table)
+        visit_expr(stmt.where)
+    elif isinstance(stmt, Insert):
+        out.add(stmt.table)
+        if stmt.select is not None:
+            visit_select(stmt.select)
+        for row in stmt.rows:
+            for expr in row:
+                visit_expr(expr)
+    return out
 
 
 class AccessChecker:
@@ -115,13 +146,18 @@ class AccessChecker:
 
 
 class Executor:
-    """Statement interpreter bound to one database + one transaction."""
+    """Statement driver bound to one database + one transaction."""
 
     def __init__(self, database: "Database", tx: TransactionContext,
                  acl: Optional[AccessChecker] = None):
         self.db = database
         self.tx = tx
         self.acl = acl
+        # Depth of nested statement execution: correlated subqueries run
+        # through this executor mid-statement and must not count (or
+        # double-bill their time) as standalone statements in
+        # QUERY_TIMINGS.
+        self._stmt_depth = 0
 
     # ------------------------------------------------------------------
     # Entry point
@@ -142,6 +178,8 @@ class Executor:
             return self._execute_update(stmt, ctx)
         if isinstance(stmt, Delete):
             return self._execute_delete(stmt, ctx)
+        if isinstance(stmt, Explain):
+            return self._execute_explain(stmt, ctx)
         if isinstance(stmt, CreateTable):
             return self._execute_create_table(stmt, ctx)
         if isinstance(stmt, CreateIndex):
@@ -172,257 +210,11 @@ class Executor:
         if self.acl is not None:
             self.acl.check_write(self.tx.username, table)
 
-    # ------------------------------------------------------------------
-    # Scanning
-    # ------------------------------------------------------------------
-
-    def _sargable_conditions(self, where: Optional[Expr], alias: str,
-                             ctx: EvalContext) -> Dict[str, Dict[str, Any]]:
-        """Extract per-column bounds from AND-ed conjuncts of ``where`` that
-        constrain columns of ``alias`` against values computable without the
-        row (literals, params, PL variables, outer-row columns).
-
-        Returns ``{column: {"eq": v} | {"low": (v, incl), "high": (v, incl)}}``.
-        """
-        bounds: Dict[str, Dict[str, Any]] = {}
-        if where is None:
-            return bounds
-        for conjunct in self._conjuncts(where):
-            self._extract_bound(conjunct, alias, ctx, bounds)
-        return bounds
-
-    def _conjuncts(self, expr: Expr) -> List[Expr]:
-        if isinstance(expr, BinaryOp) and expr.op == "AND":
-            return self._conjuncts(expr.left) + self._conjuncts(expr.right)
-        return [expr]
-
-    def _try_eval_const(self, expr: Expr, ctx: EvalContext) -> Tuple[bool, Any]:
-        """Evaluate ``expr`` if it does not depend on the scanned row."""
-        for node in expr.walk():
-            if isinstance(node, Star):
-                return False, None
-            if isinstance(node, FunctionCall) and \
-                    node.name in functions.AGGREGATE_NAMES:
-                return False, None
-            if isinstance(node, SubqueryExpr):
-                return False, None
-            if isinstance(node, ColumnRef):
-                # Resolvable only via outer env or variables.
-                try:
-                    evaluate(node, ctx)
-                except SQLError:
-                    return False, None
-        try:
-            return True, evaluate(expr, ctx)
-        except SQLError:
-            return False, None
-
-    def _column_of_alias(self, expr: Expr, alias: str,
-                         table_columns: Sequence[str]) -> Optional[str]:
-        if not isinstance(expr, ColumnRef):
-            return None
-        if expr.table is not None and expr.table != alias:
-            return None
-        if expr.table is None and expr.name not in table_columns:
-            return None
-        return expr.name
-
-    def _extract_bound(self, conjunct: Expr, alias: str, ctx: EvalContext,
-                       bounds: Dict[str, Dict[str, Any]]) -> None:
-        schema_cols = self._alias_columns.get(alias, ())
-        if isinstance(conjunct, BinaryOp) and conjunct.op in {
-                "=", "<", "<=", ">", ">="}:
-            col = self._column_of_alias(conjunct.left, alias, schema_cols)
-            other = conjunct.right
-            op = conjunct.op
-            if col is None:
-                col = self._column_of_alias(conjunct.right, alias,
-                                            schema_cols)
-                other = conjunct.left
-                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-            if col is None:
-                return
-            ok, value = self._try_eval_const(other, ctx)
-            if not ok or value is None:
-                return
-            slot = bounds.setdefault(col, {})
-            if op == "=":
-                slot["eq"] = value
-            elif op in {"<", "<="}:
-                slot["high"] = (value, op == "<=")
-            else:
-                slot["low"] = (value, op == ">=")
-            return
-        if isinstance(conjunct, Between) and not conjunct.negated:
-            col = self._column_of_alias(conjunct.operand, alias, schema_cols)
-            if col is None:
-                return
-            ok_low, low = self._try_eval_const(conjunct.low, ctx)
-            ok_high, high = self._try_eval_const(conjunct.high, ctx)
-            if ok_low and low is not None:
-                bounds.setdefault(col, {})["low"] = (low, True)
-            if ok_high and high is not None:
-                bounds.setdefault(col, {})["high"] = (high, True)
-            return
-        if isinstance(conjunct, InList) and not conjunct.negated:
-            # IN (a, b, c) is not a contiguous range; treat as a min/max
-            # bound for index pruning (exact filtering happens later).
-            col = self._column_of_alias(conjunct.operand, alias, schema_cols)
-            if col is None:
-                return
-            values = []
-            for item in conjunct.items:
-                ok, value = self._try_eval_const(item, ctx)
-                if not ok or value is None:
-                    return
-                values.append(value)
-            if values:
-                try:
-                    bounds.setdefault(col, {})["low"] = (min(values), True)
-                    bounds.setdefault(col, {})["high"] = (max(values), True)
-                except TypeError:
-                    return
-
-    _alias_columns: Dict[str, Sequence[str]] = {}
-
-    def _choose_index(self, heap, bounds: Dict[str, Dict[str, Any]]
-                      ) -> Optional[Tuple[Index, List[Any], Optional[Tuple],
-                                          Optional[Tuple], bool, bool]]:
-        """Pick the index binding the most leading columns.
-
-        Returns (index, eq_prefix, low_key, high_key, low_incl, high_incl)
-        or None.
-        """
-        best = None
-        best_score = 0
-        for index in heap.indexes.values():
-            eq_prefix: List[Any] = []
-            for col in index.columns:
-                slot = bounds.get(col)
-                if slot and "eq" in slot:
-                    eq_prefix.append(slot["eq"])
-                else:
-                    break
-            score = len(eq_prefix) * 2
-            range_low = range_high = None
-            low_incl = high_incl = True
-            next_pos = len(eq_prefix)
-            if next_pos < len(index.columns):
-                slot = bounds.get(index.columns[next_pos])
-                if slot and ("low" in slot or "high" in slot):
-                    score += 1
-                    if "low" in slot:
-                        range_low, low_incl = slot["low"]
-                    if "high" in slot:
-                        range_high, high_incl = slot["high"]
-            if score > best_score:
-                best_score = score
-                best = (index, eq_prefix, range_low, range_high,
-                        low_incl, high_incl)
-        if best is None:
-            return None
-        index, eq_prefix, range_low, range_high, low_incl, high_incl = best
-        low_vals = list(eq_prefix)
-        high_vals = list(eq_prefix)
-        if range_low is not None:
-            low_vals.append(range_low)
-        if range_high is not None:
-            high_vals.append(range_high)
-        low_key = normalize_key(low_vals) if low_vals else None
-        high_key = normalize_key(high_vals) if high_vals else None
-        return (index, eq_prefix, low_key, high_key, low_incl, high_incl)
-
-    def _scan(self, table_name: str, alias: str, where: Optional[Expr],
-              ctx: EvalContext) -> List[_ScanRow]:
-        """Scan ``table_name`` returning visible rows, recording SIREAD
-        state and running the EO-flow phantom/stale checks."""
-        self._check_read(table_name)
-        schema = self.db.catalog.schema_of(table_name)
-        heap = self.db.catalog.heap_of(table_name)
-        self._alias_columns = dict(self._alias_columns)
-        self._alias_columns[alias] = schema.column_names()
-
-        bounds = self._sargable_conditions(where, alias, ctx)
-        choice = self._choose_index(heap, bounds)
-
-        if choice is not None:
-            index, eq_prefix, low_key, high_key, low_incl, high_incl = choice
-            depth = max(len(low_key or ()), len(high_key or ()), 1)
-            candidate_ids = index._scan(low_key, high_key, low_incl,
-                                        high_incl, depth)
-            candidates = heap.resolve(candidate_ids)
-            predicate = PredicateRead(
-                table=table_name,
-                columns=index.columns[:depth],
-                low_key=low_key, high_key=high_key,
-                low_inclusive=low_incl, high_inclusive=high_incl)
-        else:
-            if self.tx.require_index and not schema.system \
-                    and not self.tx.provenance:
-                raise MissingIndexError(
-                    f"no index supports the predicate on {table_name!r}; "
-                    f"the execute-order-in-parallel flow requires "
-                    f"index-backed predicate reads")
-            candidates = heap.all_versions()
-            predicate = PredicateRead(table=table_name, columns=())
-        self.tx.record_predicate_read(predicate)
-
-        self._window_checks(table_name, candidates)
-
-        rows: List[_ScanRow] = []
-        for version in candidates:
-            if self.tx.provenance:
-                if not self._provenance_visible(version):
-                    continue
-                values = dict(version.values)
-                for key, val in version.provenance_header().items():
-                    values.setdefault(key, val)
-                rows.append(_ScanRow(values=values, version=version))
-            else:
-                if not version_visible(version, self.tx.snapshot,
-                                       self.db.statuses, self.tx.xid):
-                    continue
-                self.tx.record_row_read(table_name, version)
-                rows.append(_ScanRow(values=dict(version.values),
-                                     version=version))
-        # Deterministic logical order: physical version ids differ across
-        # nodes (aborted executions burn ids), and float aggregation is
-        # order-sensitive — sort by row content so every node folds
-        # aggregates identically.
-        rows.sort(key=lambda r: repr(sorted(r.values.items(),
-                                            key=lambda kv: kv[0])))
-        return rows
-
-    def _provenance_visible(self, version: RowVersion) -> bool:
-        """Provenance queries see every *committed* version, active or dead
-        (section 4.2)."""
-        return self.db.statuses.is_committed(version.xmin)
-
-    def _window_checks(self, table_name: str,
-                       candidates: List[RowVersion]) -> None:
-        """Paper section 3.4.1: when executing below the node's committed
-        height, a predicate-matching row created (phantom) or deleted
-        (stale) in the window aborts the transaction."""
-        snapshot = self.tx.snapshot
-        if not isinstance(snapshot, BlockSnapshot) or self.tx.provenance:
-            return
-        current = self.db.committed_height
-        if current <= snapshot.height:
-            return
-        for version in candidates:
-            if version_committed_in_window(version, self.db.statuses,
-                                           snapshot.height, current):
-                if version.deleter_block is None:
-                    raise SerializationFailure(
-                        f"phantom read on {table_name!r}: row created at "
-                        f"block {version.creator_block} > snapshot height "
-                        f"{snapshot.height}", reason="phantom-read")
-            if version_deleted_in_window(version, self.db.statuses,
-                                         snapshot.height, current):
-                raise SerializationFailure(
-                    f"stale read on {table_name!r}: row deleted at block "
-                    f"{version.deleter_block} > snapshot height "
-                    f"{snapshot.height}", reason="stale-read")
+    def _runtime(self, ctx: EvalContext,
+                 alias_columns: Dict[str, Sequence[str]]) -> Runtime:
+        return Runtime(db=self.db, tx=self.tx, ctx=ctx,
+                       alias_columns=alias_columns,
+                       check_read=self._check_read)
 
     # ------------------------------------------------------------------
     # SELECT
@@ -434,300 +226,39 @@ class Executor:
             variables=outer_ctx.variables, params=outer_ctx.params,
             allow_nondeterministic=outer_ctx.allow_nondeterministic,
             subquery_fn=self._run_subquery, outer=outer_ctx)
-        saved_alias_columns = self._alias_columns
+        self._stmt_depth += 1
         try:
-            result = self._execute_select(select, sub_ctx)
+            return self._execute_select(select, sub_ctx).rows
         finally:
-            self._alias_columns = saved_alias_columns
-        return result.rows
+            self._stmt_depth -= 1
 
     def _execute_select(self, stmt: Select, ctx: EvalContext) -> Result:
         if stmt.provenance and not self.tx.provenance:
             raise AccessDenied(
                 "PROVENANCE SELECT requires a provenance session")
-        env_rows = self._build_from_rows(stmt, ctx)
-        self._rewrite_order_by_aliases(stmt)
+        with timed() as plan_t:
+            plan = Planner(self.db, self.tx).plan_select(stmt, ctx)
+        with timed() as exec_t:
+            rt = self._runtime(ctx, plan.alias_columns)
+            output = [row for _, row in plan.root.rows(rt)]
+        if self._stmt_depth == 0:
+            QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds)
+        return Result(columns=plan.columns, rows=output,
+                      rowcount=len(output))
 
-        # WHERE
-        filtered: List[Dict[str, Dict[str, Any]]] = []
-        for env in env_rows:
-            row_ctx = ctx.child_for_row(env)
-            if evaluate_predicate(stmt.where, row_ctx):
-                filtered.append(env)
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
 
-        aggregates = self._collect_aggregates(stmt)
-        if stmt.group_by or aggregates:
-            return self._grouped_select(stmt, ctx, filtered, aggregates)
-        return self._plain_select(stmt, ctx, filtered)
-
-    def _build_from_rows(self, stmt: Select, ctx: EvalContext
-                         ) -> List[Dict[str, Dict[str, Any]]]:
-        if stmt.from_table is None:
-            return [{}]
-        self._alias_columns = {}
-        base_rows = self._scan(stmt.from_table.name, stmt.from_table.alias,
-                               stmt.where, ctx)
-        env_rows = [{stmt.from_table.alias: row.values} for row in base_rows]
-        for join in stmt.joins:
-            env_rows = self._apply_join(join, env_rows, stmt.where, ctx)
-        return env_rows
-
-    def _apply_join(self, join: Join,
-                    env_rows: List[Dict[str, Dict[str, Any]]],
-                    where: Optional[Expr], ctx: EvalContext
-                    ) -> List[Dict[str, Dict[str, Any]]]:
-        alias = join.table.alias
-        schema = self.db.catalog.schema_of(join.table.name)
-        null_row = {col: None for col in schema.column_names()}
-        out: List[Dict[str, Dict[str, Any]]] = []
-        for env in env_rows:
-            # Conditions usable for the inner index lookup may come from the
-            # ON clause and from the WHERE clause.
-            combined = join.on
-            if where is not None:
-                combined = (where if combined is None
-                            else BinaryOp("AND", combined, where))
-            row_ctx = ctx.child_for_row(env)
-            inner_rows = self._scan(join.table.name, alias, combined,
-                                    row_ctx)
-            matched = False
-            for inner in inner_rows:
-                candidate_env = {**env, alias: inner.values}
-                cand_ctx = ctx.child_for_row(candidate_env)
-                if join.on is None or evaluate_predicate(join.on, cand_ctx):
-                    matched = True
-                    out.append(candidate_env)
-            if join.kind == "LEFT" and not matched:
-                out.append({**env, alias: dict(null_row)})
-        return out
-
-    def _rewrite_order_by_aliases(self, stmt: Select) -> None:
-        """ORDER BY may reference select-list aliases (``SELECT sum(v) AS
-        total ... ORDER BY total``); rewrite those refs to the aliased
-        expression.  Real columns shadow aliases."""
-        aliases = {item.alias: item.expr for item in stmt.items
-                   if item.alias is not None}
-        if not aliases:
-            return
-        known_columns = {col for cols in self._alias_columns.values()
-                         for col in cols}
-        for order in stmt.order_by:
-            expr = order.expr
-            if isinstance(expr, ColumnRef) and expr.table is None \
-                    and expr.name in aliases \
-                    and expr.name not in known_columns:
-                order.expr = aliases[expr.name]
-
-    def _collect_aggregates(self, stmt: Select) -> List[FunctionCall]:
-        found: List[FunctionCall] = []
-        seen = set()
-
-        def visit(expr: Optional[Expr]):
-            if expr is None:
-                return
-            for node in expr.walk():
-                if isinstance(node, FunctionCall) and \
-                        node.name in functions.AGGREGATE_NAMES:
-                    key = expr_fingerprint(node)
-                    if key not in seen:
-                        seen.add(key)
-                        found.append(node)
-
-        for item in stmt.items:
-            visit(item.expr)
-        visit(stmt.having)
-        for order in stmt.order_by:
-            visit(order.expr)
-        return found
-
-    def _compute_aggregate(self, call: FunctionCall,
-                           group: List[Dict[str, Dict[str, Any]]],
-                           ctx: EvalContext) -> Any:
-        if call.star:
-            if call.name != "count":
-                raise ExecutionError(f"{call.name}(*) is not valid")
-            return len(group)
-        if len(call.args) != 1:
-            raise ExecutionError(
-                f"aggregate {call.name}() takes exactly one argument")
-        values = []
-        for env in group:
-            row_ctx = ctx.child_for_row(env)
-            value = evaluate(call.args[0], row_ctx)
-            if value is not None:
-                values.append(value)
-        if call.distinct:
-            unique = []
-            for value in values:
-                if not any(compare_values(value, u) == 0 for u in unique):
-                    unique.append(value)
-            values = unique
-        if call.name == "count":
-            return len(values)
-        if not values:
-            return None
-        if call.name == "sum":
-            total = values[0]
-            for value in values[1:]:
-                total = total + value
-            return total
-        if call.name == "avg":
-            total = values[0]
-            for value in values[1:]:
-                total = total + value
-            return total / len(values)
-        if call.name == "min":
-            return functools.reduce(
-                lambda a, b: a if compare_values(a, b) <= 0 else b, values)
-        if call.name == "max":
-            return functools.reduce(
-                lambda a, b: a if compare_values(a, b) >= 0 else b, values)
-        raise ExecutionError(f"unknown aggregate {call.name!r}")
-
-    def _grouped_select(self, stmt: Select, ctx: EvalContext,
-                        env_rows: List[Dict[str, Dict[str, Any]]],
-                        aggregates: List[FunctionCall]) -> Result:
-        # Partition rows into groups by the GROUP BY key.
-        groups: List[Tuple[Tuple, List[Dict[str, Dict[str, Any]]]]] = []
-        group_index: Dict[str, int] = {}
-        for env in env_rows:
-            row_ctx = ctx.child_for_row(env)
-            key = tuple(evaluate(g, row_ctx) for g in stmt.group_by)
-            fingerprint = repr(key)
-            pos = group_index.get(fingerprint)
-            if pos is None:
-                group_index[fingerprint] = len(groups)
-                groups.append((key, [env]))
-            else:
-                groups[pos][1].append(env)
-        if not groups and not stmt.group_by:
-            groups = [((), [])]  # global aggregate over empty input
-
-        out_rows: List[Tuple[Tuple, Dict[str, Any],
-                             Dict[str, Dict[str, Any]]]] = []
-        for key, members in groups:
-            agg_values: Dict[str, Any] = {}
-            for call in aggregates:
-                agg_values[expr_fingerprint(call)] = \
-                    self._compute_aggregate(call, members, ctx)
-            representative = members[0] if members else {}
-            row_ctx = ctx.child_for_row(representative)
-            row_ctx.aggregate_values = agg_values
-            if stmt.having is not None and \
-                    not evaluate_predicate(stmt.having, row_ctx):
-                continue
-            out_rows.append((key, agg_values, representative))
-
-        columns = self._output_columns(stmt)
-        final: List[Tuple[Tuple, Tuple]] = []  # (order keys, output)
-        for key, agg_values, representative in out_rows:
-            row_ctx = ctx.child_for_row(representative)
-            row_ctx.aggregate_values = agg_values
-            output = tuple(self._project_item(item, row_ctx)
-                           for item in stmt.items)
-            order_keys = tuple(evaluate(o.expr, row_ctx)
-                               for o in stmt.order_by)
-            final.append((order_keys, output))
-        return self._finalize(stmt, ctx, columns, final)
-
-    def _plain_select(self, stmt: Select, ctx: EvalContext,
-                      env_rows: List[Dict[str, Dict[str, Any]]]
-                      ) -> Result:
-        columns = self._output_columns(stmt)
-        final: List[Tuple[Tuple, Tuple]] = []
-        for env in env_rows:
-            row_ctx = ctx.child_for_row(env)
-            output: List[Any] = []
-            for item in stmt.items:
-                if isinstance(item.expr, Star):
-                    output.extend(self._expand_star(item.expr, env))
-                else:
-                    output.append(evaluate(item.expr, row_ctx))
-            order_keys = tuple(evaluate(o.expr, row_ctx)
-                               for o in stmt.order_by)
-            final.append((order_keys, tuple(output)))
-        return self._finalize(stmt, ctx, columns, final)
-
-    def _project_item(self, item: SelectItem, row_ctx: EvalContext) -> Any:
-        if isinstance(item.expr, Star):
-            raise ExecutionError("'*' is not valid with GROUP BY")
-        return evaluate(item.expr, row_ctx)
-
-    def _expand_star(self, star: Star,
-                     env: Dict[str, Dict[str, Any]]) -> List[Any]:
-        out: List[Any] = []
-        aliases = [star.table] if star.table else sorted(env)
-        for alias in aliases:
-            if alias not in env:
-                raise ExecutionError(f"unknown alias {alias!r} for '*'")
-            cols = self._alias_columns.get(alias)
-            names = list(cols) if cols else sorted(env[alias])
-            if self.tx.provenance:
-                # Provenance pseudo-columns ride along, in the same fixed
-                # order _output_columns advertises them.
-                names.extend(c for c in PROVENANCE_COLUMNS
-                             if c not in names)
-            for name in names:
-                out.append(env[alias].get(name))
-        return out
-
-    def _output_columns(self, stmt: Select) -> List[str]:
-        columns: List[str] = []
-        for item in stmt.items:
-            if isinstance(item.expr, Star):
-                aliases = ([item.expr.table] if item.expr.table
-                           else sorted(self._alias_columns))
-                for alias in aliases:
-                    cols = self._alias_columns.get(alias, [])
-                    columns.extend(cols)
-                    if self.tx.provenance:
-                        columns.extend(
-                            c for c in PROVENANCE_COLUMNS if c not in cols)
-            elif item.alias:
-                columns.append(item.alias)
-            elif isinstance(item.expr, ColumnRef):
-                columns.append(item.expr.name)
-            elif isinstance(item.expr, FunctionCall):
-                columns.append(item.expr.name)
-            else:
-                columns.append(f"column{len(columns) + 1}")
-        return columns
-
-    def _finalize(self, stmt: Select, ctx: EvalContext, columns: List[str],
-                  rows: List[Tuple[Tuple, Tuple]]) -> Result:
-        if stmt.order_by:
-            def cmp_rows(a, b):
-                for spec, av, bv in zip(stmt.order_by, a[0], b[0]):
-                    if av is None and bv is None:
-                        continue
-                    if av is None:
-                        return 1   # NULLS LAST
-                    if bv is None:
-                        return -1
-                    c = compare_values(av, bv)
-                    if c:
-                        return c if spec.ascending else -c
-                return 0
-            rows = sorted(rows, key=functools.cmp_to_key(cmp_rows))
-        output = [row for _, row in rows]
-        if stmt.distinct:
-            seen = set()
-            unique: List[Tuple] = []
-            for row in output:
-                key = repr(row)
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(row)
-            output = unique
-        offset = 0
-        if stmt.offset is not None:
-            offset = int(evaluate(stmt.offset, ctx) or 0)
-            output = output[offset:]
-        if stmt.limit is not None:
-            limit = evaluate(stmt.limit, ctx)
-            if limit is not None:
-                output = output[:int(limit)]
-        return Result(columns=columns, rows=output, rowcount=len(output))
+    def _execute_explain(self, stmt: Explain, ctx: EvalContext) -> Result:
+        # A plan reveals schema, index names and row estimates — require
+        # the same read access the statement itself would.
+        for table in sorted(_referenced_tables(stmt.statement)):
+            self._check_read(table)
+        lines = Planner(self.db, self.tx).explain(stmt.statement, ctx)
+        return Result(columns=["QUERY PLAN"],
+                      rows=[(line,) for line in lines],
+                      rowcount=len(lines))
 
     # ------------------------------------------------------------------
     # INSERT
@@ -737,7 +268,6 @@ class Executor:
         self._check_write(stmt.table)
         schema = self.db.catalog.schema_of(stmt.table)
         heap = self.db.catalog.heap_of(stmt.table)
-        self._alias_columns = {stmt.table: schema.column_names()}
 
         if stmt.select is not None:
             sub = self._execute_select(stmt.select, ctx)
@@ -813,7 +343,8 @@ class Executor:
             self.tx.record_predicate_read(PredicateRead(
                 table=schema.name, columns=index.columns,
                 low_key=low, high_key=high))
-            self._window_checks(schema.name, candidates)
+            rt = self._runtime(EvalContext(), {})
+            window_checks(rt, schema.name, candidates)
             for version in candidates:
                 if exclude_row is not None and \
                         version.row_id == exclude_row:
@@ -829,16 +360,28 @@ class Executor:
     # UPDATE / DELETE
     # ------------------------------------------------------------------
 
+    def _plan_target_scan(self, table: str, where, ctx: EvalContext):
+        """Plan + run the access path for an UPDATE/DELETE target table,
+        returning (schema, heap, scan rows with versions)."""
+        schema = self.db.catalog.schema_of(table)
+        heap = self.db.catalog.heap_of(table)
+        alias_columns = {table: schema.column_names()}
+        with timed() as plan_t:
+            scan = Planner(self.db, self.tx).plan_scan(
+                table, table, where, ctx, alias_columns)
+        with timed() as exec_t:
+            targets = scan.scan_rows(self._runtime(ctx, alias_columns))
+        QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds)
+        return schema, heap, targets
+
     def _execute_update(self, stmt: Update, ctx: EvalContext) -> Result:
         self._check_write(stmt.table)
         if stmt.where is None and self.tx.forbid_blind_updates:
             raise BlindUpdateError(
                 "blind updates are not supported in the "
                 "execute-order-in-parallel flow (section 3.4.3)")
-        schema = self.db.catalog.schema_of(stmt.table)
-        heap = self.db.catalog.heap_of(stmt.table)
-        self._alias_columns = {stmt.table: schema.column_names()}
-        targets = self._scan(stmt.table, stmt.table, stmt.where, ctx)
+        schema, heap, targets = self._plan_target_scan(stmt.table,
+                                                       stmt.where, ctx)
         updated = 0
         for row in targets:
             row_ctx = ctx.child_for_row({stmt.table: row.values})
@@ -865,10 +408,8 @@ class Executor:
             raise BlindUpdateError(
                 "blind deletes are not supported in the "
                 "execute-order-in-parallel flow (section 3.4.3)")
-        schema = self.db.catalog.schema_of(stmt.table)
-        heap = self.db.catalog.heap_of(stmt.table)
-        self._alias_columns = {stmt.table: schema.column_names()}
-        targets = self._scan(stmt.table, stmt.table, stmt.where, ctx)
+        schema, heap, targets = self._plan_target_scan(stmt.table,
+                                                       stmt.where, ctx)
         deleted = 0
         for row in targets:
             row_ctx = ctx.child_for_row({stmt.table: row.values})

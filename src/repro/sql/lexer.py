@@ -25,7 +25,7 @@ KEYWORDS = frozenset("""
     BEGIN COMMIT ROLLBACK DECLARE IF ELSIF RAISE NOTICE EXCEPTION
     INT INTEGER BIGINT FLOAT DOUBLE PRECISION NUMERIC DECIMAL TEXT VARCHAR
     CHAR BOOLEAN TIMESTAMP SERIAL
-    INTERVAL NOW PROVENANCE GRANT REVOKE TO
+    INTERVAL NOW PROVENANCE GRANT REVOKE TO EXPLAIN
     COUNT SUM AVG MIN MAX
     FOR LOOP WHILE PERFORM INTO LANGUAGE CALLED REPLACE
 """.split())

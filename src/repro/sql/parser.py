@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 from repro.errors import SQLSyntaxError
 from repro.sql.ast_nodes import (
     Between, BinaryOp, CaseExpr, ColumnDefNode, ColumnRef, CreateFunction,
-    CreateIndex, CreateTable, Delete, DropFunction, DropTable, Expr,
+    CreateIndex, CreateTable, Delete, DropFunction, DropTable, Explain, Expr,
     FunctionCall, InList, Insert, IntervalLiteral, IsNull, Join, Like,
     Literal, OrderItem, Param, PLAssign, PLBlock, PLIf, PLPerform, PLRaise,
     PLReturn, Select, SelectItem, SetClause, Star, Statement, SubqueryExpr,
@@ -127,6 +127,9 @@ class Parser:
         return statements
 
     def parse_statement(self) -> Statement:
+        if self.check_kw("EXPLAIN"):
+            self.advance()
+            return Explain(statement=self.parse_statement())
         if self.check_kw("PROVENANCE"):
             self.advance()
             select = self.parse_select()

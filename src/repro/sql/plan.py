@@ -1,0 +1,986 @@
+"""Physical query plan: Volcano-style operators.
+
+The planner (:mod:`repro.sql.planner`) turns a parsed statement into a tree
+of these operators; each node implements ``rows(rt)`` returning an iterator
+so upper operators stream instead of materializing intermediate lists
+(scans still materialize-and-sort their own output — cross-node
+determinism requires folding rows in a content-defined order).
+
+SSI semantics live in the scan layer here, byte-for-byte as the old
+monolithic executor did them:
+
+* **SIREAD recording** — every scan records a :class:`PredicateRead`
+  (index range or whole-table) and every visible row read;
+* **EO missing-index abort** — under ``tx.require_index`` a scan that no
+  index can serve raises :class:`MissingIndexError` (paper section 4.3);
+* **phantom / stale-window checks** — scans running below the node's
+  committed height inspect the window over their *candidate* versions and
+  abort on the section 3.4.1 rules.
+
+Join operators therefore never bypass ``execute_scan``: a
+:class:`NestedLoopJoin` re-derives index bounds per outer row (recording
+narrow per-probe predicate reads, exactly like the old executor), while a
+:class:`HashJoin` scans its build side once (recording that scan's — wider
+but conservative — predicate read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import (
+    ExecutionError,
+    MissingIndexError,
+    SQLError,
+    TypeMismatchError,
+)
+from repro.mvcc.transaction import PredicateRead, TransactionContext
+from repro.sql import functions
+from repro.sql.ast_nodes import (
+    Between, BinaryOp, CaseExpr, ColumnRef, Expr, FunctionCall, InList,
+    IntervalLiteral, IsNull, Join, Like, Literal, OrderItem, Param,
+    SelectItem, Star, SubqueryExpr, UnaryOp,
+)
+from repro.sql.expressions import (
+    EvalContext,
+    compare_values,
+    evaluate,
+    evaluate_predicate,
+    expr_fingerprint,
+)
+from repro.storage.index import Index, normalize_key, normalize_key_part
+from repro.storage.row import RowVersion
+from repro.storage.snapshot import BlockSnapshot
+from repro.storage.visibility import (
+    version_committed_in_window,
+    version_deleted_in_window,
+    version_visible,
+)
+
+PROVENANCE_COLUMNS = ("xmin", "xmax", "creator", "deleter", "row_id")
+
+Env = Dict[str, Dict[str, Any]]
+
+
+@dataclass
+class ScanRow:
+    """One visible row produced by a scan (version kept for DML)."""
+
+    values: Dict[str, Any]
+    version: Optional[RowVersion]
+
+
+@dataclass
+class Runtime:
+    """Everything an operator needs at execution time."""
+
+    db: Any                                  # repro.mvcc.database.Database
+    tx: TransactionContext
+    ctx: EvalContext
+    alias_columns: Dict[str, Sequence[str]]  # binder output
+    check_read: Callable[[str], None] = lambda table: None
+
+
+# ---------------------------------------------------------------------------
+# Sargable-bound extraction (shared by the planner and dynamic probes)
+# ---------------------------------------------------------------------------
+
+def conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def try_eval_const(expr: Expr, ctx: EvalContext) -> Tuple[bool, Any]:
+    """Evaluate ``expr`` if it does not depend on the scanned row."""
+    for node in expr.walk():
+        if isinstance(node, Star):
+            return False, None
+        if isinstance(node, FunctionCall) and \
+                node.name in functions.AGGREGATE_NAMES:
+            return False, None
+        if isinstance(node, SubqueryExpr):
+            return False, None
+        if isinstance(node, ColumnRef):
+            # Resolvable only via outer env or variables.
+            try:
+                evaluate(node, ctx)
+            except SQLError:
+                return False, None
+    try:
+        return True, evaluate(expr, ctx)
+    except SQLError:
+        return False, None
+
+
+def column_of_alias(expr: Expr, alias: str,
+                    table_columns: Sequence[str]) -> Optional[str]:
+    if not isinstance(expr, ColumnRef):
+        return None
+    if expr.table is not None and expr.table != alias:
+        return None
+    if expr.table is None and expr.name not in table_columns:
+        return None
+    return expr.name
+
+
+def extract_bounds(where: Optional[Expr], alias: str, ctx: EvalContext,
+                   alias_columns: Dict[str, Sequence[str]],
+                   sources: Optional[Dict[str, List[Expr]]] = None
+                   ) -> Dict[str, Dict[str, Any]]:
+    """Extract per-column bounds from AND-ed conjuncts of ``where`` that
+    constrain columns of ``alias`` against values computable without the
+    row (literals, params, PL variables, outer-row columns).
+
+    Returns ``{column: {"eq": v} | {"low": (v, incl), "high": (v, incl)}}``.
+    ``sources``, when given, collects the conjunct expressions that
+    produced each column's bounds (for EXPLAIN rendering).
+    """
+    bounds: Dict[str, Dict[str, Any]] = {}
+    if where is None:
+        return bounds
+    for conjunct in conjuncts(where):
+        _extract_bound(conjunct, alias, ctx, alias_columns, bounds, sources)
+    return bounds
+
+
+def _note_source(sources: Optional[Dict[str, List[Expr]]], col: str,
+                 conjunct: Expr) -> None:
+    if sources is not None:
+        sources.setdefault(col, []).append(conjunct)
+
+
+def _extract_bound(conjunct: Expr, alias: str, ctx: EvalContext,
+                   alias_columns: Dict[str, Sequence[str]],
+                   bounds: Dict[str, Dict[str, Any]],
+                   sources: Optional[Dict[str, List[Expr]]] = None) -> None:
+    schema_cols = alias_columns.get(alias, ())
+    if isinstance(conjunct, BinaryOp) and conjunct.op in {
+            "=", "<", "<=", ">", ">="}:
+        col = column_of_alias(conjunct.left, alias, schema_cols)
+        other = conjunct.right
+        op = conjunct.op
+        if col is None:
+            col = column_of_alias(conjunct.right, alias, schema_cols)
+            other = conjunct.left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if col is None:
+            return
+        ok, value = try_eval_const(other, ctx)
+        if not ok or value is None:
+            return
+        slot = bounds.setdefault(col, {})
+        if op == "=":
+            slot["eq"] = value
+        elif op in {"<", "<="}:
+            slot["high"] = (value, op == "<=")
+        else:
+            slot["low"] = (value, op == ">=")
+        _note_source(sources, col, conjunct)
+        return
+    if isinstance(conjunct, Between) and not conjunct.negated:
+        col = column_of_alias(conjunct.operand, alias, schema_cols)
+        if col is None:
+            return
+        ok_low, low = try_eval_const(conjunct.low, ctx)
+        ok_high, high = try_eval_const(conjunct.high, ctx)
+        if ok_low and low is not None:
+            bounds.setdefault(col, {})["low"] = (low, True)
+            _note_source(sources, col, conjunct)
+        if ok_high and high is not None:
+            bounds.setdefault(col, {})["high"] = (high, True)
+            _note_source(sources, col, conjunct)
+        return
+    if isinstance(conjunct, InList) and not conjunct.negated:
+        # IN (a, b, c) is not a contiguous range; treat as a min/max
+        # bound for index pruning (exact filtering happens later).
+        col = column_of_alias(conjunct.operand, alias, schema_cols)
+        if col is None:
+            return
+        values = []
+        for item in conjunct.items:
+            ok, value = try_eval_const(item, ctx)
+            if not ok or value is None:
+                return
+            values.append(value)
+        if values:
+            try:
+                bounds.setdefault(col, {})["low"] = (min(values), True)
+                bounds.setdefault(col, {})["high"] = (max(values), True)
+            except TypeError:
+                return
+            _note_source(sources, col, conjunct)
+
+
+def rank_indexes(heap, slots: Dict[str, Dict[str, Any]]
+                 ) -> Optional[Tuple[Index, int, bool]]:
+    """Shared leading-column scoring (2 per equality column, 1 for a
+    range on the next column): returns (index, n_eq, has_range) for the
+    best index, or None.  ``slots`` only needs the bound *kinds*
+    ("eq"/"low"/"high") to be present — both the value-carrying planner
+    bounds and the planner's structural probe predictions use this, so
+    predicted and executed index choice cannot diverge."""
+    best = None
+    best_score = 0
+    for index in heap.indexes.values():
+        n_eq = 0
+        for col in index.columns:
+            slot = slots.get(col)
+            if slot and "eq" in slot:
+                n_eq += 1
+            else:
+                break
+        score = n_eq * 2
+        has_range = False
+        if n_eq < len(index.columns):
+            slot = slots.get(index.columns[n_eq])
+            if slot and ("low" in slot or "high" in slot):
+                score += 1
+                has_range = True
+        if score > best_score:
+            best_score = score
+            best = (index, n_eq, has_range)
+    return best
+
+
+def choose_index(heap, bounds: Dict[str, Dict[str, Any]]
+                 ) -> Optional[Tuple[Index, List[Any], Optional[Tuple],
+                                     Optional[Tuple], bool, bool]]:
+    """Pick the index binding the most leading columns.
+
+    Returns (index, eq_prefix, low_key, high_key, low_incl, high_incl)
+    or None.
+    """
+    best = rank_indexes(heap, bounds)
+    if best is None:
+        return None
+    index, n_eq, has_range = best
+    eq_prefix = [bounds[col]["eq"] for col in index.columns[:n_eq]]
+    range_low = range_high = None
+    low_incl = high_incl = True
+    if has_range:
+        slot = bounds.get(index.columns[n_eq], {})
+        if "low" in slot:
+            range_low, low_incl = slot["low"]
+        if "high" in slot:
+            range_high, high_incl = slot["high"]
+    low_vals = list(eq_prefix)
+    high_vals = list(eq_prefix)
+    if range_low is not None:
+        low_vals.append(range_low)
+    if range_high is not None:
+        high_vals.append(range_high)
+    low_key = normalize_key(low_vals) if low_vals else None
+    high_key = normalize_key(high_vals) if high_vals else None
+    return (index, eq_prefix, low_key, high_key, low_incl, high_incl)
+
+
+# ---------------------------------------------------------------------------
+# The scan runtime — SSI hooks live here
+# ---------------------------------------------------------------------------
+
+def execute_scan(rt: Runtime, table_name: str, alias: str,
+                 bounds: Dict[str, Dict[str, Any]]) -> List[ScanRow]:
+    """Scan ``table_name`` returning visible rows, recording SIREAD
+    state and running the EO-flow phantom/stale checks."""
+    rt.check_read(table_name)
+    schema = rt.db.catalog.schema_of(table_name)
+    heap = rt.db.catalog.heap_of(table_name)
+    tx = rt.tx
+    choice = choose_index(heap, bounds)
+
+    if choice is not None:
+        index, eq_prefix, low_key, high_key, low_incl, high_incl = choice
+        depth = max(len(low_key or ()), len(high_key or ()), 1)
+        candidate_ids = index._scan(low_key, high_key, low_incl,
+                                    high_incl, depth)
+        candidates = heap.resolve(candidate_ids)
+        predicate = PredicateRead(
+            table=table_name,
+            columns=index.columns[:depth],
+            low_key=low_key, high_key=high_key,
+            low_inclusive=low_incl, high_inclusive=high_incl)
+    else:
+        if tx.require_index and not schema.system and not tx.provenance:
+            raise MissingIndexError(
+                f"no index supports the predicate on {table_name!r}; "
+                f"the execute-order-in-parallel flow requires "
+                f"index-backed predicate reads")
+        candidates = heap.all_versions()
+        predicate = PredicateRead(table=table_name, columns=())
+    tx.record_predicate_read(predicate)
+
+    window_checks(rt, table_name, candidates)
+
+    rows: List[ScanRow] = []
+    for version in candidates:
+        if tx.provenance:
+            if not _provenance_visible(rt, version):
+                continue
+            values = dict(version.values)
+            for key, val in version.provenance_header().items():
+                values.setdefault(key, val)
+            rows.append(ScanRow(values=values, version=version))
+        else:
+            if not version_visible(version, tx.snapshot,
+                                   rt.db.statuses, tx.xid):
+                continue
+            tx.record_row_read(table_name, version)
+            rows.append(ScanRow(values=dict(version.values),
+                                version=version))
+    # Deterministic logical order: physical version ids differ across
+    # nodes (aborted executions burn ids), and float aggregation is
+    # order-sensitive — sort by row content so every node folds
+    # aggregates identically.
+    rows.sort(key=lambda r: repr(sorted(r.values.items(),
+                                        key=lambda kv: kv[0])))
+    return rows
+
+
+def _provenance_visible(rt: Runtime, version: RowVersion) -> bool:
+    """Provenance queries see every *committed* version, active or dead
+    (section 4.2)."""
+    return rt.db.statuses.is_committed(version.xmin)
+
+
+def window_checks(rt: Runtime, table_name: str,
+                  candidates: List[RowVersion]) -> None:
+    """Paper section 3.4.1: when executing below the node's committed
+    height, a predicate-matching row created (phantom) or deleted
+    (stale) in the window aborts the transaction."""
+    from repro.errors import SerializationFailure
+
+    snapshot = rt.tx.snapshot
+    if not isinstance(snapshot, BlockSnapshot) or rt.tx.provenance:
+        return
+    current = rt.db.committed_height
+    if current <= snapshot.height:
+        return
+    for version in candidates:
+        if version_committed_in_window(version, rt.db.statuses,
+                                       snapshot.height, current):
+            if version.deleter_block is None:
+                raise SerializationFailure(
+                    f"phantom read on {table_name!r}: row created at "
+                    f"block {version.creator_block} > snapshot height "
+                    f"{snapshot.height}", reason="phantom-read")
+        if version_deleted_in_window(version, rt.db.statuses,
+                                     snapshot.height, current):
+            raise SerializationFailure(
+                f"stale read on {table_name!r}: row deleted at block "
+                f"{version.deleter_block} > snapshot height "
+                f"{snapshot.height}", reason="stale-read")
+
+
+# ---------------------------------------------------------------------------
+# Expression rendering (EXPLAIN)
+# ---------------------------------------------------------------------------
+
+def expr_sql(expr: Expr) -> str:
+    """Render an expression back to compact SQL for plan display."""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, bool):
+            return "TRUE" if expr.value else "FALSE"
+        if isinstance(expr.value, str):
+            return "'" + expr.value.replace("'", "''") + "'"
+        return str(expr.value)
+    if isinstance(expr, ColumnRef):
+        return expr.qualified
+    if isinstance(expr, Param):
+        return expr.name
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, BinaryOp):
+        if expr.op == "IN_SUBQUERY":
+            return f"{_operand_sql(expr.left)} IN (subquery)"
+        return (f"{_operand_sql(expr.left)} {expr.op} "
+                f"{_operand_sql(expr.right)}")
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return f"NOT {_operand_sql(expr.operand)}"
+        return f"{expr.op}{_operand_sql(expr.operand)}"
+    if isinstance(expr, FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(expr_sql(a) for a in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{args})"
+    if isinstance(expr, IsNull):
+        return (f"{_operand_sql(expr.operand)} IS "
+                f"{'NOT ' if expr.negated else ''}NULL")
+    if isinstance(expr, Between):
+        return (f"{_operand_sql(expr.operand)} "
+                f"{'NOT ' if expr.negated else ''}BETWEEN "
+                f"{_operand_sql(expr.low)} AND {_operand_sql(expr.high)}")
+    if isinstance(expr, InList):
+        items = ", ".join(expr_sql(i) for i in expr.items)
+        return (f"{_operand_sql(expr.operand)} "
+                f"{'NOT ' if expr.negated else ''}IN ({items})")
+    if isinstance(expr, Like):
+        return (f"{_operand_sql(expr.operand)} "
+                f"{'NOT ' if expr.negated else ''}LIKE "
+                f"{_operand_sql(expr.pattern)}")
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {expr_sql(cond)} THEN {expr_sql(result)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {expr_sql(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, IntervalLiteral):
+        return f"INTERVAL '{expr.text}'"
+    if isinstance(expr, SubqueryExpr):
+        return "EXISTS (subquery)" if expr.exists else "(subquery)"
+    return repr(expr)
+
+
+def _operand_sql(expr: Expr) -> str:
+    if isinstance(expr, BinaryOp):
+        return f"({expr_sql(expr)})"
+    return expr_sql(expr)
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+class PlanNode:
+    """Base physical operator."""
+
+    est_rows: float = 0.0
+
+    def rows(self, rt: Runtime) -> Iterator:
+        raise NotImplementedError
+
+    def children(self) -> List["PlanNode"]:
+        return []
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def render_plan(node: PlanNode, depth: int = 0,
+                lines: Optional[List[str]] = None) -> List[str]:
+    """Pretty-print a plan tree, Postgres-style."""
+    if lines is None:
+        lines = []
+    prefix = "" if depth == 0 else "  " * depth + "-> "
+    lines.append(prefix + node.describe())
+    for child in node.children():
+        render_plan(child, depth + 1, lines)
+    return lines
+
+
+class OneRow(PlanNode):
+    """FROM-less SELECT: a single empty environment."""
+
+    est_rows = 1.0
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        yield {}
+
+    def describe(self) -> str:
+        return "Result"
+
+
+def _scan_target(table: str, alias: str) -> str:
+    return f"on {table}" + (f" as {alias}" if alias != table else "")
+
+
+class SeqScan(PlanNode):
+    """Full-heap scan (no usable index)."""
+
+    def __init__(self, table: str, alias: str,
+                 bounds: Optional[Dict[str, Dict[str, Any]]] = None,
+                 est_rows: float = 0.0):
+        self.table = table
+        self.alias = alias
+        self.bounds = bounds or {}
+        self.est_rows = est_rows
+
+    def scan_rows(self, rt: Runtime) -> List[ScanRow]:
+        return execute_scan(rt, self.table, self.alias, self.bounds)
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        for row in self.scan_rows(rt):
+            yield {self.alias: row.values}
+
+    def describe(self) -> str:
+        return (f"SeqScan {_scan_target(self.table, self.alias)} "
+                f"(rows~{int(self.est_rows)})")
+
+
+class IndexScan(SeqScan):
+    """Index-served scan; the bound values were resolved at plan time.
+
+    ``unique_covered`` marks a point lookup (every column of a unique
+    index bound by equality) — a structural fact the planner's join
+    strategy may rely on, unlike row counts.
+    """
+
+    def __init__(self, table: str, alias: str,
+                 bounds: Dict[str, Dict[str, Any]], index_name: str,
+                 conditions: Sequence[Expr], est_rows: float = 0.0,
+                 unique_covered: bool = False):
+        super().__init__(table, alias, bounds, est_rows)
+        self.index_name = index_name
+        self.conditions = list(conditions)
+        self.unique_covered = unique_covered
+
+    def describe(self) -> str:
+        conds = ", ".join(expr_sql(c) for c in self.conditions)
+        return (f"IndexScan {_scan_target(self.table, self.alias)} "
+                f"using {self.index_name} ({conds}) "
+                f"(rows~{int(self.est_rows)})")
+
+
+class Filter(PlanNode):
+    """Residual predicate (WHERE) over environment rows."""
+
+    def __init__(self, child: PlanNode, predicate: Expr):
+        self.child = child
+        self.predicate = predicate
+        self.est_rows = child.est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        for env in self.child.rows(rt):
+            if evaluate_predicate(self.predicate, rt.ctx.child_for_row(env)):
+                yield env
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter ({expr_sql(self.predicate)})"
+
+
+class DynamicProbe(PlanNode):
+    """Explain-only child of a NestedLoopJoin: the inner access path is
+    re-derived per outer row (outer-row values feed the index bounds)."""
+
+    def __init__(self, table: str, alias: str,
+                 index_name: Optional[str], conditions: Sequence[Expr],
+                 est_rows: float = 0.0):
+        self.table = table
+        self.alias = alias
+        self.index_name = index_name
+        self.conditions = list(conditions)
+        self.est_rows = est_rows
+
+    def rows(self, rt: Runtime) -> Iterator:  # pragma: no cover
+        raise ExecutionError("DynamicProbe is driven by NestedLoopJoin")
+
+    def describe(self) -> str:
+        if self.index_name is None:
+            return (f"SeqScan {_scan_target(self.table, self.alias)} "
+                    f"(per outer row)")
+        conds = ", ".join(expr_sql(c) for c in self.conditions)
+        return (f"IndexProbe {_scan_target(self.table, self.alias)} "
+                f"using {self.index_name} ({conds}) (per outer row)")
+
+
+class NestedLoopJoin(PlanNode):
+    """Per-outer-row inner scan — byte-identical to the old executor's
+    ``_apply_join``, including the narrow per-probe predicate reads."""
+
+    def __init__(self, outer: PlanNode, join: Join,
+                 combined: Optional[Expr], probe: DynamicProbe,
+                 est_rows: float = 0.0):
+        self.outer = outer
+        self.join = join
+        self.combined = combined   # ON AND WHERE, for inner index bounds
+        self.probe = probe
+        self.est_rows = est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        join = self.join
+        alias = join.table.alias
+        schema = rt.db.catalog.schema_of(join.table.name)
+        null_row = {col: None for col in schema.column_names()}
+        ctx = rt.ctx
+        for env in self.outer.rows(rt):
+            row_ctx = ctx.child_for_row(env)
+            bounds = extract_bounds(self.combined, alias, row_ctx,
+                                    rt.alias_columns)
+            inner_rows = execute_scan(rt, join.table.name, alias, bounds)
+            matched = False
+            for inner in inner_rows:
+                candidate_env = {**env, alias: inner.values}
+                cand_ctx = ctx.child_for_row(candidate_env)
+                if join.on is None or evaluate_predicate(join.on, cand_ctx):
+                    matched = True
+                    yield candidate_env
+            if join.kind == "LEFT" and not matched:
+                yield {**env, alias: dict(null_row)}
+
+    def children(self) -> List[PlanNode]:
+        return [self.outer, self.probe]
+
+    def describe(self) -> str:
+        on = f" on ({expr_sql(self.join.on)})" if self.join.on is not None \
+            else ""
+        return f"NestedLoopJoin {self.join.kind}{on}"
+
+
+def _join_key(values: Sequence[Any]) -> Tuple:
+    """Hash-bucket key consistent with the ``=`` comparator: SQL's
+    ``compare_values`` treats TRUE = 1, so booleans bucket as numbers
+    (index keys rank them separately, which would make the hash join
+    miss pairs the nested loop matches).  False positives from bucket
+    collisions are removed by the ON / WHERE re-evaluation."""
+    return tuple(
+        normalize_key_part(float(v)) if isinstance(v, bool)
+        else normalize_key_part(v)
+        for v in values)
+
+
+class HashJoin(PlanNode):
+    """Build a hash table over the inner scan once, probe per outer row.
+
+    The equi-key pairs come from ON/WHERE conjuncts; the full ON clause is
+    still re-evaluated per candidate pair, so NULL-key and residual
+    semantics match the nested loop exactly.  Output order also matches:
+    probe rows stream in outer order, bucket entries preserve the build
+    scan's content-sorted order.
+    """
+
+    def __init__(self, outer: PlanNode, join: Join, build: SeqScan,
+                 keys: Sequence[Tuple[str, Expr]], est_rows: float = 0.0):
+        self.outer = outer
+        self.join = join
+        self.build = build
+        self.keys = list(keys)     # (inner column, probe expression)
+        self.est_rows = est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        join = self.join
+        alias = join.table.alias
+        schema = rt.db.catalog.schema_of(join.table.name)
+        null_row = {col: None for col in schema.column_names()}
+        inner_cols = [col for col, _ in self.keys]
+        probe_exprs = [expr for _, expr in self.keys]
+
+        table: Dict[Tuple, List[ScanRow]] = {}
+        for inner in self.build.scan_rows(rt):
+            try:
+                key = _join_key([inner.values.get(c) for c in inner_cols])
+            except TypeMismatchError:
+                continue  # unindexable key value can never equal a probe
+            table.setdefault(key, []).append(inner)
+
+        ctx = rt.ctx
+        for env in self.outer.rows(rt):
+            row_ctx = ctx.child_for_row(env)
+            probe_vals = [evaluate(e, row_ctx) for e in probe_exprs]
+            try:
+                candidates = table.get(_join_key(probe_vals), ())
+            except TypeMismatchError:
+                candidates = ()
+            matched = False
+            for inner in candidates:
+                candidate_env = {**env, alias: inner.values}
+                cand_ctx = ctx.child_for_row(candidate_env)
+                if join.on is None or evaluate_predicate(join.on, cand_ctx):
+                    matched = True
+                    yield candidate_env
+            if join.kind == "LEFT" and not matched:
+                yield {**env, alias: dict(null_row)}
+
+    def children(self) -> List[PlanNode]:
+        return [self.outer, self.build]
+
+    def describe(self) -> str:
+        alias = self.join.table.alias
+        conds = ", ".join(f"{alias}.{col} = {expr_sql(e)}"
+                          for col, e in self.keys)
+        return f"HashJoin {self.join.kind} ({conds})"
+
+
+class HashAggregate(PlanNode):
+    """GROUP BY / global aggregation, HAVING, and grouped projection.
+
+    Emits ``(order_keys, output_row)`` pairs for Sort/Distinct/Limit.
+    Groups form in first-encounter order over the (content-ordered) input
+    so float aggregation folds identically on every node.
+    """
+
+    def __init__(self, child: PlanNode, group_by: Sequence[Expr],
+                 aggregates: Sequence[FunctionCall], having: Optional[Expr],
+                 items: Sequence[SelectItem], order_items: Sequence[OrderItem],
+                 est_rows: float = 0.0):
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self.items = list(items)
+        self.order_items = list(order_items)
+        self.est_rows = est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        ctx = rt.ctx
+        groups: List[Tuple[Tuple, List[Env]]] = []
+        group_index: Dict[str, int] = {}
+        for env in self.child.rows(rt):
+            row_ctx = ctx.child_for_row(env)
+            key = tuple(evaluate(g, row_ctx) for g in self.group_by)
+            fingerprint = repr(key)
+            pos = group_index.get(fingerprint)
+            if pos is None:
+                group_index[fingerprint] = len(groups)
+                groups.append((key, [env]))
+            else:
+                groups[pos][1].append(env)
+        if not groups and not self.group_by:
+            groups = [((), [])]  # global aggregate over empty input
+
+        for key, members in groups:
+            agg_values: Dict[str, Any] = {}
+            for call in self.aggregates:
+                agg_values[expr_fingerprint(call)] = \
+                    _compute_aggregate(call, members, ctx)
+            representative = members[0] if members else {}
+            row_ctx = ctx.child_for_row(representative)
+            row_ctx.aggregate_values = agg_values
+            if self.having is not None and \
+                    not evaluate_predicate(self.having, row_ctx):
+                continue
+            output = tuple(_project_item(item, row_ctx)
+                           for item in self.items)
+            order_keys = tuple(evaluate(o.expr, row_ctx)
+                               for o in self.order_items)
+            yield (order_keys, output)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        if self.group_by:
+            keys = ", ".join(expr_sql(g) for g in self.group_by)
+            return f"HashAggregate (group by {keys})"
+        return "HashAggregate (global)"
+
+
+def _project_item(item: SelectItem, row_ctx: EvalContext) -> Any:
+    if isinstance(item.expr, Star):
+        raise ExecutionError("'*' is not valid with GROUP BY")
+    return evaluate(item.expr, row_ctx)
+
+
+def _compute_aggregate(call: FunctionCall, group: List[Env],
+                       ctx: EvalContext) -> Any:
+    import functools
+
+    if call.star:
+        if call.name != "count":
+            raise ExecutionError(f"{call.name}(*) is not valid")
+        return len(group)
+    if len(call.args) != 1:
+        raise ExecutionError(
+            f"aggregate {call.name}() takes exactly one argument")
+    values = []
+    for env in group:
+        row_ctx = ctx.child_for_row(env)
+        value = evaluate(call.args[0], row_ctx)
+        if value is not None:
+            values.append(value)
+    if call.distinct:
+        unique = []
+        for value in values:
+            if not any(compare_values(value, u) == 0 for u in unique):
+                unique.append(value)
+        values = unique
+    if call.name == "count":
+        return len(values)
+    if not values:
+        return None
+    if call.name == "sum":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total
+    if call.name == "avg":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total / len(values)
+    if call.name == "min":
+        return functools.reduce(
+            lambda a, b: a if compare_values(a, b) <= 0 else b, values)
+    if call.name == "max":
+        return functools.reduce(
+            lambda a, b: a if compare_values(a, b) >= 0 else b, values)
+    raise ExecutionError(f"unknown aggregate {call.name!r}")
+
+
+class Project(PlanNode):
+    """Plain (non-grouped) projection, including ``*`` expansion.
+
+    Emits ``(order_keys, output_row)`` pairs.
+    """
+
+    def __init__(self, child: PlanNode, items: Sequence[SelectItem],
+                 order_items: Sequence[OrderItem], columns: Sequence[str],
+                 est_rows: float = 0.0):
+        self.child = child
+        self.items = list(items)
+        self.order_items = list(order_items)
+        self.columns = list(columns)
+        self.est_rows = est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        ctx = rt.ctx
+        for env in self.child.rows(rt):
+            row_ctx = ctx.child_for_row(env)
+            output: List[Any] = []
+            for item in self.items:
+                if isinstance(item.expr, Star):
+                    output.extend(_expand_star(item.expr, env, rt))
+                else:
+                    output.append(evaluate(item.expr, row_ctx))
+            order_keys = tuple(evaluate(o.expr, row_ctx)
+                               for o in self.order_items)
+            yield (order_keys, tuple(output))
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Project ({', '.join(self.columns)})"
+
+
+def _expand_star(star: Star, env: Env, rt: Runtime) -> List[Any]:
+    out: List[Any] = []
+    aliases = [star.table] if star.table else sorted(env)
+    for alias in aliases:
+        if alias not in env:
+            raise ExecutionError(f"unknown alias {alias!r} for '*'")
+        cols = rt.alias_columns.get(alias)
+        names = list(cols) if cols else sorted(env[alias])
+        if rt.tx.provenance:
+            # Provenance pseudo-columns ride along, in the same fixed
+            # order the output columns advertise them.
+            names.extend(c for c in PROVENANCE_COLUMNS if c not in names)
+        for name in names:
+            out.append(env[alias].get(name))
+    return out
+
+
+class Sort(PlanNode):
+    """ORDER BY over decorated ``(order_keys, output)`` pairs;
+    NULLS LAST, stable."""
+
+    def __init__(self, child: PlanNode, order_items: Sequence[OrderItem]):
+        self.child = child
+        self.order_items = list(order_items)
+        self.est_rows = child.est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        import functools
+
+        order_items = self.order_items
+
+        def cmp_rows(a, b):
+            for spec, av, bv in zip(order_items, a[0], b[0]):
+                if av is None and bv is None:
+                    continue
+                if av is None:
+                    return 1   # NULLS LAST
+                if bv is None:
+                    return -1
+                c = compare_values(av, bv)
+                if c:
+                    return c if spec.ascending else -c
+            return 0
+
+        yield from sorted(self.child.rows(rt),
+                          key=functools.cmp_to_key(cmp_rows))
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{expr_sql(o.expr)} {'ASC' if o.ascending else 'DESC'}"
+            for o in self.order_items)
+        return f"Sort ({keys})"
+
+
+class Distinct(PlanNode):
+    """SELECT DISTINCT over decorated pairs (dedup on the output row)."""
+
+    def __init__(self, child: PlanNode):
+        self.child = child
+        self.est_rows = child.est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        seen = set()
+        for keys, row in self.child.rows(rt):
+            key = repr(row)
+            if key not in seen:
+                seen.add(key)
+                yield (keys, row)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class Limit(PlanNode):
+    """LIMIT/OFFSET.
+
+    The child is drained completely before truncating: scans and
+    nested-loop probes have SSI side effects (SIREAD recording, ACL
+    checks, the EO missing-index abort, window checks) that must happen
+    exactly as they would without the LIMIT — ``SELECT ... LIMIT 0``
+    still performs every read the predicate describes.
+    """
+
+    def __init__(self, child: PlanNode, limit: Optional[Expr],
+                 offset: Optional[Expr]):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.est_rows = child.est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        start = 0
+        if self.offset is not None:
+            start = int(evaluate(self.offset, rt.ctx) or 0)
+            if start < 0:
+                raise ExecutionError("OFFSET must not be negative")
+        stop = None
+        if self.limit is not None:
+            value = evaluate(self.limit, rt.ctx)
+            if value is not None:
+                if int(value) < 0:
+                    raise ExecutionError("LIMIT must not be negative")
+                stop = start + int(value)
+        output = list(self.child.rows(rt))
+        yield from islice(output, start, stop)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit={expr_sql(self.limit)}")
+        if self.offset is not None:
+            parts.append(f"offset={expr_sql(self.offset)}")
+        return f"Limit ({', '.join(parts)})"

@@ -1,0 +1,562 @@
+"""Binder + logical→physical planner.
+
+Stage 1 (**bind**): resolve every table reference against the catalog and
+build the alias→columns map the rest of planning (and ``*`` expansion)
+uses.  ORDER BY references to select-list aliases are resolved here into a
+side list of effective order items — the parsed AST is never mutated, so a
+cached statement (stored procedures re-execute the same tree) can't see a
+corrupted ORDER BY.
+
+Stage 2 (**physical planning**): pick access paths and join strategies
+using the live row counts the catalog exposes (:meth:`Catalog.stats_of`):
+
+* scans: sargable bounds (evaluated against the statement's parameters /
+  PL variables / outer row context) feed the same leading-column index
+  scoring the old executor used, so index choice — and therefore the
+  candidate set the phantom/stale window checks inspect — is unchanged;
+* joins: an equi-key join becomes a :class:`HashJoin` (build the inner
+  side once, probe per outer row) when costing says so and the flow allows
+  it; otherwise a :class:`NestedLoopJoin` with dynamic per-row index
+  probes.  Under ``tx.require_index`` (the execute-order-in-parallel flow)
+  a hash build whose scan no index can serve is never chosen — the
+  nested-loop probes keep every predicate read index-backed, preserving
+  the paper's section 4.3 rule.
+
+``EXPLAIN <stmt>`` renders the physical tree (:func:`render_plan`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sql import functions
+from repro.sql.ast_nodes import (
+    BinaryOp, ColumnRef, Delete, Expr, FunctionCall, Insert, Join,
+    OrderItem, Select, SelectItem, Star, SubqueryExpr, Update,
+)
+from repro.sql.expressions import EvalContext, expr_fingerprint
+from repro.sql.plan import (
+    PROVENANCE_COLUMNS,
+    DynamicProbe,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    OneRow,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+    choose_index,
+    column_of_alias,
+    conjuncts,
+    extract_bounds,
+    rank_indexes,
+    render_plan,
+)
+
+# ---------------------------------------------------------------------------
+# Per-query planning/execution timing (bench harness reads this)
+# ---------------------------------------------------------------------------
+
+class QueryTimings:
+    """Process-wide accumulator of per-statement plan/execute times."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.statements = 0
+        self.plan_seconds = 0.0
+        self.exec_seconds = 0.0
+
+    def record(self, plan_seconds: float, exec_seconds: float) -> None:
+        with self._lock:
+            self.statements += 1
+            self.plan_seconds += plan_seconds
+            self.exec_seconds += exec_seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self.statements = 0
+            self.plan_seconds = 0.0
+            self.exec_seconds = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            n = self.statements or 1
+            return {
+                "statements": self.statements,
+                "plan_ms_total": round(self.plan_seconds * 1e3, 3),
+                "exec_ms_total": round(self.exec_seconds * 1e3, 3),
+                "plan_ms_avg": round(self.plan_seconds / n * 1e3, 4),
+                "exec_ms_avg": round(self.exec_seconds / n * 1e3, 4),
+            }
+
+
+QUERY_TIMINGS = QueryTimings()
+
+
+class timed:
+    """Context manager capturing a perf_counter interval."""
+
+    def __enter__(self):
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self.started
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Plan containers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SelectPlan:
+    """A planned SELECT: operator tree + binder output."""
+
+    root: PlanNode
+    columns: List[str]
+    alias_columns: Dict[str, Sequence[str]] = field(default_factory=dict)
+
+    def explain(self) -> List[str]:
+        return render_plan(self.root)
+
+
+class Planner:
+    """Plans statements for one database + one transaction."""
+
+    def __init__(self, db, tx):
+        self.db = db
+        self.tx = tx
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def bind_select(self, stmt: Select) -> Dict[str, Sequence[str]]:
+        """alias -> column names for every table the query references."""
+        alias_columns: Dict[str, Sequence[str]] = {}
+        if stmt.from_table is not None:
+            refs = [stmt.from_table] + [j.table for j in stmt.joins]
+            for ref in refs:
+                schema = self.db.catalog.schema_of(ref.name)
+                alias_columns[ref.alias] = schema.column_names()
+        return alias_columns
+
+    def effective_order_items(
+            self, stmt: Select,
+            alias_columns: Dict[str, Sequence[str]]) -> List[OrderItem]:
+        """ORDER BY may reference select-list aliases (``SELECT sum(v) AS
+        total ... ORDER BY total``); resolve those refs to the aliased
+        expression *without mutating the parsed tree*.  Real columns
+        shadow aliases."""
+        aliases = {item.alias: item.expr for item in stmt.items
+                   if item.alias is not None}
+        known_columns = {col for cols in alias_columns.values()
+                         for col in cols}
+        out: List[OrderItem] = []
+        for order in stmt.order_by:
+            expr = order.expr
+            if isinstance(expr, ColumnRef) and expr.table is None \
+                    and expr.name in aliases \
+                    and expr.name not in known_columns:
+                out.append(OrderItem(expr=aliases[expr.name],
+                                     ascending=order.ascending))
+            else:
+                out.append(order)
+        return out
+
+    def collect_aggregates(self, stmt: Select,
+                           order_items: Sequence[OrderItem]
+                           ) -> List[FunctionCall]:
+        found: List[FunctionCall] = []
+        seen: Set[str] = set()
+
+        def visit(expr: Optional[Expr]):
+            if expr is None:
+                return
+            for node in expr.walk():
+                if isinstance(node, FunctionCall) and \
+                        node.name in functions.AGGREGATE_NAMES:
+                    key = expr_fingerprint(node)
+                    if key not in seen:
+                        seen.add(key)
+                        found.append(node)
+
+        for item in stmt.items:
+            visit(item.expr)
+        visit(stmt.having)
+        for order in order_items:
+            visit(order.expr)
+        return found
+
+    def output_columns(self, stmt: Select,
+                       alias_columns: Dict[str, Sequence[str]]) -> List[str]:
+        columns: List[str] = []
+        for item in stmt.items:
+            if isinstance(item.expr, Star):
+                aliases = ([item.expr.table] if item.expr.table
+                           else sorted(alias_columns))
+                for alias in aliases:
+                    cols = alias_columns.get(alias, [])
+                    columns.extend(cols)
+                    if self.tx.provenance:
+                        columns.extend(
+                            c for c in PROVENANCE_COLUMNS if c not in cols)
+            elif item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                columns.append(item.expr.name)
+            elif isinstance(item.expr, FunctionCall):
+                columns.append(item.expr.name)
+            else:
+                columns.append(f"column{len(columns) + 1}")
+        return columns
+
+    # ------------------------------------------------------------------
+    # Scan planning
+    # ------------------------------------------------------------------
+
+    def plan_scan(self, table: str, alias: str, where: Optional[Expr],
+                  ctx: EvalContext,
+                  alias_columns: Optional[Dict[str, Sequence[str]]] = None
+                  ) -> SeqScan:
+        """Access path for one table: IndexScan when the sargable bounds
+        (resolved against ``ctx``) are served by an index, SeqScan
+        otherwise.  The bounds are stored on the node; execution re-runs
+        the same deterministic index scoring over them."""
+        if alias_columns is None:
+            schema = self.db.catalog.schema_of(table)
+            alias_columns = {alias: schema.column_names()}
+        heap = self.db.catalog.heap_of(table)
+        stats = self.db.catalog.stats_of(table)
+        sources: Dict[str, List[Expr]] = {}
+        bounds = extract_bounds(where, alias, ctx, alias_columns, sources)
+        choice = choose_index(heap, bounds)
+        if choice is None:
+            return SeqScan(table, alias, bounds,
+                           est_rows=float(max(stats.live_rows, 0)))
+        index, eq_prefix, low_key, high_key, _, _ = choice
+        depth = max(len(low_key or ()), len(high_key or ()), 1)
+        used_cols = index.columns[:depth]
+        conditions: List[Expr] = []
+        for col in used_cols:
+            for conj in sources.get(col, []):
+                if conj not in conditions:
+                    conditions.append(conj)
+        has_range = depth > len(eq_prefix)
+        unique_covered = (index.unique and
+                          len(eq_prefix) == len(index.columns))
+        est = scan_estimate(stats.live_rows, len(eq_prefix), has_range,
+                            unique_covered)
+        return IndexScan(table, alias, bounds, index.name, conditions,
+                         est_rows=est, unique_covered=unique_covered)
+
+    # ------------------------------------------------------------------
+    # Join planning
+    # ------------------------------------------------------------------
+
+    def _find_equi_keys(self, combined: Optional[Expr], join: Join,
+                        planned_aliases: Set[str],
+                        alias_columns: Dict[str, Sequence[str]]
+                        ) -> List[Tuple[str, Expr]]:
+        """(inner column, probe expression) pairs from ``=`` conjuncts of
+        ON/WHERE linking the joined table to already-planned aliases."""
+        if combined is None:
+            return []
+        alias = join.table.alias
+        inner_cols = alias_columns.get(alias, ())
+        keys: List[Tuple[str, Expr]] = []
+        for conj in conjuncts(combined):
+            if not (isinstance(conj, BinaryOp) and conj.op == "="):
+                continue
+            col = column_of_alias(conj.left, alias, inner_cols)
+            other = conj.right
+            if col is None:
+                col = column_of_alias(conj.right, alias, inner_cols)
+                other = conj.left
+            if col is None:
+                continue
+            if self._probe_expr_ok(other, alias, inner_cols,
+                                   planned_aliases, alias_columns):
+                keys.append((col, other))
+        return keys
+
+    def _probe_expr_ok(self, expr: Expr, inner_alias: str,
+                       inner_cols: Sequence[str],
+                       planned_aliases: Set[str],
+                       alias_columns: Dict[str, Sequence[str]]) -> bool:
+        """True when ``expr`` can be evaluated per probe row: no stars,
+        aggregates or subqueries, no references to the inner table, and at
+        least one reference to an already-planned alias (a pure constant
+        is a build-side bound, not a join key)."""
+        references_planned = False
+        for node in expr.walk():
+            if isinstance(node, Star):
+                return False
+            if isinstance(node, FunctionCall) and \
+                    node.name in functions.AGGREGATE_NAMES:
+                return False
+            if isinstance(node, SubqueryExpr):
+                return False
+            if isinstance(node, ColumnRef):
+                if node.table == inner_alias:
+                    return False
+                if node.table is None and node.name in inner_cols:
+                    return False
+                if node.table in planned_aliases:
+                    references_planned = True
+                elif node.table is None and any(
+                        node.name in alias_columns.get(a, ())
+                        for a in planned_aliases):
+                    references_planned = True
+        return references_planned
+
+    def _predict_probe(self, combined: Optional[Expr], join: Join,
+                       planned_aliases: Set[str],
+                       alias_columns: Dict[str, Sequence[str]]
+                       ) -> Tuple[Optional[str], List[Expr], int, bool, bool]:
+        """Structural dry-run of the per-row bound extraction: which index
+        would a nested-loop probe use, given that outer-row columns become
+        constants at probe time?  Returns (index_name, condition exprs,
+        n_eq, has_range, unique_covered)."""
+        alias = join.table.alias
+        inner_cols = alias_columns.get(alias, ())
+        heap = self.db.catalog.heap_of(join.table.name)
+        shapes: Dict[str, Dict[str, Any]] = {}
+        sources: Dict[str, List[Expr]] = {}
+        if combined is not None:
+            for conj in conjuncts(combined):
+                self._predict_shape(conj, alias, inner_cols, shapes,
+                                    sources)
+        best = rank_indexes(heap, shapes)
+        if best is None:
+            return None, [], 0, False, False
+        index, n_eq, has_range = best
+        depth = n_eq + (1 if has_range else 0)
+        conditions: List[Expr] = []
+        for col in index.columns[:depth]:
+            for conj in sources.get(col, []):
+                if conj not in conditions:
+                    conditions.append(conj)
+        unique_covered = index.unique and n_eq == len(index.columns)
+        return index.name, conditions, n_eq, has_range, unique_covered
+
+    def _predict_shape(self, conj: Expr, alias: str,
+                       inner_cols: Sequence[str],
+                       shapes: Dict[str, Dict[str, Any]],
+                       sources: Dict[str, List[Expr]]) -> None:
+        """One conjunct's contribution to the predicted probe-time bound
+        shapes — mirrors extract_bounds structurally (comparisons,
+        BETWEEN, IN) with outer-row columns standing in as constants."""
+        from repro.sql.ast_nodes import Between, InList
+
+        if isinstance(conj, BinaryOp) and conj.op in {
+                "=", "<", "<=", ">", ">="}:
+            col = column_of_alias(conj.left, alias, inner_cols)
+            other = conj.right
+            op = conj.op
+            if col is None:
+                col = column_of_alias(conj.right, alias, inner_cols)
+                other = conj.left
+                op = {"<": ">", "<=": ">=", ">": "<",
+                      ">=": "<="}.get(op, op)
+            if col is None or not self._row_free(other, alias, inner_cols):
+                return
+            slot = shapes.setdefault(col, {})
+            if op == "=":
+                slot["eq"] = True
+            elif op in {"<", "<="}:
+                slot["high"] = (True, True)
+            else:
+                slot["low"] = (True, True)
+            sources.setdefault(col, []).append(conj)
+            return
+        if isinstance(conj, Between) and not conj.negated:
+            col = column_of_alias(conj.operand, alias, inner_cols)
+            if col is None:
+                return
+            if self._row_free(conj.low, alias, inner_cols):
+                shapes.setdefault(col, {})["low"] = (True, True)
+                sources.setdefault(col, []).append(conj)
+            if self._row_free(conj.high, alias, inner_cols):
+                shapes.setdefault(col, {})["high"] = (True, True)
+                sources.setdefault(col, []).append(conj)
+            return
+        if isinstance(conj, InList) and not conj.negated:
+            col = column_of_alias(conj.operand, alias, inner_cols)
+            if col is None:
+                return
+            if all(self._row_free(item, alias, inner_cols)
+                   for item in conj.items) and conj.items:
+                slot = shapes.setdefault(col, {})
+                slot["low"] = (True, True)
+                slot["high"] = (True, True)
+                sources.setdefault(col, []).append(conj)
+
+    def _row_free(self, expr: Expr, inner_alias: str,
+                  inner_cols: Sequence[str]) -> bool:
+        """Structurally independent of the scanned (inner) row."""
+        for node in expr.walk():
+            if isinstance(node, Star):
+                return False
+            if isinstance(node, FunctionCall) and \
+                    node.name in functions.AGGREGATE_NAMES:
+                return False
+            if isinstance(node, SubqueryExpr):
+                return False
+            if isinstance(node, ColumnRef):
+                if node.table == inner_alias:
+                    return False
+                if node.table is None and node.name in inner_cols:
+                    return False
+        return True
+
+    def plan_join(self, outer: PlanNode, join: Join, where: Optional[Expr],
+                  ctx: EvalContext, planned_aliases: Set[str],
+                  alias_columns: Dict[str, Sequence[str]]) -> PlanNode:
+        # Conditions usable for the inner access path may come from the
+        # ON clause and from the WHERE clause.
+        combined = join.on
+        if where is not None:
+            combined = (where if combined is None
+                        else BinaryOp("AND", combined, where))
+        alias = join.table.alias
+        schema = self.db.catalog.schema_of(join.table.name)
+        stats = self.db.catalog.stats_of(join.table.name)
+        inner_live = max(stats.live_rows, 0)
+
+        keys = self._find_equi_keys(combined, join, planned_aliases,
+                                    alias_columns)
+        probe_index, probe_conds, n_eq, has_range, unique_covered = \
+            self._predict_probe(combined, join, planned_aliases,
+                                alias_columns)
+
+        # Strategy choice must be *deterministic across nodes*: in-flight
+        # transactions make live_rows interleaving-sensitive, and nodes
+        # that picked different plans would record different SIREAD sets
+        # and diverge on SSI abort decisions.  So the decision is purely
+        # structural (statement + catalog shape); the row counts below
+        # only annotate EXPLAIN output.
+        hash_allowed = bool(keys)
+        build: Optional[SeqScan] = None
+        if hash_allowed:
+            # The build side is scanned once, so only conjuncts constant
+            # at plan time (no outer-row references) can bound it.
+            build = self.plan_scan(join.table.name, alias, combined, ctx,
+                                   alias_columns)
+            if self.tx.require_index and not schema.system \
+                    and not self.tx.provenance \
+                    and not isinstance(build, IndexScan):
+                # A full build scan would violate the EO flow's
+                # index-backed-predicate rule; per-row index probes keep
+                # the old (narrow, index-served) predicate reads.
+                hash_allowed = False
+            elif unique_covered or (isinstance(outer, IndexScan)
+                                    and outer.unique_covered):
+                # Point lookups on either side — a unique fully-bound
+                # probe, or a single-row outer — make per-row index
+                # probes cheaper than building a hash over the whole
+                # inner side, and they record the narrowest possible
+                # predicate reads.  Both facts are structural, so the
+                # choice stays deterministic across nodes.
+                hash_allowed = False
+
+        outer_est = max(outer.est_rows, 1.0)
+        if hash_allowed:
+            return HashJoin(outer, join, build, keys,
+                            est_rows=max(outer_est, build.est_rows))
+
+        probe_est = (scan_estimate(inner_live, n_eq, has_range,
+                                   unique_covered)
+                     if probe_index is not None else float(inner_live))
+        probe = DynamicProbe(join.table.name, alias, probe_index,
+                             probe_conds, est_rows=probe_est)
+        return NestedLoopJoin(outer, join, combined, probe,
+                              est_rows=outer_est * max(probe_est, 1.0))
+
+    # ------------------------------------------------------------------
+    # SELECT planning
+    # ------------------------------------------------------------------
+
+    def plan_select(self, stmt: Select, ctx: EvalContext) -> SelectPlan:
+        alias_columns = self.bind_select(stmt)
+        order_items = self.effective_order_items(stmt, alias_columns)
+        aggregates = self.collect_aggregates(stmt, order_items)
+        columns = self.output_columns(stmt, alias_columns)
+
+        if stmt.from_table is None:
+            source: PlanNode = OneRow()
+        else:
+            source = self.plan_scan(stmt.from_table.name,
+                                    stmt.from_table.alias, stmt.where, ctx,
+                                    alias_columns)
+            planned = {stmt.from_table.alias}
+            for join in stmt.joins:
+                source = self.plan_join(source, join, stmt.where, ctx,
+                                        planned, alias_columns)
+                planned.add(join.table.alias)
+        if stmt.where is not None:
+            source = Filter(source, stmt.where)
+
+        if stmt.group_by or aggregates:
+            top: PlanNode = HashAggregate(
+                source, stmt.group_by, aggregates, stmt.having, stmt.items,
+                order_items, est_rows=source.est_rows)
+        else:
+            top = Project(source, stmt.items, order_items, columns,
+                          est_rows=source.est_rows)
+        if stmt.order_by:
+            top = Sort(top, order_items)
+        if stmt.distinct:
+            top = Distinct(top)
+        if stmt.limit is not None or stmt.offset is not None:
+            top = Limit(top, stmt.limit, stmt.offset)
+        return SelectPlan(root=top, columns=columns,
+                          alias_columns=alias_columns)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+
+    def explain(self, stmt, ctx: EvalContext) -> List[str]:
+        if isinstance(stmt, Select):
+            return self.plan_select(stmt, ctx).explain()
+        if isinstance(stmt, (Update, Delete)):
+            verb = "Update" if isinstance(stmt, Update) else "Delete"
+            scan = self.plan_scan(stmt.table, stmt.table, stmt.where, ctx)
+            lines = [f"{verb} on {stmt.table}"]
+            return render_plan(scan, depth=1, lines=lines)
+        if isinstance(stmt, Insert):
+            lines = [f"Insert on {stmt.table}"]
+            if stmt.select is not None:
+                sub = self.plan_select(stmt.select, ctx)
+                render_plan(sub.root, depth=1, lines=lines)
+            else:
+                lines.append(f"  -> Values ({len(stmt.rows)} row"
+                             f"{'s' if len(stmt.rows) != 1 else ''})")
+            return lines
+        from repro.errors import ExecutionError
+        raise ExecutionError(
+            f"EXPLAIN does not support {type(stmt).__name__}")
+
+
+def scan_estimate(live_rows: int, n_eq: int, has_range: bool,
+                  unique_covered: bool) -> float:
+    """System-R-style default selectivities over the live row count."""
+    base = float(max(live_rows, 1))
+    if unique_covered:
+        return 1.0
+    est = base
+    if n_eq:
+        est = max(1.0, est / 4.0)
+    if has_range:
+        est = max(1.0, est / 3.0)
+    return est

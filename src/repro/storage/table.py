@@ -29,6 +29,12 @@ class HeapTable:
         self._indexes: Dict[str, Index] = {}
         # xid -> version ids created by that xid (for abort cleanup)
         self._created_by_xid: Dict[int, List[int]] = {}
+        # Planner statistics, maintained incrementally: logical rows
+        # currently live (fresh inserts count immediately; committed
+        # deletes and abort cleanups decrement — see Database.apply_*),
+        # and versions physically reclaimed by vacuum.
+        self.live_rows = 0
+        self.vacuumed_versions = 0
 
     # ------------------------------------------------------------------
     # Index management
@@ -84,6 +90,8 @@ class HeapTable:
                        row_id: Optional[int] = None) -> RowVersion:
         """Create a new version.  ``row_id`` is allocated for fresh inserts
         and inherited for updates."""
+        if row_id is None:
+            self.live_rows += 1  # fresh logical row (updates inherit)
         version = RowVersion(
             version_id=next(self._version_counter),
             row_id=row_id if row_id is not None else next(self._row_counter),
@@ -105,6 +113,31 @@ class HeapTable:
 
     def delete_version(self, old: RowVersion, xid: int) -> None:
         old.mark_delete_candidate(xid)
+
+    # ------------------------------------------------------------------
+    # Statistics hooks (driven by Database.apply_commit/apply_abort and
+    # the vacuum)
+    # ------------------------------------------------------------------
+
+    def note_committed_delete(self) -> None:
+        """A DELETE write-set entry committed: one logical row fewer."""
+        self.live_rows = max(0, self.live_rows - 1)
+
+    def note_insert_discarded(self) -> None:
+        """A fresh insert was aborted or rolled back."""
+        self.live_rows = max(0, self.live_rows - 1)
+
+    def note_delete_reversed(self) -> None:
+        """Recovery undid a committed delete: the row is live again."""
+        self.live_rows += 1
+
+    def remove_version(self, version_id: int) -> bool:
+        """Physically reclaim one version (vacuum); returns True when the
+        version existed."""
+        if self._versions.pop(version_id, None) is not None:
+            self.vacuumed_versions += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Abort / recovery cleanup

@@ -51,7 +51,7 @@ def vacuum_table(heap: HeapTable, statuses: TxStatusTable,
             continue
         removable.append(version.version_id)
     for version_id in removable:
-        heap._versions.pop(version_id, None)
+        heap.remove_version(version_id)
     return len(removable)
 
 

@@ -160,6 +160,90 @@ class TestSQLAggregateProperties:
         db.apply_abort(tx, reason="test")
 
 
+class TestPlannerProperties:
+    """Planned execution must match a naive reference evaluation: the
+    planner may change access paths and join strategies, never results."""
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=20),
+                              st.integers(min_value=-50, max_value=50)),
+                    min_size=0, max_size=25),
+           st.sampled_from(["=", "<", "<=", ">", ">="]),
+           st.integers(min_value=-10, max_value=25))
+    @settings(max_examples=40, deadline=None)
+    def test_filtered_scan_matches_full_scan(self, rows, op, needle):
+        """An index-pruned scan returns exactly what filtering a full
+        scan would (the index has a secondary key so both paths exist)."""
+        db = Database()
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE s (id INT PRIMARY KEY, k INT, v INT);"
+                        "CREATE INDEX s_k_idx ON s (k)")
+        for i, (k, v) in enumerate(rows):
+            run_sql(db, tx, "INSERT INTO s (id, k, v) VALUES ($1, $2, $3)",
+                    params=(i, k, v))
+        got = run_sql(db, tx,
+                      f"SELECT id, k, v FROM s WHERE k {op} $1 ORDER BY id",
+                      params=(needle,))
+        compare = {"=": lambda a, b: a == b, "<": lambda a, b: a < b,
+                   "<=": lambda a, b: a <= b, ">": lambda a, b: a > b,
+                   ">=": lambda a, b: a >= b}[op]
+        expect = [(i, k, v) for i, (k, v) in enumerate(rows)
+                  if compare(k, needle)]
+        assert got.rows == expect
+        db.apply_abort(tx, reason="test")
+
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=0,
+                    max_size=12),
+           st.lists(st.integers(min_value=0, max_value=6), min_size=0,
+                    max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_hash_equi_join_matches_python_reference(self, lks, rks):
+        db = Database()
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE lt (id INT PRIMARY KEY, k INT);"
+                        "CREATE TABLE rt (id INT PRIMARY KEY, k INT)")
+        for i, k in enumerate(lks):
+            run_sql(db, tx, "INSERT INTO lt (id, k) VALUES ($1, $2)",
+                    params=(i, k))
+        for i, k in enumerate(rks):
+            run_sql(db, tx, "INSERT INTO rt (id, k) VALUES ($1, $2)",
+                    params=(i, k))
+        got = run_sql(db, tx,
+                      "SELECT lt.id, rt.id FROM lt "
+                      "JOIN rt ON rt.k = lt.k ORDER BY lt.id, rt.id")
+        expect = sorted((li, ri)
+                        for li, lk in enumerate(lks)
+                        for ri, rk in enumerate(rks) if lk == rk)
+        assert got.rows == expect
+        db.apply_abort(tx, reason="test")
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.integers(min_value=0, max_value=9)),
+                    min_size=0, max_size=16),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_group_order_limit_matches_reference(self, pairs, limit):
+        """The fig7 shape — GROUP BY + ORDER BY aggregate + LIMIT —
+        against a Python fold."""
+        db = Database()
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE g2 (id INT PRIMARY KEY, grp TEXT, "
+                        "v INT); CREATE INDEX g2_grp_idx ON g2 (grp)")
+        for i, (grp, v) in enumerate(pairs):
+            run_sql(db, tx, "INSERT INTO g2 (id, grp, v) "
+                            "VALUES ($1, $2, $3)", params=(i, grp, v))
+        got = run_sql(db, tx,
+                      "SELECT grp, sum(v) AS total FROM g2 GROUP BY grp "
+                      "ORDER BY total DESC, grp ASC LIMIT $1",
+                      params=(limit,))
+        totals = {}
+        for grp, v in pairs:
+            totals[grp] = totals.get(grp, 0) + v
+        expect = sorted(totals.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:limit]
+        assert got.rows == expect
+        db.apply_abort(tx, reason="test")
+
+
 class TestSSIProperties:
     """The committed subset of any batch of conflicting transactions must
     have an acyclic rw-graph (serializability)."""

@@ -1,0 +1,364 @@
+"""Planner & plan layer: EXPLAIN golden outputs, join-strategy choice,
+ORDER BY alias resolution without AST mutation, catalog statistics."""
+
+import pytest
+
+from repro.errors import MissingIndexError
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.sql.parser import parse_one
+from repro.storage.vacuum import vacuum_database
+
+
+@pytest.fixture
+def db():
+    """The Appendix A order-processing shape, seeded like the fig6/fig7
+    workloads."""
+    database = Database()
+    tx = database.begin(allow_nondeterministic=True)
+    run_sql(database, tx, """
+        CREATE TABLE accounts (
+            acc_id INT PRIMARY KEY,
+            org TEXT NOT NULL,
+            balance FLOAT NOT NULL
+        );
+        CREATE INDEX accounts_org_idx ON accounts(org);
+        CREATE TABLE invoices (
+            invoice_id INT PRIMARY KEY,
+            acc_id INT NOT NULL,
+            org TEXT NOT NULL,
+            amount FLOAT NOT NULL,
+            status TEXT NOT NULL
+        );
+        CREATE INDEX invoices_acc_idx ON invoices(acc_id);
+        CREATE INDEX invoices_org_idx ON invoices(org);
+    """)
+    for i in range(12):
+        run_sql(database, tx,
+                "INSERT INTO accounts (acc_id, org, balance) "
+                "VALUES ($1, $2, 100.0)",
+                params=(i + 1, f"org{i % 3 + 1}"))
+    for i in range(36):
+        run_sql(database, tx,
+                "INSERT INTO invoices (invoice_id, acc_id, org, amount, "
+                "status) VALUES ($1, $2, $3, $4, 'new')",
+                params=(i + 1, i % 12 + 1, f"org{i % 3 + 1}",
+                        float(10 + i)))
+    database.apply_commit(tx, block_number=1)
+    database.committed_height = 1
+    return database
+
+
+def q(db, sql, params=(), **tx_kwargs):
+    tx = db.begin(allow_nondeterministic=True, **tx_kwargs)
+    try:
+        return run_sql(db, tx, sql, params=params)
+    finally:
+        if not tx.is_aborted and not tx.is_committed:
+            db.apply_abort(tx, reason="test")
+
+
+def explain(db, sql, params=(), **tx_kwargs):
+    result = q(db, "EXPLAIN " + sql, params=params, **tx_kwargs)
+    assert result.columns == ["QUERY PLAN"]
+    return [row[0] for row in result.rows]
+
+
+FIG6_SQL = ("SELECT sum(i.amount), count(*) FROM accounts a "
+            "JOIN invoices i ON i.acc_id = a.acc_id WHERE a.org = $1")
+
+FIG7_SQL = ("SELECT sum(amount) FROM invoices WHERE org = $1 "
+            "GROUP BY acc_id ORDER BY sum(amount) DESC, acc_id ASC LIMIT 1")
+
+
+class TestExplainGolden:
+    def test_fig6_join_uses_hash_join(self, db):
+        assert explain(db, FIG6_SQL, params=("org1",)) == [
+            "HashAggregate (global)",
+            "  -> Filter (a.org = $1)",
+            "    -> HashJoin INNER (i.acc_id = a.acc_id)",
+            "      -> IndexScan on accounts as a using accounts_org_idx "
+            "(a.org = $1) (rows~3)",
+            "      -> SeqScan on invoices as i (rows~36)",
+        ]
+
+    def test_fig7_group_uses_hash_aggregate(self, db):
+        assert explain(db, FIG7_SQL, params=("org1",)) == [
+            "Limit (limit=1)",
+            "  -> Sort (sum(amount) DESC, acc_id ASC)",
+            "    -> HashAggregate (group by acc_id)",
+            "      -> Filter (org = $1)",
+            "        -> IndexScan on invoices using invoices_org_idx "
+            "(org = $1) (rows~9)",
+        ]
+
+    def test_no_equi_key_falls_back_to_nested_loop(self, db):
+        lines = explain(db, "SELECT a.acc_id FROM accounts a "
+                            "JOIN invoices i ON i.amount > a.balance")
+        assert lines == [
+            "Project (acc_id)",
+            "  -> NestedLoopJoin INNER on (i.amount > a.balance)",
+            "    -> SeqScan on accounts as a (rows~12)",
+            "    -> SeqScan on invoices as i (per outer row)",
+        ]
+
+    def test_eo_flow_keeps_index_backed_nested_loop(self, db):
+        """Under require_index a hash build's full scan would abort, so
+        the planner keeps per-row index probes (narrow predicate reads)."""
+        lines = explain(db, FIG6_SQL, params=("org1",), require_index=True)
+        assert ("    -> NestedLoopJoin INNER on (i.acc_id = a.acc_id)"
+                in lines)
+        assert ("      -> IndexProbe on invoices as i using "
+                "invoices_acc_idx (i.acc_id = a.acc_id) (per outer row)"
+                in lines)
+        assert not any("HashJoin" in line for line in lines)
+
+    def test_point_lookup_join_prefers_index_probes(self, db):
+        """A unique-key outer (1 row) probing an indexed inner is cheaper
+        than building a hash over the whole inner table."""
+        lines = explain(db, "SELECT i.amount FROM accounts a "
+                            "JOIN invoices i ON i.acc_id = a.acc_id "
+                            "WHERE a.acc_id = 7")
+        assert any("NestedLoopJoin" in line for line in lines)
+        assert any("IndexProbe" in line for line in lines)
+
+    def test_explain_update_and_delete(self, db):
+        assert explain(db, "UPDATE accounts SET balance = 0 "
+                           "WHERE acc_id = 3") == [
+            "Update on accounts",
+            "  -> IndexScan on accounts using accounts_pkey "
+            "(acc_id = 3) (rows~1)",
+        ]
+        assert explain(db, "DELETE FROM invoices WHERE org = 'org2'") == [
+            "Delete on invoices",
+            "  -> IndexScan on invoices using invoices_org_idx "
+            "(org = 'org2') (rows~9)",
+        ]
+
+    def test_explain_insert_values(self, db):
+        assert explain(db, "INSERT INTO accounts (acc_id, org, balance) "
+                           "VALUES (99, 'org9', 1.0)") == [
+            "Insert on accounts",
+            "  -> Values (1 row)",
+        ]
+
+    def test_explain_does_not_execute(self, db):
+        before = q(db, "SELECT count(*) FROM accounts").scalar()
+        explain(db, "DELETE FROM accounts WHERE acc_id = 1")
+        assert q(db, "SELECT count(*) FROM accounts").scalar() == before
+
+
+class TestJoinStrategies:
+    def test_hash_join_matches_nested_loop_results(self, db):
+        """Force both strategies over the same query; identical rows in
+        identical order."""
+        sql = ("SELECT a.acc_id, i.invoice_id, i.amount FROM accounts a "
+               "JOIN invoices i ON i.acc_id = a.acc_id "
+               "WHERE a.org = 'org1' ORDER BY i.invoice_id")
+        hash_rows = q(db, sql).rows
+        nlj_rows = q(db, sql, require_index=True).rows  # forces probes
+        assert hash_rows == nlj_rows
+        assert len(hash_rows) == 12
+
+    def test_left_hash_join_emits_null_rows(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO accounts (acc_id, org, balance) "
+                        "VALUES (50, 'lonely', 0.0)")
+        lines = [row[0] for row in run_sql(
+            db, tx, "EXPLAIN SELECT a.acc_id, count(i.invoice_id) "
+                    "FROM accounts a LEFT JOIN invoices i "
+                    "ON i.acc_id = a.acc_id GROUP BY a.acc_id").rows]
+        assert any("HashJoin LEFT" in line for line in lines)
+        result = run_sql(
+            db, tx, "SELECT a.acc_id, count(i.invoice_id) FROM accounts a "
+                    "LEFT JOIN invoices i ON i.acc_id = a.acc_id "
+                    "GROUP BY a.acc_id ORDER BY a.acc_id")
+        assert result.rows[-1] == (50, 0)
+        db.apply_abort(tx, reason="test")
+
+    def test_eo_flow_unindexed_join_still_aborts(self, db):
+        tx = db.begin(allow_nondeterministic=True, require_index=True)
+        with pytest.raises(MissingIndexError):
+            run_sql(db, tx, "SELECT count(*) FROM accounts a "
+                            "JOIN invoices i ON i.status = a.org")
+        db.apply_abort(tx, reason="test")
+
+    def test_cross_join_with_where_equi_key(self, db):
+        result = q(db, "SELECT count(*) FROM accounts a, invoices i "
+                       "WHERE i.acc_id = a.acc_id")
+        assert result.scalar() == 36
+
+    def test_hash_join_matches_boolean_to_integer_keys(self, db):
+        """'=' treats TRUE = 1; hash bucketing must agree with the
+        comparator, not with index key ranking."""
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, """
+            CREATE TABLE flags (id INT PRIMARY KEY, f BOOLEAN);
+            CREATE TABLE nums (id INT PRIMARY KEY, n INT);
+            INSERT INTO flags (id, f) VALUES (1, TRUE), (2, FALSE);
+            INSERT INTO nums (id, n) VALUES (10, 1), (11, 0), (12, 5);
+        """)
+        result = run_sql(db, tx, "SELECT flags.id, nums.id FROM flags "
+                                 "JOIN nums ON nums.n = flags.f "
+                                 "ORDER BY flags.id")
+        assert result.rows == [(1, 10), (2, 11)]
+        db.apply_abort(tx, reason="test")
+
+
+class TestOrderByAliasPlanning:
+    def test_order_by_alias_does_not_mutate_ast(self, db):
+        """Re-executing a cached statement (stored procedures keep the
+        parsed tree) must not see a rewritten ORDER BY."""
+        stmt = parse_one("SELECT org, sum(amount) AS total FROM invoices "
+                         "GROUP BY org ORDER BY total DESC")
+        from repro.sql.ast_nodes import ColumnRef
+        from repro.sql.executor import Executor
+
+        for _ in range(2):
+            tx = db.begin(allow_nondeterministic=True)
+            result = Executor(db, tx).execute(stmt)
+            assert [r[0] for r in result.rows] == ["org3", "org2", "org1"]
+            db.apply_abort(tx, reason="test")
+            order_expr = stmt.order_by[0].expr
+            assert isinstance(order_expr, ColumnRef)
+            assert order_expr.name == "total"
+
+    def test_real_column_shadows_alias(self, db):
+        result = q(db, "SELECT acc_id, amount AS org FROM invoices "
+                       "WHERE acc_id = 1 ORDER BY org")
+        # "org" is a real column: sorts by invoices.org, not the alias.
+        assert [r[0] for r in result.rows] == [1, 1, 1]
+
+
+class TestCatalogStatistics:
+    def test_live_rows_track_insert_commit_delete(self, db):
+        assert db.catalog.stats_of("accounts").live_rows == 12
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO accounts (acc_id, org, balance) "
+                        "VALUES (90, 'orgX', 1.0)")
+        assert db.catalog.stats_of("accounts").live_rows == 13
+        db.apply_abort(tx, reason="test")
+        assert db.catalog.stats_of("accounts").live_rows == 12
+
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM accounts WHERE acc_id = 1")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 2
+        assert db.catalog.stats_of("accounts").live_rows == 11
+
+    def test_update_keeps_live_count_stable(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "UPDATE accounts SET balance = 1.0 "
+                        "WHERE acc_id = 2")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 2
+        stats = db.catalog.stats_of("accounts")
+        assert stats.live_rows == 12
+        assert stats.total_versions == 13  # old + new version retained
+
+    def test_vacuum_updates_version_stats(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM invoices WHERE org = 'org3'")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 10
+        report = vacuum_database(db, horizon_block=5)
+        assert report.removed_versions == 12
+        stats = db.catalog.stats_of("invoices")
+        assert stats.vacuumed_versions == 12
+        assert stats.total_versions == 24
+        assert stats.live_rows == 24
+
+    def test_rollback_committed_restores_counts(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM accounts WHERE acc_id = 3; "
+                        "INSERT INTO accounts (acc_id, org, balance) "
+                        "VALUES (91, 'orgY', 1.0)")
+        db.apply_commit(tx, block_number=2)
+        assert db.catalog.stats_of("accounts").live_rows == 12
+        db.rollback_committed(tx)
+        assert db.catalog.stats_of("accounts").live_rows == 12
+        # Aborting the rolled-back tx must not double-discount the insert
+        # whose version recovery already removed.
+        db.apply_abort(tx, reason="test")
+        assert db.catalog.stats_of("accounts").live_rows == 12
+
+
+class TestPlannedSemanticsUnchanged:
+    def test_ssi_predicate_reads_still_recorded_through_plans(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "SELECT * FROM invoices WHERE org = 'org1'")
+        predicates = [p for p in tx.predicate_reads
+                      if p.table == "invoices" and p.columns]
+        assert predicates and predicates[0].matches_values({"org": "org1"})
+        assert not predicates[0].matches_values({"org": "org2"})
+        db.apply_abort(tx, reason="test")
+
+    def test_hash_join_build_records_predicate_read(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, FIG6_SQL.replace("$1", "'org1'"))
+        tables = {p.table for p in tx.predicate_reads}
+        assert {"accounts", "invoices"} <= tables
+        db.apply_abort(tx, reason="test")
+
+    def test_limit_offset_slicing(self, db):
+        result = q(db, "SELECT invoice_id FROM invoices "
+                       "ORDER BY invoice_id LIMIT 3 OFFSET 1")
+        assert result.rows == [(2,), (3,), (4,)]
+
+    def test_limit_zero_still_records_reads(self, db):
+        """LIMIT 0 must not skip the scan: the predicate read (and ACL /
+        EO-abort behaviour) has to happen exactly as without the LIMIT,
+        or SSI would miss rw-antidependencies."""
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "SELECT * FROM invoices WHERE org = 'org1' LIMIT 0")
+        predicates = [p for p in tx.predicate_reads
+                      if p.table == "invoices" and p.columns]
+        assert predicates and predicates[0].matches_values({"org": "org1"})
+        assert any(t == "invoices" for t, _ in tx.row_reads)
+        db.apply_abort(tx, reason="test")
+
+    def test_query_timings_recorded(self, db):
+        from repro.sql.planner import QUERY_TIMINGS
+
+        QUERY_TIMINGS.reset()
+        q(db, "SELECT count(*) FROM invoices")
+        snap = QUERY_TIMINGS.snapshot()
+        assert snap["statements"] == 1
+        assert snap["plan_ms_total"] >= 0.0
+        assert snap["exec_ms_total"] > 0.0
+
+    def test_correlated_subqueries_count_as_one_statement(self, db):
+        from repro.sql.planner import QUERY_TIMINGS
+
+        QUERY_TIMINGS.reset()
+        q(db, "SELECT acc_id FROM accounts a WHERE EXISTS "
+              "(SELECT 1 FROM invoices i WHERE i.acc_id = a.acc_id)")
+        assert QUERY_TIMINGS.snapshot()["statements"] == 1
+
+    def test_negative_limit_and_offset_rejected(self, db):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            q(db, "SELECT acc_id FROM accounts LIMIT $1", params=(-1,))
+        with pytest.raises(ExecutionError):
+            q(db, "SELECT acc_id FROM accounts LIMIT 1 OFFSET $1",
+              params=(-2,))
+
+    def test_explain_enforces_read_acl(self, db):
+        from repro.errors import AccessDenied
+        from repro.sql.executor import AccessChecker, Executor
+        from repro.sql.parser import parse_one
+
+        class DenyInvoices(AccessChecker):
+            def check_read(self, username, table):
+                if table == "invoices":
+                    raise AccessDenied(f"{table} is off limits")
+
+        tx = db.begin(allow_nondeterministic=True)
+        executor = Executor(db, tx, acl=DenyInvoices())
+        executor.execute(parse_one("EXPLAIN SELECT * FROM accounts"))
+        with pytest.raises(AccessDenied):
+            executor.execute(parse_one(
+                "EXPLAIN SELECT * FROM accounts a WHERE EXISTS "
+                "(SELECT 1 FROM invoices i WHERE i.acc_id = a.acc_id)"))
+        db.apply_abort(tx, reason="test")
