@@ -4,9 +4,20 @@ Each benchmark regenerates one table or figure from section 5 of the
 paper and prints the reproduced rows/series next to the paper's reported
 values, so `pytest benchmarks/ --benchmark-only` doubles as the
 EXPERIMENTS.md evidence trail.
+
+``BENCH_statement_fastpath.json`` at the repo root is the committed perf
+baseline: benchmarks bootstrap their section on first run (that file is
+then committed with the PR that changed the numbers) and assert against
+the committed values afterwards, so CI fails on large regressions.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+BASELINE_PATH = (Path(__file__).resolve().parent.parent
+                 / "BENCH_statement_fastpath.json")
 
 
 def print_banner(title: str) -> None:
@@ -14,3 +25,20 @@ def print_banner(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def load_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {}
+
+
+def record_baseline(section: str, data: dict) -> dict:
+    """Bootstrap ``section`` of the committed baseline if absent; return
+    the canonical (committed) values for regression checks."""
+    baseline = load_baseline()
+    if section not in baseline:
+        baseline[section] = data
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return baseline[section]

@@ -7,7 +7,7 @@ parallel peaks ~2700 tps (1.5x); latency flips from block-fill-dominated
 blocks faster) above it.
 """
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, record_baseline
 from repro.bench.harness import fig5_table, run_fig5
 from repro.bench.perfmodel import FLOW_EO, FLOW_OE
 
@@ -20,6 +20,10 @@ def test_fig5a_order_then_execute(benchmark):
     print(f"\npeak throughput: {result['peak_throughput']:.0f} tps "
           f"(paper: ~1800 tps)")
     assert 1600 <= result["peak_throughput"] <= 2000
+    canonical = record_baseline("fig5_order_execute", {
+        "peak_tps": round(result["peak_throughput"], 1)})
+    assert result["peak_throughput"] >= canonical["peak_tps"] / 2, \
+        f"fig5 OE peak regressed >2x vs baseline {canonical}"
 
 
 def test_fig5b_execute_order_in_parallel(benchmark):
@@ -30,3 +34,7 @@ def test_fig5b_execute_order_in_parallel(benchmark):
     print(f"\npeak throughput: {result['peak_throughput']:.0f} tps "
           f"(paper: ~2700 tps, 1.5x order-then-execute)")
     assert 2500 <= result["peak_throughput"] <= 3000
+    canonical = record_baseline("fig5_execute_order", {
+        "peak_tps": round(result["peak_throughput"], 1)})
+    assert result["peak_throughput"] >= canonical["peak_tps"] / 2, \
+        f"fig5 EO peak regressed >2x vs baseline {canonical}"

@@ -6,7 +6,7 @@ the simple contract because tet grows ~160x; execute-order-in-parallel
 peaks at more than twice the order-then-execute figure.
 """
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, record_baseline
 from repro.bench.harness import format_table, run_complexity
 from repro.bench.perfmodel import FLOW_EO, FLOW_OE
 
@@ -32,6 +32,20 @@ def test_fig6_complex_join(benchmark):
           f"EO peak {eo_peak:.0f} tps (paper: >2x OE)")
     assert 300 <= oe_peak <= 500
     assert eo_peak > 2 * oe_peak
+
+    # Committed-baseline regression gate (BENCH_statement_fastpath.json):
+    # fails if the fig6 numbers regress more than 2x vs the committed
+    # values.  These peaks are outputs of the calibrated perf model, so
+    # this catches perfmodel/profile regressions; the *real-engine*
+    # statement-processing gate lives in test_statement_fastpath.py.
+    canonical = record_baseline("fig6_complex_join", {
+        "oe_peak_tps": round(oe_peak, 1),
+        "eo_peak_tps": round(eo_peak, 1),
+    })
+    assert oe_peak >= canonical["oe_peak_tps"] / 2, \
+        f"fig6 OE peak regressed >2x vs baseline {canonical}"
+    assert eo_peak >= canonical["eo_peak_tps"] / 2, \
+        f"fig6 EO peak regressed >2x vs baseline {canonical}"
     # EO's bet and bpt are lower than OE's at the same block size
     # (execution overlapped ordering) — section 5.2.
     for oe_row, eo_row in zip(result["flows"][FLOW_OE],

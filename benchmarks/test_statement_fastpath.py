@@ -1,0 +1,159 @@
+"""Statement fast path: stored-procedure re-execution speedup.
+
+The order-execute and execute-order flows replay the *same* contract
+statements on every replica for every transaction (fig5's simple
+transfer, fig6's complex join).  This benchmark drives the real engine
+over a fig5/fig6-shaped statement mix and compares statement processing
+with every cache cold (parse + plan from scratch each iteration, the
+pre-fastpath behaviour) against warm caches (parse-cache + plan-template
+hits, compiled expressions reused).
+
+Acceptance gate: warm-cache statement processing (the plan phase the
+engine times per statement) must be at least 2x faster than cold.  The
+measured numbers are recorded into ``BENCH_statement_fastpath.json`` so
+future PRs inherit a perf trajectory.
+"""
+
+import time
+
+from benchmarks.conftest import print_banner, record_baseline
+from repro.bench.harness import format_table
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.sql.lexer import _tokenize_cached
+from repro.sql.parser import clear_parse_cache
+from repro.sql.planner import QUERY_TIMINGS
+
+ITERATIONS = 120
+
+# One iteration = one transaction's statement mix: point read + balance
+# update (fig5 simple contract) and the fig6/fig7 join and group shapes.
+STATEMENTS = [
+    ("SELECT balance FROM accounts WHERE acc_id = $1", (3,)),
+    ("UPDATE accounts SET balance = balance + $1 WHERE acc_id = $2",
+     (1.0, 3)),
+    ("SELECT sum(i.amount), count(*) FROM accounts a "
+     "JOIN invoices i ON i.acc_id = a.acc_id WHERE a.org = $1", ("org1",)),
+    ("SELECT sum(amount) FROM invoices WHERE org = $1 GROUP BY acc_id "
+     "ORDER BY sum(amount) DESC, acc_id ASC LIMIT 1", ("org2",)),
+]
+
+
+def build_db() -> Database:
+    database = Database()
+    tx = database.begin(allow_nondeterministic=True)
+    run_sql(database, tx, """
+        CREATE TABLE accounts (
+            acc_id INT PRIMARY KEY,
+            org TEXT NOT NULL,
+            balance FLOAT NOT NULL
+        );
+        CREATE INDEX accounts_org_idx ON accounts(org);
+        CREATE TABLE invoices (
+            invoice_id INT PRIMARY KEY,
+            acc_id INT NOT NULL,
+            org TEXT NOT NULL,
+            amount FLOAT NOT NULL,
+            status TEXT NOT NULL
+        );
+        CREATE INDEX invoices_acc_idx ON invoices(acc_id);
+        CREATE INDEX invoices_org_idx ON invoices(org);
+    """)
+    for i in range(12):
+        run_sql(database, tx,
+                "INSERT INTO accounts (acc_id, org, balance) "
+                "VALUES ($1, $2, 100.0)",
+                params=(i + 1, f"org{i % 3 + 1}"))
+    for i in range(36):
+        run_sql(database, tx,
+                "INSERT INTO invoices (invoice_id, acc_id, org, amount, "
+                "status) VALUES ($1, $2, $3, $4, 'new')",
+                params=(i + 1, i % 12 + 1, f"org{i % 3 + 1}",
+                        float(10 + i)))
+    database.apply_commit(tx, block_number=1)
+    database.committed_height = 1
+    return database
+
+
+def clear_all_caches(db: Database) -> None:
+    clear_parse_cache()
+    _tokenize_cached.cache_clear()
+    db.plan_cache.clear()
+
+
+def run_workload(db: Database, iterations: int, cold: bool):
+    """Returns (wall seconds, QUERY_TIMINGS snapshot) for ``iterations``
+    transactions of the statement mix.  Transactions abort so the heap
+    stays the same size in both modes."""
+    QUERY_TIMINGS.reset()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if cold:
+            clear_all_caches(db)
+        tx = db.begin(allow_nondeterministic=True)
+        for sql, params in STATEMENTS:
+            run_sql(db, tx, sql, params=params)
+        db.apply_abort(tx, reason="bench")
+    wall = time.perf_counter() - started
+    return wall, QUERY_TIMINGS.snapshot()
+
+
+def test_statement_fastpath_speedup(benchmark):
+    db = build_db()
+
+    def measure():
+        cold_wall, cold = run_workload(db, ITERATIONS, cold=True)
+        clear_all_caches(db)
+        run_workload(db, 1, cold=False)          # prime the caches
+        warm_wall, warm = run_workload(db, ITERATIONS, cold=False)
+        return cold_wall, cold, warm_wall, warm
+
+    cold_wall, cold, warm_wall, warm = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    statements = cold["statements"]
+    plan_speedup = cold["plan_ms_total"] / max(warm["plan_ms_total"], 1e-9)
+    wall_speedup = cold_wall / max(warm_wall, 1e-9)
+    cold_stmt_ms = cold_wall * 1e3 / statements
+    warm_stmt_ms = warm_wall * 1e3 / statements
+
+    print_banner("Statement fast path — cold vs warm caches "
+                 f"({ITERATIONS} tx x {len(STATEMENTS)} statements)")
+    print(format_table(
+        ["mode", "wall_ms", "stmt_ms", "plan_ms_total", "exec_ms_total",
+         "cache_hits", "compiled"],
+        [["cold", round(cold_wall * 1e3, 1), round(cold_stmt_ms, 4),
+          cold["plan_ms_total"], cold["exec_ms_total"],
+          cold["plan_cache_hits"], cold["compiled_exprs"]],
+         ["warm", round(warm_wall * 1e3, 1), round(warm_stmt_ms, 4),
+          warm["plan_ms_total"], warm["exec_ms_total"],
+          warm["plan_cache_hits"], warm["compiled_exprs"]]]))
+    print(f"\nplan-phase speedup: {plan_speedup:.1f}x; "
+          f"whole-statement speedup: {wall_speedup:.1f}x")
+
+    # Warm runs must actually hit the cache for (almost) every statement.
+    assert warm["plan_cache_hits"] >= statements - len(STATEMENTS)
+    assert cold["plan_cache_hits"] == 0
+    # Warm runs compile (at most a stray) nothing; cold recompile per tx.
+    assert warm["compiled_exprs"] < cold["compiled_exprs"] / 10
+    # Acceptance: >=2x statement-processing speedup with the cache warm.
+    assert plan_speedup >= 2.0, \
+        f"statement processing only {plan_speedup:.2f}x faster warm"
+
+    canonical = record_baseline("statement_fastpath", {
+        "iterations": ITERATIONS,
+        "statements_per_mode": statements,
+        "cold_stmt_ms": round(cold_stmt_ms, 4),
+        "warm_stmt_ms": round(warm_stmt_ms, 4),
+        "cold_plan_ms_total": cold["plan_ms_total"],
+        "warm_plan_ms_total": warm["plan_ms_total"],
+        "plan_speedup_x": round(plan_speedup, 1),
+        "wall_speedup_x": round(wall_speedup, 2),
+    })
+    # Regression gate against the committed baseline.  Speedup is a
+    # cold/warm *ratio* on the same machine, so unlike absolute ms it is
+    # portable to CI runners: a halved ratio means the fast path itself
+    # degraded (e.g. cache misses on the hot path), not slower hardware.
+    assert plan_speedup >= canonical["plan_speedup_x"] / 2, \
+        (f"fast-path speedup {plan_speedup:.1f}x regressed >2x vs "
+         f"committed baseline {canonical['plan_speedup_x']}x")

@@ -237,8 +237,9 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
                             consensus: str = "kafka") -> Dict:
     """Push ``count`` real transactions through the engine; returns
     wall-clock commit rate, abort statistics, and the SQL engine's own
-    per-statement planning/execution timings (so fig6/fig7-style runs can
-    report the join/aggregate speedup)."""
+    per-statement planning/execution timings — including plan-cache
+    hit/miss counts and expression-compilation cost, so fig6/fig7-style
+    runs report the statement fast path's effect directly."""
     from repro.sql.planner import QUERY_TIMINGS
 
     net, clients = build_functional_network(flow, consensus=consensus)
@@ -277,4 +278,8 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
         "sql_exec_ms_avg": sql_timings["exec_ms_avg"],
         "sql_plan_ms_total": sql_timings["plan_ms_total"],
         "sql_exec_ms_total": sql_timings["exec_ms_total"],
+        "sql_plan_cache_hits": sql_timings["plan_cache_hits"],
+        "sql_plan_cache_misses": sql_timings["plan_cache_misses"],
+        "sql_compile_ms_total": sql_timings["compile_ms_total"],
+        "sql_compiled_exprs": sql_timings["compiled_exprs"],
     }

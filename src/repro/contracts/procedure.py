@@ -21,7 +21,7 @@ from repro.sql.ast_nodes import (
 )
 from repro.sql.catalog import coerce_value
 from repro.sql.executor import AccessChecker, Executor, Result
-from repro.sql.expressions import EvalContext, evaluate
+from repro.sql.expressions import EvalContext, compiled
 from repro.sql.parser import parse_procedure_body
 from repro.contracts.determinism import assert_deterministic
 
@@ -76,7 +76,7 @@ class ProcedureRuntime:
             allow_nondeterministic=tx.allow_nondeterministic,
             subquery_fn=executor._run_subquery)
         for name, type_name, init in procedure.body.declarations:
-            variables[name] = evaluate(init, ctx) if init is not None \
+            variables[name] = compiled(init)(ctx) if init is not None \
                 else None
         tx.contract_versions[procedure.name] = procedure.version
 
@@ -100,22 +100,22 @@ class ProcedureRuntime:
                        ctx: EvalContext, variables: Dict[str, Any],
                        tx: TransactionContext) -> Any:
         if isinstance(stmt, PLAssign):
-            variables[stmt.name] = evaluate(stmt.value, ctx)
+            variables[stmt.name] = compiled(stmt.value)(ctx)
             return _NO_RETURN
         if isinstance(stmt, PLIf):
             for cond, body in stmt.branches:
-                if evaluate(cond, ctx) is True:
+                if compiled(cond)(ctx) is True:
                     return self._run_body(body, executor, ctx, variables, tx)
             return self._run_body(stmt.else_body, executor, ctx, variables,
                                   tx)
         if isinstance(stmt, PLRaise):
-            message = evaluate(stmt.message, ctx)
+            message = compiled(stmt.message)(ctx)
             if stmt.level == "NOTICE":
                 tx.notices.append(str(message))
                 return _NO_RETURN
             raise ContractAborted(str(message))
         if isinstance(stmt, PLReturn):
-            return evaluate(stmt.value, ctx) if stmt.value is not None \
+            return compiled(stmt.value)(ctx) if stmt.value is not None \
                 else None
         if isinstance(stmt, PLPerform):
             executor.execute(stmt.select, variables=variables)

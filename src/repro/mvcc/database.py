@@ -21,6 +21,7 @@ from repro.mvcc.transaction import (
     WriteSetEntry,
 )
 from repro.sql.catalog import Catalog
+from repro.sql.plancache import PlanCache
 from repro.storage.snapshot import BlockSnapshot, SeqSnapshot, TxStatusTable
 from repro.storage.wal import (
     WAL_ABORT,
@@ -35,6 +36,12 @@ class Database:
 
     def __init__(self, wal: Optional[WriteAheadLog] = None):
         self.catalog = Catalog()
+        # Statement fast path: physical plan templates keyed by
+        # (fingerprint, shape, catalog version); DDL/stats-drift bumps
+        # purge stale entries eagerly.
+        self.plan_cache = PlanCache()
+        self.catalog.add_version_listener(
+            self.plan_cache.invalidate_for_version)
         self.statuses = TxStatusTable()
         self.wal = wal or WriteAheadLog()
         self._xid_counter = itertools.count(1)

@@ -143,11 +143,37 @@ class TableSchema:
 
 
 class Catalog:
-    """All tables and indexes of one database node."""
+    """All tables and indexes of one database node.
+
+    ``version`` is a monotonic counter bumped on every DDL change and on
+    vacuum-driven statistics drift.  Cached physical plans embed the
+    version they were built under, so any bump atomically invalidates
+    every stale plan (listeners — e.g. the plan cache — are notified so
+    they can purge eagerly).
+    """
 
     def __init__(self):
         self._schemas: Dict[str, TableSchema] = {}
         self._heaps: Dict[str, HeapTable] = {}
+        self._version = 0
+        self._version_listeners: List[Any] = []
+
+    # -- versioning --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance the catalog version (DDL or stats drift occurred)."""
+        self._version += 1
+        for listener in self._version_listeners:
+            listener(self._version)
+        return self._version
+
+    def add_version_listener(self, listener) -> None:
+        """``listener(new_version)`` fires after every bump."""
+        self._version_listeners.append(listener)
 
     # -- tables ------------------------------------------------------------
 
@@ -170,6 +196,7 @@ class Catalog:
             heap.add_index(Index(
                 name=f"{schema.name}_{'_'.join(cols)}_key",
                 table_name=schema.name, columns=cols, unique=True))
+        self.bump_version()
         return heap
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -179,6 +206,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._schemas[name]
         del self._heaps[name]
+        self.bump_version()
 
     def schema_of(self, name: str) -> TableSchema:
         try:
@@ -230,4 +258,5 @@ class Catalog:
         index = Index(name=name, table_name=table, columns=columns,
                       unique=unique)
         heap.add_index(index)
+        self.bump_version()
         return index

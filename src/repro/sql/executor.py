@@ -54,11 +54,17 @@ from repro.sql.catalog import (
 )
 from repro.sql.expressions import (
     EvalContext,
-    evaluate,
-    evaluate_predicate,
+    compiled,
+    compiled_predicate,
 )
-from repro.sql.plan import PROVENANCE_COLUMNS, Runtime, window_checks
-from repro.sql.planner import QUERY_TIMINGS, Planner, timed
+from repro.sql.plan import (
+    PROVENANCE_COLUMNS,
+    Runtime,
+    render_plan,
+    window_checks,
+)
+from repro.sql.plancache import PlanCache, PlanEntry
+from repro.sql.planner import QUERY_TIMINGS, Planner, SelectPlan, timed
 from repro.storage.index import normalize_key
 from repro.storage.visibility import version_visible
 
@@ -211,10 +217,12 @@ class Executor:
             self.acl.check_write(self.tx.username, table)
 
     def _runtime(self, ctx: EvalContext,
-                 alias_columns: Dict[str, Sequence[str]]) -> Runtime:
+                 alias_columns: Dict[str, Sequence[str]],
+                 scan_bounds: Optional[Dict[int, Dict]] = None) -> Runtime:
         return Runtime(db=self.db, tx=self.tx, ctx=ctx,
                        alias_columns=alias_columns,
-                       check_read=self._check_read)
+                       check_read=self._check_read,
+                       scan_bounds=scan_bounds)
 
     # ------------------------------------------------------------------
     # SELECT
@@ -232,17 +240,37 @@ class Executor:
         finally:
             self._stmt_depth -= 1
 
+    def _plan_select_cached(self, stmt: Select, ctx: EvalContext
+                            ) -> Tuple[SelectPlan, bool, Optional[Dict]]:
+        """Fetch a guard-validated plan template from the statement
+        cache, or plan and cache a fresh one.  Returns
+        (plan, hit, bounds-by-scan-node from guard validation)."""
+        cache = self.db.plan_cache
+        version = self.db.catalog.version
+        key = PlanCache.key_for(stmt, ctx, self.tx, version)
+        got = cache.get(key, self.db.catalog, ctx)
+        if got is not None:
+            entry, scan_bounds = got
+            return entry.plan, True, scan_bounds
+        planner = Planner(self.db, self.tx)
+        plan = planner.plan_select(stmt, ctx)
+        cache.store(key, PlanEntry(plan=plan, guards=plan.guards,
+                                   catalog_version=version))
+        return plan, False, planner.scan_bounds
+
     def _execute_select(self, stmt: Select, ctx: EvalContext) -> Result:
         if stmt.provenance and not self.tx.provenance:
             raise AccessDenied(
                 "PROVENANCE SELECT requires a provenance session")
         with timed() as plan_t:
-            plan = Planner(self.db, self.tx).plan_select(stmt, ctx)
+            plan, cache_hit, scan_bounds = \
+                self._plan_select_cached(stmt, ctx)
         with timed() as exec_t:
-            rt = self._runtime(ctx, plan.alias_columns)
+            rt = self._runtime(ctx, plan.alias_columns, scan_bounds)
             output = [row for _, row in plan.root.rows(rt)]
         if self._stmt_depth == 0:
-            QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds)
+            QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds,
+                                 cache_hit=cache_hit)
         return Result(columns=plan.columns, rows=output,
                       rowcount=len(output))
 
@@ -255,7 +283,31 @@ class Executor:
         # the same read access the statement itself would.
         for table in sorted(_referenced_tables(stmt.statement)):
             self._check_read(table)
-        lines = Planner(self.db, self.tx).explain(stmt.statement, ctx)
+        inner = stmt.statement
+        cache_note = "bypass"
+        if isinstance(inner, Select):
+            plan, hit, _ = self._plan_select_cached(inner, ctx)
+            lines = plan.explain()
+            cache_note = "hit" if hit else "miss"
+        elif isinstance(inner, (Update, Delete)):
+            verb = "Update" if isinstance(inner, Update) else "Delete"
+            scan, hit, _ = self._plan_dml_scan_cached(inner, ctx)
+            lines = [f"{verb} on {inner.table}"]
+            render_plan(scan, depth=1, lines=lines)
+            cache_note = "hit" if hit else "miss"
+        elif isinstance(inner, Insert):
+            lines = [f"Insert on {inner.table}"]
+            if inner.select is not None:
+                plan, hit, _ = self._plan_select_cached(inner.select, ctx)
+                render_plan(plan.root, depth=1, lines=lines)
+                cache_note = "hit" if hit else "miss"
+            else:
+                lines.append(f"  -> Values ({len(inner.rows)} row"
+                             f"{'s' if len(inner.rows) != 1 else ''})")
+        else:
+            raise ExecutionError(
+                f"EXPLAIN does not support {type(inner).__name__}")
+        lines.append(f"Plan Cache: {cache_note}")
         return Result(columns=["QUERY PLAN"],
                       rows=[(line,) for line in lines],
                       rowcount=len(lines))
@@ -273,7 +325,7 @@ class Executor:
             sub = self._execute_select(stmt.select, ctx)
             rows_values = [list(row) for row in sub.rows]
         else:
-            rows_values = [[evaluate(expr, ctx) for expr in row]
+            rows_values = [[compiled(expr)(ctx) for expr in row]
                            for row in stmt.rows]
 
         columns = stmt.columns or schema.column_names()
@@ -298,7 +350,7 @@ class Executor:
         for col in schema.columns:
             if col.name not in values or values[col.name] is None:
                 if col.default is not None and col.name not in values:
-                    values[col.name] = evaluate(col.default, ctx)
+                    values[col.name] = compiled(col.default)(ctx)
                 else:
                     values.setdefault(col.name, None)
             if values[col.name] is not None:
@@ -319,12 +371,12 @@ class Executor:
         row_ctx = ctx.child_for_row({schema.name: values})
         for col in schema.columns:
             if col.check is not None:
-                if evaluate(col.check, row_ctx) is False:
+                if compiled(col.check)(row_ctx) is False:
                     raise ConstraintViolation(
                         f"check constraint on column {col.name!r} failed",
                         constraint="check", table=schema.name)
         for check in schema.checks:
-            if evaluate(check, row_ctx) is False:
+            if compiled(check)(row_ctx) is False:
                 raise ConstraintViolation(
                     f"table check constraint on {schema.name!r} failed",
                     constraint="check", table=schema.name)
@@ -360,18 +412,42 @@ class Executor:
     # UPDATE / DELETE
     # ------------------------------------------------------------------
 
-    def _plan_target_scan(self, table: str, where, ctx: EvalContext):
+    def _plan_dml_scan_cached(self, stmt, ctx: EvalContext):
+        """Cached access-path template for an UPDATE/DELETE target table
+        (same key structure and guard validation as SELECT plans).
+        Returns (scan node, hit, bounds-by-scan-node)."""
+        table = stmt.table
+        schema = self.db.catalog.schema_of(table)
+        alias_columns = {table: schema.column_names()}
+        cache = self.db.plan_cache
+        version = self.db.catalog.version
+        key = PlanCache.key_for(stmt, ctx, self.tx, version)
+        got = cache.get(key, self.db.catalog, ctx)
+        if got is not None:
+            entry, scan_bounds = got
+            return entry.plan, True, scan_bounds
+        planner = Planner(self.db, self.tx)
+        scan = planner.plan_scan(table, table, stmt.where, ctx,
+                                 alias_columns)
+        cache.store(key, PlanEntry(plan=scan, guards=planner.guards,
+                                   catalog_version=version))
+        return scan, False, planner.scan_bounds
+
+    def _plan_target_scan(self, stmt, ctx: EvalContext):
         """Plan + run the access path for an UPDATE/DELETE target table,
         returning (schema, heap, scan rows with versions)."""
+        table = stmt.table
         schema = self.db.catalog.schema_of(table)
         heap = self.db.catalog.heap_of(table)
         alias_columns = {table: schema.column_names()}
         with timed() as plan_t:
-            scan = Planner(self.db, self.tx).plan_scan(
-                table, table, where, ctx, alias_columns)
+            scan, cache_hit, scan_bounds = \
+                self._plan_dml_scan_cached(stmt, ctx)
         with timed() as exec_t:
-            targets = scan.scan_rows(self._runtime(ctx, alias_columns))
-        QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds)
+            targets = scan.scan_rows(
+                self._runtime(ctx, alias_columns, scan_bounds))
+        QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds,
+                             cache_hit=cache_hit)
         return schema, heap, targets
 
     def _execute_update(self, stmt: Update, ctx: EvalContext) -> Result:
@@ -380,17 +456,19 @@ class Executor:
             raise BlindUpdateError(
                 "blind updates are not supported in the "
                 "execute-order-in-parallel flow (section 3.4.3)")
-        schema, heap, targets = self._plan_target_scan(stmt.table,
-                                                       stmt.where, ctx)
+        schema, heap, targets = self._plan_target_scan(stmt, ctx)
+        where_fn = compiled_predicate(stmt.where)
+        set_fns = [(clause.column, compiled(clause.value))
+                   for clause in stmt.sets]
         updated = 0
         for row in targets:
             row_ctx = ctx.child_for_row({stmt.table: row.values})
-            if not evaluate_predicate(stmt.where, row_ctx):
+            if not where_fn(row_ctx):
                 continue
             new_values = dict(row.values)
-            for clause in stmt.sets:
-                schema.column(clause.column)
-                new_values[clause.column] = evaluate(clause.value, row_ctx)
+            for column, value_fn in set_fns:
+                schema.column(column)  # validates existence, per old path
+                new_values[column] = value_fn(row_ctx)
             self._apply_defaults_and_validate(schema, new_values, ctx)
             self._check_unique(schema, heap, new_values,
                                exclude_row=row.version.row_id)
@@ -408,12 +486,12 @@ class Executor:
             raise BlindUpdateError(
                 "blind deletes are not supported in the "
                 "execute-order-in-parallel flow (section 3.4.3)")
-        schema, heap, targets = self._plan_target_scan(stmt.table,
-                                                       stmt.where, ctx)
+        schema, heap, targets = self._plan_target_scan(stmt, ctx)
+        where_fn = compiled_predicate(stmt.where)
         deleted = 0
         for row in targets:
             row_ctx = ctx.child_for_row({stmt.table: row.values})
-            if not evaluate_predicate(stmt.where, row_ctx):
+            if not where_fn(row_ctx):
                 continue
             heap.delete_version(row.version, self.tx.xid)
             self.tx.record_write(WriteSetEntry(

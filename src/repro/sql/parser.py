@@ -10,7 +10,9 @@ PERFORM, RAISE, RETURN).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SQLSyntaxError
 from repro.sql.ast_nodes import (
@@ -794,9 +796,45 @@ class Parser:
         return PLIf(branches=branches, else_body=else_body)
 
 
-def parse_sql(text: str) -> List[Statement]:
-    """Parse a ;-separated SQL script."""
-    return Parser(text).parse_statements()
+# ---------------------------------------------------------------------------
+# Parse cache — SQL text → shared parse tree
+# ---------------------------------------------------------------------------
+#
+# Stored procedures and re-executed transactions replay the same statement
+# text on every replica; re-lexing and re-parsing per execution is pure
+# overhead.  The cache hands out the *same* AST objects each time — safe
+# because the tree is immutable after parsing (the planner resolves ORDER
+# BY aliases into a side list precisely so no pass mutates it), and
+# required for the statement fast path: plan-cache fingerprints and
+# compiled-expression memos attach to the node objects.
+
+_PARSE_CACHE: "OrderedDict[str, Tuple[Statement, ...]]" = OrderedDict()
+_PARSE_CACHE_LOCK = threading.Lock()
+PARSE_CACHE_CAPACITY = 512
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached parse tree (benchmarks measuring cold runs)."""
+    with _PARSE_CACHE_LOCK:
+        _PARSE_CACHE.clear()
+
+
+def parse_sql(text: str, use_cache: bool = True) -> List[Statement]:
+    """Parse a ;-separated SQL script (memoized on the exact text)."""
+    if use_cache:
+        with _PARSE_CACHE_LOCK:
+            cached = _PARSE_CACHE.get(text)
+            if cached is not None:
+                _PARSE_CACHE.move_to_end(text)
+                return list(cached)
+    statements = Parser(text).parse_statements()
+    if use_cache:
+        with _PARSE_CACHE_LOCK:
+            _PARSE_CACHE[text] = tuple(statements)
+            _PARSE_CACHE.move_to_end(text)
+            while len(_PARSE_CACHE) > PARSE_CACHE_CAPACITY:
+                _PARSE_CACHE.popitem(last=False)
+    return statements
 
 
 def parse_one(text: str) -> Statement:
@@ -808,10 +846,26 @@ def parse_one(text: str) -> Statement:
     return statements[0]
 
 
+_BODY_CACHE: Dict[str, PLBlock] = {}
+_BODY_CACHE_LOCK = threading.Lock()
+
+
 def parse_procedure_body(text: str) -> PLBlock:
-    """Parse a PL body (DECLARE ... BEGIN ... END)."""
+    """Parse a PL body (DECLARE ... BEGIN ... END).
+
+    Memoized: every node of a network deploys the same contract text, and
+    the shared tree lets compiled-expression memos amortize across nodes.
+    """
+    with _BODY_CACHE_LOCK:
+        cached = _BODY_CACHE.get(text)
+    if cached is not None:
+        return cached
     parser = Parser(text)
     block = parser.parse_pl_block()
     if not parser.check("EOF"):
         raise parser.error("trailing tokens after END")
+    with _BODY_CACHE_LOCK:
+        if len(_BODY_CACHE) > PARSE_CACHE_CAPACITY:
+            _BODY_CACHE.clear()
+        _BODY_CACHE[text] = block
     return block

@@ -53,8 +53,11 @@ from repro.sql.ast_nodes import (
     SelectItem, Star, SubqueryExpr, UnaryOp,
 )
 from repro.sql.expressions import (
+    Binder,
     EvalContext,
     compare_values,
+    compile_expr,
+    compile_predicate,
     evaluate,
     evaluate_predicate,
     expr_fingerprint,
@@ -90,6 +93,9 @@ class Runtime:
     ctx: EvalContext
     alias_columns: Dict[str, Sequence[str]]  # binder output
     check_read: Callable[[str], None] = lambda table: None
+    # {id(scan node): bounds} computed by plan-cache guard validation for
+    # this execution; scans fall back to extracting their own bounds.
+    scan_bounds: Optional[Dict[int, Dict[str, Dict[str, Any]]]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -502,18 +508,29 @@ def _scan_target(table: str, alias: str) -> str:
 
 
 class SeqScan(PlanNode):
-    """Full-heap scan (no usable index)."""
+    """Full-heap scan (no usable index).
+
+    Scan nodes are plan *templates*: they store the WHERE expression,
+    never bound values.  Bounds are re-derived from the live execution
+    context on every run, so a tree pulled from the plan cache scans —
+    and records SIREAD state — exactly as a freshly planned one would.
+    """
 
     def __init__(self, table: str, alias: str,
-                 bounds: Optional[Dict[str, Dict[str, Any]]] = None,
-                 est_rows: float = 0.0):
+                 where: Optional[Expr] = None, est_rows: float = 0.0):
         self.table = table
         self.alias = alias
-        self.bounds = bounds or {}
+        self.where = where
         self.est_rows = est_rows
 
     def scan_rows(self, rt: Runtime) -> List[ScanRow]:
-        return execute_scan(rt, self.table, self.alias, self.bounds)
+        bounds = None
+        if rt.scan_bounds is not None:
+            bounds = rt.scan_bounds.get(id(self))
+        if bounds is None:
+            bounds = extract_bounds(self.where, self.alias, rt.ctx,
+                                    rt.alias_columns)
+        return execute_scan(rt, self.table, self.alias, bounds)
 
     def rows(self, rt: Runtime) -> Iterator[Env]:
         for row in self.scan_rows(rt):
@@ -525,18 +542,19 @@ class SeqScan(PlanNode):
 
 
 class IndexScan(SeqScan):
-    """Index-served scan; the bound values were resolved at plan time.
+    """Index-served scan; execution re-derives the same bounds the
+    planner scored (``execute_scan`` re-runs the deterministic index
+    choice over them).
 
     ``unique_covered`` marks a point lookup (every column of a unique
     index bound by equality) — a structural fact the planner's join
     strategy may rely on, unlike row counts.
     """
 
-    def __init__(self, table: str, alias: str,
-                 bounds: Dict[str, Dict[str, Any]], index_name: str,
-                 conditions: Sequence[Expr], est_rows: float = 0.0,
-                 unique_covered: bool = False):
-        super().__init__(table, alias, bounds, est_rows)
+    def __init__(self, table: str, alias: str, where: Optional[Expr],
+                 index_name: str, conditions: Sequence[Expr],
+                 est_rows: float = 0.0, unique_covered: bool = False):
+        super().__init__(table, alias, where, est_rows)
         self.index_name = index_name
         self.conditions = list(conditions)
         self.unique_covered = unique_covered
@@ -551,14 +569,18 @@ class IndexScan(SeqScan):
 class Filter(PlanNode):
     """Residual predicate (WHERE) over environment rows."""
 
-    def __init__(self, child: PlanNode, predicate: Expr):
+    def __init__(self, child: PlanNode, predicate: Expr,
+                 binder: Optional[Binder] = None):
         self.child = child
         self.predicate = predicate
+        self._predicate = compile_predicate(predicate, binder)
         self.est_rows = child.est_rows
 
     def rows(self, rt: Runtime) -> Iterator[Env]:
+        predicate = self._predicate
+        ctx = rt.ctx
         for env in self.child.rows(rt):
-            if evaluate_predicate(self.predicate, rt.ctx.child_for_row(env)):
+            if predicate(ctx.child_for_row(env)):
                 yield env
 
     def children(self) -> List[PlanNode]:
@@ -599,16 +621,18 @@ class NestedLoopJoin(PlanNode):
 
     def __init__(self, outer: PlanNode, join: Join,
                  combined: Optional[Expr], probe: DynamicProbe,
-                 est_rows: float = 0.0):
+                 est_rows: float = 0.0, binder: Optional[Binder] = None):
         self.outer = outer
         self.join = join
         self.combined = combined   # ON AND WHERE, for inner index bounds
         self.probe = probe
+        self._on = compile_predicate(join.on, binder)
         self.est_rows = est_rows
 
     def rows(self, rt: Runtime) -> Iterator[Env]:
         join = self.join
         alias = join.table.alias
+        on = self._on
         schema = rt.db.catalog.schema_of(join.table.name)
         null_row = {col: None for col in schema.column_names()}
         ctx = rt.ctx
@@ -620,8 +644,7 @@ class NestedLoopJoin(PlanNode):
             matched = False
             for inner in inner_rows:
                 candidate_env = {**env, alias: inner.values}
-                cand_ctx = ctx.child_for_row(candidate_env)
-                if join.on is None or evaluate_predicate(join.on, cand_ctx):
+                if on(ctx.child_for_row(candidate_env)):
                     matched = True
                     yield candidate_env
             if join.kind == "LEFT" and not matched:
@@ -659,20 +682,24 @@ class HashJoin(PlanNode):
     """
 
     def __init__(self, outer: PlanNode, join: Join, build: SeqScan,
-                 keys: Sequence[Tuple[str, Expr]], est_rows: float = 0.0):
+                 keys: Sequence[Tuple[str, Expr]], est_rows: float = 0.0,
+                 binder: Optional[Binder] = None):
         self.outer = outer
         self.join = join
         self.build = build
         self.keys = list(keys)     # (inner column, probe expression)
+        self._probe_fns = [compile_expr(expr, binder) for _, expr in keys]
+        self._on = compile_predicate(join.on, binder)
         self.est_rows = est_rows
 
     def rows(self, rt: Runtime) -> Iterator[Env]:
         join = self.join
         alias = join.table.alias
+        on = self._on
         schema = rt.db.catalog.schema_of(join.table.name)
         null_row = {col: None for col in schema.column_names()}
         inner_cols = [col for col, _ in self.keys]
-        probe_exprs = [expr for _, expr in self.keys]
+        probe_fns = self._probe_fns
 
         table: Dict[Tuple, List[ScanRow]] = {}
         for inner in self.build.scan_rows(rt):
@@ -685,7 +712,7 @@ class HashJoin(PlanNode):
         ctx = rt.ctx
         for env in self.outer.rows(rt):
             row_ctx = ctx.child_for_row(env)
-            probe_vals = [evaluate(e, row_ctx) for e in probe_exprs]
+            probe_vals = [fn(row_ctx) for fn in probe_fns]
             try:
                 candidates = table.get(_join_key(probe_vals), ())
             except TypeMismatchError:
@@ -693,8 +720,7 @@ class HashJoin(PlanNode):
             matched = False
             for inner in candidates:
                 candidate_env = {**env, alias: inner.values}
-                cand_ctx = ctx.child_for_row(candidate_env)
-                if join.on is None or evaluate_predicate(join.on, cand_ctx):
+                if on(ctx.child_for_row(candidate_env)):
                     matched = True
                     yield candidate_env
             if join.kind == "LEFT" and not matched:
@@ -721,7 +747,7 @@ class HashAggregate(PlanNode):
     def __init__(self, child: PlanNode, group_by: Sequence[Expr],
                  aggregates: Sequence[FunctionCall], having: Optional[Expr],
                  items: Sequence[SelectItem], order_items: Sequence[OrderItem],
-                 est_rows: float = 0.0):
+                 est_rows: float = 0.0, binder: Optional[Binder] = None):
         self.child = child
         self.group_by = list(group_by)
         self.aggregates = list(aggregates)
@@ -729,14 +755,30 @@ class HashAggregate(PlanNode):
         self.items = list(items)
         self.order_items = list(order_items)
         self.est_rows = est_rows
+        self._group_fns = [compile_expr(g, binder) for g in self.group_by]
+        # (fingerprint, call, compiled single argument or None) — the
+        # arity/star errors stay runtime errors, as the interpreter raised
+        # them while computing the group, not while planning.
+        self._agg_specs = [
+            (expr_fingerprint(call), call,
+             compile_expr(call.args[0], binder)
+             if not call.star and len(call.args) == 1 else None)
+            for call in self.aggregates]
+        self._having = (None if having is None
+                        else compile_predicate(having, binder))
+        self._item_fns = [_compile_grouped_item(item, binder)
+                          for item in self.items]
+        self._order_fns = [compile_expr(o.expr, binder)
+                           for o in self.order_items]
 
     def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
         ctx = rt.ctx
+        group_fns = self._group_fns
         groups: List[Tuple[Tuple, List[Env]]] = []
         group_index: Dict[str, int] = {}
         for env in self.child.rows(rt):
             row_ctx = ctx.child_for_row(env)
-            key = tuple(evaluate(g, row_ctx) for g in self.group_by)
+            key = tuple(fn(row_ctx) for fn in group_fns)
             fingerprint = repr(key)
             pos = group_index.get(fingerprint)
             if pos is None:
@@ -749,19 +791,16 @@ class HashAggregate(PlanNode):
 
         for key, members in groups:
             agg_values: Dict[str, Any] = {}
-            for call in self.aggregates:
-                agg_values[expr_fingerprint(call)] = \
-                    _compute_aggregate(call, members, ctx)
+            for fingerprint, call, arg_fn in self._agg_specs:
+                agg_values[fingerprint] = \
+                    _compute_aggregate(call, arg_fn, members, ctx)
             representative = members[0] if members else {}
             row_ctx = ctx.child_for_row(representative)
             row_ctx.aggregate_values = agg_values
-            if self.having is not None and \
-                    not evaluate_predicate(self.having, row_ctx):
+            if self._having is not None and not self._having(row_ctx):
                 continue
-            output = tuple(_project_item(item, row_ctx)
-                           for item in self.items)
-            order_keys = tuple(evaluate(o.expr, row_ctx)
-                               for o in self.order_items)
+            output = tuple(fn(row_ctx) for fn in self._item_fns)
+            order_keys = tuple(fn(row_ctx) for fn in self._order_fns)
             yield (order_keys, output)
 
     def children(self) -> List[PlanNode]:
@@ -774,13 +813,15 @@ class HashAggregate(PlanNode):
         return "HashAggregate (global)"
 
 
-def _project_item(item: SelectItem, row_ctx: EvalContext) -> Any:
+def _compile_grouped_item(item: SelectItem, binder) -> Any:
     if isinstance(item.expr, Star):
-        raise ExecutionError("'*' is not valid with GROUP BY")
-    return evaluate(item.expr, row_ctx)
+        def run_star(row_ctx):
+            raise ExecutionError("'*' is not valid with GROUP BY")
+        return run_star
+    return compile_expr(item.expr, binder)
 
 
-def _compute_aggregate(call: FunctionCall, group: List[Env],
+def _compute_aggregate(call: FunctionCall, arg_fn, group: List[Env],
                        ctx: EvalContext) -> Any:
     import functools
 
@@ -788,13 +829,12 @@ def _compute_aggregate(call: FunctionCall, group: List[Env],
         if call.name != "count":
             raise ExecutionError(f"{call.name}(*) is not valid")
         return len(group)
-    if len(call.args) != 1:
+    if arg_fn is None:
         raise ExecutionError(
             f"aggregate {call.name}() takes exactly one argument")
     values = []
     for env in group:
-        row_ctx = ctx.child_for_row(env)
-        value = evaluate(call.args[0], row_ctx)
+        value = arg_fn(ctx.child_for_row(env))
         if value is not None:
             values.append(value)
     if call.distinct:
@@ -834,25 +874,32 @@ class Project(PlanNode):
 
     def __init__(self, child: PlanNode, items: Sequence[SelectItem],
                  order_items: Sequence[OrderItem], columns: Sequence[str],
-                 est_rows: float = 0.0):
+                 est_rows: float = 0.0, binder: Optional[Binder] = None):
         self.child = child
         self.items = list(items)
         self.order_items = list(order_items)
         self.columns = list(columns)
         self.est_rows = est_rows
+        # Star items need the runtime environment (provenance columns,
+        # alias expansion), so they stay interpreted; everything else
+        # compiles once.
+        self._item_fns = [
+            None if isinstance(item.expr, Star)
+            else compile_expr(item.expr, binder) for item in self.items]
+        self._order_fns = [compile_expr(o.expr, binder)
+                           for o in self.order_items]
 
     def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
         ctx = rt.ctx
         for env in self.child.rows(rt):
             row_ctx = ctx.child_for_row(env)
             output: List[Any] = []
-            for item in self.items:
-                if isinstance(item.expr, Star):
+            for item, fn in zip(self.items, self._item_fns):
+                if fn is None:
                     output.extend(_expand_star(item.expr, env, rt))
                 else:
-                    output.append(evaluate(item.expr, row_ctx))
-            order_keys = tuple(evaluate(o.expr, row_ctx)
-                               for o in self.order_items)
+                    output.append(fn(row_ctx))
+            order_keys = tuple(fn(row_ctx) for fn in self._order_fns)
             yield (order_keys, tuple(output))
 
     def children(self) -> List[PlanNode]:

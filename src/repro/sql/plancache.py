@@ -1,0 +1,243 @@
+"""Statement fast path: the plan-template cache.
+
+Stored procedures and re-executed transactions run the *same* statements
+on every replica, so re-binding and re-planning each execution is pure
+overhead.  This module caches physical plan *templates* per database,
+keyed by::
+
+    (statement fingerprint, context shape, catalog version, tx flags)
+
+* **statement fingerprint** — the structural identity of the parsed tree
+  (``repr`` of the dataclass AST, memoized on the node: cached parse
+  trees and stored-procedure bodies fingerprint in O(1) after the first
+  call);
+* **context shape** — which parameters / PL variables / outer-row columns
+  are NULL.  Bound extraction drops NULL comparisons, so nullness (not
+  values) is what can change a plan's structure;
+* **catalog version** — a monotonic counter the catalog bumps on DDL and
+  on vacuum-driven stats drift; a bump makes every older entry
+  unreachable (and a registered listener purges them eagerly);
+* **tx flags** — ``require_index`` (execute-order-in-parallel planning
+  rules), ``provenance`` (pseudo-columns change binding and output), and
+  ``allow_nondeterministic`` (changes which bounds are const-evaluable).
+
+Determinism argument: plans must be *node-deterministic* — a cache hit
+may never change the chosen plan or the SIREAD set, or replicas would
+diverge on SSI abort decisions.  Two mechanisms guarantee this:
+
+1. Templates are split from per-execution state: scan nodes store the
+   WHERE *expression* and re-derive bound values from the live
+   ``EvalContext`` every execution, so runtime index ranges (and hence
+   predicate reads) are computed identically whether the tree came from
+   the cache or the planner.
+2. Every template carries :class:`ScanGuard` records — one per statically
+   planned scan — capturing the structural index choice the planner made.
+   On lookup the guards are re-derived against the *current* context; any
+   mismatch (the shape key is deliberately coarse — e.g. a CASE expression
+   may fold to NULL for some inputs) falls back to a full re-plan, which
+   is exactly what an uncached execution would do.
+
+The only thing a cached template may legitimately show stale is the
+``rows~N`` EXPLAIN annotation, which is frozen at template creation and
+refreshes on the next catalog-version bump (the join strategy never reads
+row counts, precisely so plans stay deterministic — see
+``docs/sql_engine.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.sql.ast_nodes import Expr, Statement
+from repro.sql.expressions import EvalContext
+from repro.sql.plan import extract_bounds, rank_indexes
+
+__all__ = [
+    "PlanCache", "PlanEntry", "ScanGuard", "context_shape",
+    "statement_fingerprint", "validate_guards",
+]
+
+# (index name, n leading equality columns, has range on next column);
+# None means no index serves the bounds (sequential scan).
+ScanSignature = Optional[Tuple[str, int, bool]]
+
+
+def statement_fingerprint(stmt: Statement) -> str:
+    """Structural identity of a parsed statement, memoized on the node
+    (safe: the AST is immutable after parsing, and the attribute lives
+    outside the dataclass fields so ``repr`` output is unaffected)."""
+    fp = stmt.__dict__.get("_fingerprint")
+    if fp is None:
+        fp = repr(stmt)
+        stmt.__dict__["_fingerprint"] = fp
+    return fp
+
+
+def context_shape(ctx: EvalContext) -> Tuple:
+    """The NULL-shape of everything bound at execution time: positional
+    parameters, PL variables, and the outer-row scope chain (correlated
+    subqueries re-plan per outer row; their shape varies with outer-row
+    nullness)."""
+    env_shapes: List[Tuple] = []
+    scope: Optional[EvalContext] = ctx
+    while scope is not None:
+        if scope.env:
+            env_shapes.append(tuple(sorted(
+                (alias, tuple(sorted(
+                    col for col, value in values.items() if value is None)))
+                for alias, values in scope.env.items())))
+        scope = scope.outer
+    return (tuple(p is None for p in ctx.params),
+            tuple(sorted((name, value is None)
+                         for name, value in ctx.variables.items())),
+            tuple(env_shapes))
+
+
+@dataclass
+class ScanGuard:
+    """One statically planned scan's expected structural signature.
+
+    Covers every bounds-dependent input to the planner's decisions: the
+    scan's own SeqScan/IndexScan split, ``unique_covered`` point-lookup
+    detection, and (via the build-side scan of each candidate hash join)
+    the hash-vs-nested-loop strategy choice.  ``node`` is the scan node
+    this guard validated (when it survived into the plan tree), so the
+    bounds computed during validation can be handed to execution instead
+    of being re-extracted per scan."""
+
+    table: str
+    alias: str
+    where: Optional[Expr]
+    alias_columns: Dict[str, Sequence[str]]
+    signature: ScanSignature
+    node: Any = None
+
+
+def validate_guards(catalog, guards: Sequence[ScanGuard],
+                    ctx: EvalContext
+                    ) -> Optional[Dict[int, Dict[str, Dict[str, Any]]]]:
+    """Re-derive every guard's structural signature under ``ctx``.
+
+    Returns None when any guard fails (the caller must re-plan), else a
+    ``{id(scan node): bounds}`` map of the bounds computed along the way —
+    statically planned scans execute with the statement context, so the
+    executor threads these through :class:`Runtime` and the scans skip
+    their own extraction."""
+    bounds_by_node: Dict[int, Dict[str, Dict[str, Any]]] = {}
+    for guard in guards:
+        try:
+            heap = catalog.heap_of(guard.table)
+        except CatalogError:
+            return None
+        bounds = extract_bounds(guard.where, guard.alias, ctx,
+                                guard.alias_columns)
+        best = rank_indexes(heap, bounds)
+        sig = None if best is None else (best[0].name, best[1], best[2])
+        if sig != guard.signature:
+            return None
+        if guard.node is not None:
+            bounds_by_node[id(guard.node)] = bounds
+    return bounds_by_node
+
+
+@dataclass
+class PlanEntry:
+    """A cached plan template plus the guards that validate reuse."""
+
+    plan: Any                       # SelectPlan, or a scan node for DML
+    guards: List[ScanGuard] = field(default_factory=list)
+    catalog_version: int = 0
+
+
+class PlanCache:
+    """Per-database LRU cache of plan templates (thread-safe)."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, PlanEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.guard_failures = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def key_for(stmt: Statement, ctx: EvalContext, tx,
+                catalog_version: int) -> Tuple:
+        return (statement_fingerprint(stmt), context_shape(ctx),
+                catalog_version, bool(tx.require_index),
+                bool(tx.provenance), bool(ctx.allow_nondeterministic))
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, key: Tuple, catalog, ctx: EvalContext
+            ) -> Optional[Tuple[PlanEntry, Dict[int, Dict]]]:
+        """Return a guard-validated ``(entry, bounds-by-scan-node)`` pair,
+        or None (counting the miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        scan_bounds = validate_guards(catalog, entry.guards, ctx)
+        if scan_bounds is None:
+            with self._lock:
+                self.guard_failures += 1
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return entry, scan_bounds
+
+    def store(self, key: Tuple, entry: PlanEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_for_version(self, current_version: int) -> int:
+        """Purge entries planned under an older catalog version (they are
+        unreachable anyway — the version is part of the key — but eager
+        purging keeps the LRU from carrying dead weight)."""
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.catalog_version != current_version]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "guard_failures": self.guard_failures,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

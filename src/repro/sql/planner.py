@@ -34,10 +34,14 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sql import functions
 from repro.sql.ast_nodes import (
-    BinaryOp, ColumnRef, Delete, Expr, FunctionCall, Insert, Join,
-    OrderItem, Select, SelectItem, Star, SubqueryExpr, Update,
+    BinaryOp, ColumnRef, Expr, FunctionCall, Join,
+    OrderItem, Select, SelectItem, Star, SubqueryExpr,
 )
-from repro.sql.expressions import EvalContext, expr_fingerprint
+from repro.sql.expressions import (
+    COMPILE_STATS,
+    EvalContext,
+    expr_fingerprint,
+)
 from repro.sql.plan import (
     PROVENANCE_COLUMNS,
     DynamicProbe,
@@ -53,49 +57,64 @@ from repro.sql.plan import (
     Project,
     SeqScan,
     Sort,
-    choose_index,
     column_of_alias,
     conjuncts,
     extract_bounds,
     rank_indexes,
     render_plan,
 )
+from repro.sql.plancache import ScanGuard
 
 # ---------------------------------------------------------------------------
 # Per-query planning/execution timing (bench harness reads this)
 # ---------------------------------------------------------------------------
 
 class QueryTimings:
-    """Process-wide accumulator of per-statement plan/execute times."""
+    """Process-wide accumulator of per-statement plan/execute times,
+    plan-cache hit/miss counts, and expression-compilation cost."""
 
     def __init__(self):
         self._lock = threading.Lock()
         self.statements = 0
         self.plan_seconds = 0.0
         self.exec_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
-    def record(self, plan_seconds: float, exec_seconds: float) -> None:
+    def record(self, plan_seconds: float, exec_seconds: float,
+               cache_hit: Optional[bool] = None) -> None:
         with self._lock:
             self.statements += 1
             self.plan_seconds += plan_seconds
             self.exec_seconds += exec_seconds
+            if cache_hit is True:
+                self.cache_hits += 1
+            elif cache_hit is False:
+                self.cache_misses += 1
 
     def reset(self) -> None:
         with self._lock:
             self.statements = 0
             self.plan_seconds = 0.0
             self.exec_seconds = 0.0
+            self.cache_hits = 0
+            self.cache_misses = 0
+        COMPILE_STATS.reset()
 
     def snapshot(self) -> Dict[str, float]:
         with self._lock:
             n = self.statements or 1
-            return {
+            out = {
                 "statements": self.statements,
                 "plan_ms_total": round(self.plan_seconds * 1e3, 3),
                 "exec_ms_total": round(self.exec_seconds * 1e3, 3),
                 "plan_ms_avg": round(self.plan_seconds / n * 1e3, 4),
                 "exec_ms_avg": round(self.exec_seconds / n * 1e3, 4),
+                "plan_cache_hits": self.cache_hits,
+                "plan_cache_misses": self.cache_misses,
             }
+        out.update(COMPILE_STATS.snapshot())
+        return out
 
 
 QUERY_TIMINGS = QueryTimings()
@@ -119,11 +138,20 @@ class timed:
 
 @dataclass
 class SelectPlan:
-    """A planned SELECT: operator tree + binder output."""
+    """A planned SELECT: operator tree + binder output.
+
+    The tree is a reusable *template*: operators hold compiled
+    expressions and structural choices but no per-execution values
+    (scan bounds re-derive from the live context), so the plan cache can
+    hand the same instance to any number of executions.  ``guards``
+    capture the structural access-path choices; the cache re-validates
+    them before every reuse.
+    """
 
     root: PlanNode
     columns: List[str]
     alias_columns: Dict[str, Sequence[str]] = field(default_factory=dict)
+    guards: List[ScanGuard] = field(default_factory=list)
 
     def explain(self) -> List[str]:
         return render_plan(self.root)
@@ -135,6 +163,13 @@ class Planner:
     def __init__(self, db, tx):
         self.db = db
         self.tx = tx
+        # One ScanGuard per statically planned scan (in planning order);
+        # the plan cache replays these against each execution context.
+        self.guards: List[ScanGuard] = []
+        # Bounds extracted while planning, by scan-node id — handed to
+        # the first execution so scans don't re-extract them (cache hits
+        # get the equivalent map from guard validation).
+        self.scan_bounds: Dict[int, Dict[str, Dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------
     # Binding
@@ -230,8 +265,11 @@ class Planner:
                   ) -> SeqScan:
         """Access path for one table: IndexScan when the sargable bounds
         (resolved against ``ctx``) are served by an index, SeqScan
-        otherwise.  The bounds are stored on the node; execution re-runs
-        the same deterministic index scoring over them."""
+        otherwise.  The node stores the WHERE *expression* (templates
+        carry no per-execution values); execution re-derives the bounds
+        from the live context and re-runs the same deterministic index
+        scoring over them.  A :class:`ScanGuard` capturing the structural
+        choice is recorded for plan-cache validation."""
         if alias_columns is None:
             schema = self.db.catalog.schema_of(table)
             alias_columns = {alias: schema.column_names()}
@@ -239,25 +277,34 @@ class Planner:
         stats = self.db.catalog.stats_of(table)
         sources: Dict[str, List[Expr]] = {}
         bounds = extract_bounds(where, alias, ctx, alias_columns, sources)
-        choice = choose_index(heap, bounds)
-        if choice is None:
-            return SeqScan(table, alias, bounds,
-                           est_rows=float(max(stats.live_rows, 0)))
-        index, eq_prefix, low_key, high_key, _, _ = choice
-        depth = max(len(low_key or ()), len(high_key or ()), 1)
-        used_cols = index.columns[:depth]
-        conditions: List[Expr] = []
-        for col in used_cols:
-            for conj in sources.get(col, []):
-                if conj not in conditions:
-                    conditions.append(conj)
-        has_range = depth > len(eq_prefix)
-        unique_covered = (index.unique and
-                          len(eq_prefix) == len(index.columns))
-        est = scan_estimate(stats.live_rows, len(eq_prefix), has_range,
-                            unique_covered)
-        return IndexScan(table, alias, bounds, index.name, conditions,
-                         est_rows=est, unique_covered=unique_covered)
+        best = rank_indexes(heap, bounds)
+        guard = ScanGuard(
+            table=table, alias=alias, where=where,
+            alias_columns=alias_columns,
+            signature=None if best is None
+            else (best[0].name, best[1], best[2]))
+        self.guards.append(guard)
+        if best is None:
+            scan: SeqScan = SeqScan(
+                table, alias, where,
+                est_rows=float(max(stats.live_rows, 0)))
+        else:
+            index, n_eq, has_range = best
+            depth = n_eq + (1 if has_range else 0) or 1
+            used_cols = index.columns[:depth]
+            conditions: List[Expr] = []
+            for col in used_cols:
+                for conj in sources.get(col, []):
+                    if conj not in conditions:
+                        conditions.append(conj)
+            unique_covered = index.unique and n_eq == len(index.columns)
+            est = scan_estimate(stats.live_rows, n_eq, has_range,
+                                unique_covered)
+            scan = IndexScan(table, alias, where, index.name, conditions,
+                             est_rows=est, unique_covered=unique_covered)
+        guard.node = scan
+        self.scan_bounds[id(scan)] = bounds
+        return scan
 
     # ------------------------------------------------------------------
     # Join planning
@@ -419,6 +466,12 @@ class Planner:
                     return False
         return True
 
+    def _binder(self, alias_columns: Dict[str, Sequence[str]]):
+        """Compile-time column pre-resolution input: disabled under
+        provenance sessions, whose pseudo-columns extend row environments
+        beyond the schema the binder knows about."""
+        return None if self.tx.provenance else alias_columns
+
     def plan_join(self, outer: PlanNode, join: Join, where: Optional[Expr],
                   ctx: EvalContext, planned_aliases: Set[str],
                   alias_columns: Dict[str, Sequence[str]]) -> PlanNode:
@@ -470,9 +523,11 @@ class Planner:
                 hash_allowed = False
 
         outer_est = max(outer.est_rows, 1.0)
+        binder = self._binder(alias_columns)
         if hash_allowed:
             return HashJoin(outer, join, build, keys,
-                            est_rows=max(outer_est, build.est_rows))
+                            est_rows=max(outer_est, build.est_rows),
+                            binder=binder)
 
         probe_est = (scan_estimate(inner_live, n_eq, has_range,
                                    unique_covered)
@@ -480,7 +535,8 @@ class Planner:
         probe = DynamicProbe(join.table.name, alias, probe_index,
                              probe_conds, est_rows=probe_est)
         return NestedLoopJoin(outer, join, combined, probe,
-                              est_rows=outer_est * max(probe_est, 1.0))
+                              est_rows=outer_est * max(probe_est, 1.0),
+                              binder=binder)
 
     # ------------------------------------------------------------------
     # SELECT planning
@@ -503,16 +559,17 @@ class Planner:
                 source = self.plan_join(source, join, stmt.where, ctx,
                                         planned, alias_columns)
                 planned.add(join.table.alias)
+        binder = self._binder(alias_columns)
         if stmt.where is not None:
-            source = Filter(source, stmt.where)
+            source = Filter(source, stmt.where, binder=binder)
 
         if stmt.group_by or aggregates:
             top: PlanNode = HashAggregate(
                 source, stmt.group_by, aggregates, stmt.having, stmt.items,
-                order_items, est_rows=source.est_rows)
+                order_items, est_rows=source.est_rows, binder=binder)
         else:
             top = Project(source, stmt.items, order_items, columns,
-                          est_rows=source.est_rows)
+                          est_rows=source.est_rows, binder=binder)
         if stmt.order_by:
             top = Sort(top, order_items)
         if stmt.distinct:
@@ -520,32 +577,8 @@ class Planner:
         if stmt.limit is not None or stmt.offset is not None:
             top = Limit(top, stmt.limit, stmt.offset)
         return SelectPlan(root=top, columns=columns,
-                          alias_columns=alias_columns)
-
-    # ------------------------------------------------------------------
-    # EXPLAIN
-    # ------------------------------------------------------------------
-
-    def explain(self, stmt, ctx: EvalContext) -> List[str]:
-        if isinstance(stmt, Select):
-            return self.plan_select(stmt, ctx).explain()
-        if isinstance(stmt, (Update, Delete)):
-            verb = "Update" if isinstance(stmt, Update) else "Delete"
-            scan = self.plan_scan(stmt.table, stmt.table, stmt.where, ctx)
-            lines = [f"{verb} on {stmt.table}"]
-            return render_plan(scan, depth=1, lines=lines)
-        if isinstance(stmt, Insert):
-            lines = [f"Insert on {stmt.table}"]
-            if stmt.select is not None:
-                sub = self.plan_select(stmt.select, ctx)
-                render_plan(sub.root, depth=1, lines=lines)
-            else:
-                lines.append(f"  -> Values ({len(stmt.rows)} row"
-                             f"{'s' if len(stmt.rows) != 1 else ''})")
-            return lines
-        from repro.errors import ExecutionError
-        raise ExecutionError(
-            f"EXPLAIN does not support {type(stmt).__name__}")
+                          alias_columns=alias_columns,
+                          guards=self.guards)
 
 
 def scan_estimate(live_rows: int, n_eq: int, has_range: bool,

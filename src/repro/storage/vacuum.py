@@ -73,4 +73,8 @@ def vacuum_database(db, horizon_block: int,
         if removed:
             report.per_table[table_name] = removed
             report.removed_versions += removed
+    if report.removed_versions:
+        # Stats drift: vacuumed version counts feed planner estimates, so
+        # cached plan templates built before the pass are stale.
+        db.catalog.bump_version()
     return report

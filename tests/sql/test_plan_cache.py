@@ -1,0 +1,310 @@
+"""Statement fast path: parse/plan caching and its invalidation rules.
+
+The determinism contract under test: a plan-cache hit may never change
+the chosen plan, the result rows, or the SIREAD set — replicas that
+disagree on any of those diverge on SSI abort decisions.  DDL and
+vacuum-driven stats drift must bump the catalog version and evict stale
+templates.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.sql.parser import parse_one, parse_sql
+from repro.sql.plancache import (
+    PlanCache,
+    PlanEntry,
+    statement_fingerprint,
+)
+from repro.sql.planner import QUERY_TIMINGS
+from repro.storage.vacuum import vacuum_database
+
+
+def build_db():
+    """The Appendix A order-processing shape (same as test_planner)."""
+    database = Database()
+    tx = database.begin(allow_nondeterministic=True)
+    run_sql(database, tx, """
+        CREATE TABLE accounts (
+            acc_id INT PRIMARY KEY,
+            org TEXT NOT NULL,
+            balance FLOAT NOT NULL
+        );
+        CREATE INDEX accounts_org_idx ON accounts(org);
+        CREATE TABLE invoices (
+            invoice_id INT PRIMARY KEY,
+            acc_id INT NOT NULL,
+            org TEXT NOT NULL,
+            amount FLOAT NOT NULL,
+            status TEXT NOT NULL
+        );
+        CREATE INDEX invoices_acc_idx ON invoices(acc_id);
+    """)
+    for i in range(12):
+        run_sql(database, tx,
+                "INSERT INTO accounts (acc_id, org, balance) "
+                "VALUES ($1, $2, 100.0)",
+                params=(i + 1, f"org{i % 3 + 1}"))
+    for i in range(36):
+        run_sql(database, tx,
+                "INSERT INTO invoices (invoice_id, acc_id, org, amount, "
+                "status) VALUES ($1, $2, $3, $4, 'new')",
+                params=(i + 1, i % 12 + 1, f"org{i % 3 + 1}",
+                        float(10 + i)))
+    database.apply_commit(tx, block_number=1)
+    database.committed_height = 1
+    return database
+
+
+@pytest.fixture
+def db():
+    return build_db()
+
+
+def run_tx(db, sql, params=(), **tx_kwargs):
+    """Run ``sql`` in its own transaction; returns (result, tx) with the
+    transaction aborted afterwards (reads only — SIREAD state kept)."""
+    tx = db.begin(allow_nondeterministic=True, **tx_kwargs)
+    try:
+        result = run_sql(db, tx, sql, params=params)
+    finally:
+        if not tx.is_aborted and not tx.is_committed:
+            db.apply_abort(tx, reason="test")
+    return result, tx
+
+
+def explain_lines(db, sql, params=()):
+    result, _ = run_tx(db, "EXPLAIN " + sql, params=params)
+    return [row[0] for row in result.rows]
+
+
+FIG6_SQL = ("SELECT sum(i.amount), count(*) FROM accounts a "
+            "JOIN invoices i ON i.acc_id = a.acc_id WHERE a.org = $1")
+
+
+class TestCatalogVersion:
+    def test_ddl_bumps_version(self, db):
+        v0 = db.catalog.version
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE t1 (id INT PRIMARY KEY)")
+        assert db.catalog.version > v0
+        v1 = db.catalog.version
+        run_sql(db, tx, "CREATE INDEX t1_idx ON t1(id)")
+        assert db.catalog.version > v1
+        v2 = db.catalog.version
+        run_sql(db, tx, "DROP TABLE t1")
+        assert db.catalog.version > v2
+        db.apply_abort(tx, reason="test")
+
+    def test_vacuum_drift_bumps_version(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM invoices WHERE org = 'org3'")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 10
+        v0 = db.catalog.version
+        report = vacuum_database(db, horizon_block=5)
+        assert report.removed_versions > 0
+        assert db.catalog.version > v0
+        # A no-op vacuum must NOT churn the cache.
+        v1 = db.catalog.version
+        vacuum_database(db, horizon_block=5)
+        assert db.catalog.version == v1
+
+
+class TestPlanCacheHits:
+    def test_repeat_execution_hits(self, db):
+        QUERY_TIMINGS.reset()
+        run_tx(db, FIG6_SQL, params=("org1",))
+        run_tx(db, FIG6_SQL, params=("org1",))
+        snap = QUERY_TIMINGS.snapshot()
+        assert snap["plan_cache_misses"] >= 1
+        assert snap["plan_cache_hits"] >= 1
+        assert db.plan_cache.stats()["hits"] >= 1
+
+    def test_different_param_values_share_template(self, db):
+        """The key uses parameter *shapes*, not values."""
+        run_tx(db, FIG6_SQL, params=("org1",))
+        before = db.plan_cache.stats()["hits"]
+        result, _ = run_tx(db, FIG6_SQL, params=("org2",))
+        assert db.plan_cache.stats()["hits"] == before + 1
+        assert result.rows[0][1] == 12  # still correct for the new value
+
+    def test_dml_scan_plans_cached(self, db):
+        sql = "UPDATE accounts SET balance = $1 WHERE acc_id = $2"
+        run_tx(db, sql, params=(1.0, 3))
+        before = db.plan_cache.stats()["hits"]
+        run_tx(db, sql, params=(2.0, 3))
+        assert db.plan_cache.stats()["hits"] == before + 1
+
+    def test_explain_annotates_hit_and_miss(self, db):
+        sql = "SELECT acc_id FROM accounts WHERE org = $1"
+        assert explain_lines(db, sql, params=("org1",))[-1] == \
+            "Plan Cache: miss"
+        assert explain_lines(db, sql, params=("org1",))[-1] == \
+            "Plan Cache: hit"
+
+    def test_correlated_subquery_plans_cached_per_outer_row(self, db):
+        """The subquery re-plans per outer row without the cache; with it,
+        rows after the first hit the template."""
+        run_tx(db, "SELECT acc_id FROM accounts a WHERE EXISTS "
+                   "(SELECT 1 FROM invoices i WHERE i.acc_id = a.acc_id)")
+        stats = db.plan_cache.stats()
+        assert stats["hits"] >= 10  # 12 outer rows, first probe misses
+
+
+class TestInvalidation:
+    def test_create_index_mid_chain_evicts_and_replans(self, db):
+        sql = "SELECT invoice_id FROM invoices WHERE status = $1"
+        lines = explain_lines(db, sql, params=("new",))
+        assert any("SeqScan on invoices" in l for l in lines)
+        explain_lines(db, sql, params=("new",))  # warm the cache
+
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE INDEX invoices_status_idx "
+                        "ON invoices(status)")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 2
+
+        lines = explain_lines(db, sql, params=("new",))
+        assert lines[-1] == "Plan Cache: miss"
+        assert any("IndexScan on invoices using invoices_status_idx" in l
+                   for l in lines)
+
+    def test_create_table_purges_stale_entries(self, db):
+        run_tx(db, FIG6_SQL, params=("org1",))
+        assert len(db.plan_cache) > 0
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE other (id INT PRIMARY KEY)")
+        db.apply_abort(tx, reason="test")
+        assert db.plan_cache.stats()["invalidations"] > 0
+        assert len(db.plan_cache) == 0
+
+    def test_vacuum_drift_purges_stale_entries(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM invoices WHERE org = 'org3'")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 10
+        run_tx(db, FIG6_SQL, params=("org1",))
+        assert len(db.plan_cache) > 0
+        vacuum_database(db, horizon_block=5)
+        assert len(db.plan_cache) == 0
+
+    def test_null_param_changes_shape_not_correctness(self, db):
+        sql = "SELECT acc_id FROM accounts WHERE acc_id = $1"
+        result, _ = run_tx(db, sql, params=(3,))
+        assert result.rows == [(3,)]
+        result, _ = run_tx(db, sql, params=(None,))
+        assert result.rows == []  # NULL never equals anything
+        result, _ = run_tx(db, sql, params=(5,))
+        assert result.rows == [(5,)]
+
+    def test_guard_failure_forces_replan(self, db):
+        """Same shape key, structurally different bounds (the CASE folds
+        to NULL for some inputs): the guards must catch it and re-plan —
+        never execute the stale template."""
+        sql = ("SELECT acc_id FROM accounts WHERE acc_id = "
+               "CASE WHEN $1 > 5 THEN 1 ELSE NULL END")
+        result, _ = run_tx(db, sql, params=(7,))
+        assert result.rows == [(1,)]
+        lines = explain_lines(db, sql, params=(7,))
+        assert any("IndexScan" in l for l in lines)
+
+        result, _ = run_tx(db, sql, params=(3,))   # CASE -> NULL
+        assert result.rows == []
+        lines = explain_lines(db, sql, params=(3,))
+        assert any("SeqScan" in l for l in lines)
+        assert db.plan_cache.stats()["guard_failures"] > 0
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        for i in range(3):
+            cache.store(("k", i), PlanEntry(plan=i, catalog_version=0))
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_fingerprint_memoized_and_stable(self):
+        stmt = parse_one("SELECT acc_id FROM accounts WHERE org = $1")
+        fp1 = statement_fingerprint(stmt)
+        fp2 = statement_fingerprint(stmt)
+        assert fp1 is fp2
+        # The memo attribute must not leak into the repr-based identity.
+        other = parse_sql("SELECT acc_id FROM accounts WHERE org = $1",
+                          use_cache=False)[0]
+        assert statement_fingerprint(other) == fp1
+
+    def test_parse_cache_returns_shared_tree(self):
+        text = "SELECT balance FROM accounts WHERE acc_id = $1"
+        first = parse_sql(text)[0]
+        second = parse_sql(text)[0]
+        assert first is second
+
+
+# ---------------------------------------------------------------------------
+# Property: cached and uncached execution are byte-identical
+# ---------------------------------------------------------------------------
+
+PROPERTY_QUERIES = [
+    "SELECT acc_id, balance FROM accounts WHERE org = $1 ORDER BY acc_id",
+    "SELECT acc_id FROM accounts WHERE acc_id = $2",
+    FIG6_SQL,
+    ("SELECT org, sum(amount) AS total FROM invoices WHERE amount > $2 "
+     "GROUP BY org ORDER BY total DESC"),
+    ("SELECT a.acc_id FROM accounts a WHERE EXISTS (SELECT 1 FROM "
+     "invoices i WHERE i.acc_id = a.acc_id AND i.org = $1)"),
+    ("SELECT invoice_id FROM invoices WHERE acc_id BETWEEN $2 AND 9 "
+     "ORDER BY invoice_id LIMIT 4"),
+    "SELECT count(*) FROM invoices WHERE org = $1 AND amount > $2",
+]
+
+
+def siread_state(tx):
+    predicates = [(p.table, tuple(p.columns), p.low_key, p.high_key,
+                   p.low_inclusive, p.high_inclusive)
+                  for p in tx.predicate_reads]
+    return predicates, sorted(tx.row_reads)
+
+
+class TestCachedVsUncachedProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(query=st.sampled_from(PROPERTY_QUERIES),
+           org=st.sampled_from(["org1", "org2", "org9", None]),
+           number=st.sampled_from([0, 3, 7, 25, None]))
+    def test_rows_siread_and_explain_identical(self, query, org, number):
+        db = getattr(self, "_db", None)
+        if db is None:
+            db = self._db = build_db()
+        params = (org, number)
+        first, tx1 = run_tx(db, query, params=params)    # miss (or guard)
+        second, tx2 = run_tx(db, query, params=params)   # warm
+        assert first.rows == second.rows
+        assert first.columns == second.columns
+        assert siread_state(tx1) == siread_state(tx2)
+        # EXPLAIN output (minus the cache annotation) is plan-identical.
+        explain1 = explain_lines(db, query, params=params)[:-1]
+        explain2 = explain_lines(db, query, params=params)[:-1]
+        assert explain1 == explain2
+
+    @settings(max_examples=20, deadline=None)
+    @given(query=st.sampled_from(PROPERTY_QUERIES),
+           org=st.sampled_from(["org1", "org3", None]),
+           number=st.sampled_from([1, 11, None]))
+    def test_warm_cache_matches_fresh_database(self, query, org, number):
+        """A warm-cache run on one node equals a cold run on an identical
+        replica — the cross-node determinism requirement."""
+        warm = getattr(self, "_warm_db", None)
+        if warm is None:
+            warm = self._warm_db = build_db()
+        cold = build_db()
+        params = (org, number)
+        run_tx(warm, query, params=params)               # prime
+        warm_result, warm_tx = run_tx(warm, query, params=params)
+        cold_result, cold_tx = run_tx(cold, query, params=params)
+        assert warm_result.rows == cold_result.rows
+        assert siread_state(warm_tx)[0] == siread_state(cold_tx)[0]
+        assert explain_lines(warm, query, params=params)[:-1] == \
+            explain_lines(cold, query, params=params)[:-1]

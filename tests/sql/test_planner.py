@@ -80,6 +80,7 @@ class TestExplainGolden:
             "      -> IndexScan on accounts as a using accounts_org_idx "
             "(a.org = $1) (rows~3)",
             "      -> SeqScan on invoices as i (rows~36)",
+            "Plan Cache: miss",
         ]
 
     def test_fig7_group_uses_hash_aggregate(self, db):
@@ -90,6 +91,7 @@ class TestExplainGolden:
             "      -> Filter (org = $1)",
             "        -> IndexScan on invoices using invoices_org_idx "
             "(org = $1) (rows~9)",
+            "Plan Cache: miss",
         ]
 
     def test_no_equi_key_falls_back_to_nested_loop(self, db):
@@ -100,6 +102,7 @@ class TestExplainGolden:
             "  -> NestedLoopJoin INNER on (i.amount > a.balance)",
             "    -> SeqScan on accounts as a (rows~12)",
             "    -> SeqScan on invoices as i (per outer row)",
+            "Plan Cache: miss",
         ]
 
     def test_eo_flow_keeps_index_backed_nested_loop(self, db):
@@ -128,11 +131,13 @@ class TestExplainGolden:
             "Update on accounts",
             "  -> IndexScan on accounts using accounts_pkey "
             "(acc_id = 3) (rows~1)",
+            "Plan Cache: miss",
         ]
         assert explain(db, "DELETE FROM invoices WHERE org = 'org2'") == [
             "Delete on invoices",
             "  -> IndexScan on invoices using invoices_org_idx "
             "(org = 'org2') (rows~9)",
+            "Plan Cache: miss",
         ]
 
     def test_explain_insert_values(self, db):
@@ -140,6 +145,7 @@ class TestExplainGolden:
                            "VALUES (99, 'org9', 1.0)") == [
             "Insert on accounts",
             "  -> Values (1 row)",
+            "Plan Cache: bypass",
         ]
 
     def test_explain_does_not_execute(self, db):
