@@ -16,8 +16,9 @@ from pathlib import Path
 
 import pytest
 
-BASELINE_PATH = (Path(__file__).resolve().parent.parent
-                 / "BENCH_statement_fastpath.json")
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = _REPO_ROOT / "BENCH_statement_fastpath.json"
+ANALYTICS_BASELINE_PATH = _REPO_ROOT / "BENCH_analytics_scan.json"
 
 
 def print_banner(title: str) -> None:
@@ -27,18 +28,19 @@ def print_banner(title: str) -> None:
     print("=" * 72)
 
 
-def load_baseline() -> dict:
-    if BASELINE_PATH.exists():
-        return json.loads(BASELINE_PATH.read_text())
+def load_baseline(path: Path = BASELINE_PATH) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
     return {}
 
 
-def record_baseline(section: str, data: dict) -> dict:
-    """Bootstrap ``section`` of the committed baseline if absent; return
-    the canonical (committed) values for regression checks."""
-    baseline = load_baseline()
+def record_baseline(section: str, data: dict,
+                    path: Path = BASELINE_PATH) -> dict:
+    """Bootstrap ``section`` of the committed baseline file if absent;
+    return the canonical (committed) values for regression checks."""
+    baseline = load_baseline(path)
     if section not in baseline:
         baseline[section] = data
-        BASELINE_PATH.write_text(
+        path.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n")
     return baseline[section]

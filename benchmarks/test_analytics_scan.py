@@ -1,0 +1,159 @@
+"""Columnar analytics: historical aggregate scan vs the row-store path.
+
+The new-workload benchmark for the analytics subsystem: a wide
+`AS OF BLOCK h` aggregate over a table with several blocks of update
+history, executed twice on the real engine —
+
+* **columnar** — the default routing: ``ColumnarAggregate`` over the
+  column chunks (vectorized predicate + fold, zone-map pruning, no
+  per-row dict environments, no content sort);
+* **row store** — the same statements with the columnar replica
+  disabled: heap scan with BlockSnapshot visibility, per-version dict
+  copies, content sort, and the interpreted aggregate pipeline.
+
+Acceptance gate: the columnar path must be at least 2x faster.  The
+measured ratio is recorded into ``BENCH_analytics_scan.json`` (committed
+with the PR) and CI fails when the live ratio regresses more than 2x
+against the committed one — ratios are same-machine cold/warm style
+comparisons, so they port across CI hardware where absolute ms do not.
+"""
+
+import time
+
+from benchmarks.conftest import (
+    ANALYTICS_BASELINE_PATH,
+    print_banner,
+    record_baseline,
+)
+from repro.bench.harness import format_table
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+
+ROWS = 3000
+BLOCKS = 6          # update history: ~ROWS * (1 + BLOCKS/ROWS slice) versions
+UPDATES_PER_BLOCK = 400
+ITERATIONS = 3
+
+QUERIES = [
+    ("wide aggregate",
+     "SELECT sum(amount), count(*), min(amount), max(amount) "
+     "FROM readings AS OF BLOCK $1"),
+    ("filtered aggregate",
+     "SELECT sum(amount), count(*) FROM readings "
+     "WHERE sensor >= 100 AND sensor < 900 AS OF BLOCK $1"),
+    ("grouped aggregate",
+     "SELECT region, sum(amount), count(*) FROM readings "
+     "GROUP BY region ORDER BY region AS OF BLOCK $1"),
+]
+
+
+def build_db() -> Database:
+    db = Database()
+    tx = db.begin(allow_nondeterministic=True)
+    run_sql(db, tx, """
+        CREATE TABLE readings (
+            sensor INT PRIMARY KEY,
+            region TEXT NOT NULL,
+            amount FLOAT NOT NULL
+        );
+    """)
+    for i in range(ROWS):
+        run_sql(db, tx,
+                "INSERT INTO readings (sensor, region, amount) "
+                "VALUES ($1, $2, $3)",
+                params=(i, f"r{i % 8}", float(i % 97)))
+    db.apply_commit(tx, block_number=1)
+    db.committed_height = 1
+    db.columnstore.on_block(db, 1)
+    for block in range(2, BLOCKS + 2):
+        tx = db.begin(allow_nondeterministic=True)
+        low = (block * 131) % ROWS
+        run_sql(db, tx,
+                "UPDATE readings SET amount = amount + 1.5 "
+                "WHERE sensor >= $1 AND sensor < $2",
+                params=(low, min(low + UPDATES_PER_BLOCK, ROWS)))
+        db.apply_commit(tx, block_number=block)
+        db.committed_height = block
+        db.columnstore.on_block(db, block)
+    return db
+
+
+def run_workload(db: Database, heights) -> float:
+    started = time.perf_counter()
+    for _ in range(ITERATIONS):
+        for height in heights:
+            for _, sql in QUERIES:
+                tx = db.begin(allow_nondeterministic=True, read_only=True)
+                try:
+                    run_sql(db, tx, sql, params=(height,))
+                finally:
+                    db.apply_abort(tx, reason="bench")
+    return time.perf_counter() - started
+
+
+def test_analytics_scan_speedup(benchmark):
+    db = build_db()
+    heights = [1, (BLOCKS + 2) // 2, BLOCKS + 1]
+
+    # Correctness cross-check before timing anything.
+    for height in heights:
+        for _, sql in QUERIES:
+            tx = db.begin(allow_nondeterministic=True, read_only=True)
+            columnar = run_sql(db, tx, sql, params=(height,)).rows
+            db.apply_abort(tx, reason="bench")
+            db.columnstore.set_enabled(False)
+            tx = db.begin(allow_nondeterministic=True, read_only=True)
+            rowstore = run_sql(db, tx, sql, params=(height,)).rows
+            db.apply_abort(tx, reason="bench")
+            db.columnstore.set_enabled(True)
+            # Bit-identical across stores, floats included: both paths
+            # share the order-independent fold_sum (math.fsum).
+            assert columnar == rowstore
+
+    def measure():
+        run_workload(db, heights[:1])          # warm both caches
+        columnar_wall = run_workload(db, heights)
+        db.columnstore.set_enabled(False)
+        try:
+            run_workload(db, heights[:1])
+            rowstore_wall = run_workload(db, heights)
+        finally:
+            db.columnstore.set_enabled(True)
+        return columnar_wall, rowstore_wall
+
+    columnar_wall, rowstore_wall = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    statements = ITERATIONS * len(heights) * len(QUERIES)
+    speedup = rowstore_wall / max(columnar_wall, 1e-9)
+    stats = db.columnstore.stats()
+
+    print_banner(
+        f"Historical aggregate scan — columnar vs row store "
+        f"({ROWS} rows, {BLOCKS} update blocks, {statements} statements)")
+    print(format_table(
+        ["path", "wall_ms", "stmt_ms"],
+        [["columnar", round(columnar_wall * 1e3, 1),
+          round(columnar_wall * 1e3 / statements, 3)],
+         ["row store", round(rowstore_wall * 1e3, 1),
+          round(rowstore_wall * 1e3 / statements, 3)]]))
+    print(f"\ncolumnar speedup: {speedup:.1f}x; "
+          f"chunks pruned/scanned: {stats['chunks_pruned']}/"
+          f"{stats['chunks_scanned']}")
+
+    # Acceptance: the columnar aggregate beats the row-store path >=2x.
+    assert speedup >= 2.0, \
+        f"columnar path only {speedup:.2f}x faster than the row store"
+
+    canonical = record_baseline("analytics_scan", {
+        "rows": ROWS,
+        "history_blocks": BLOCKS,
+        "statements": statements,
+        "columnar_stmt_ms": round(columnar_wall * 1e3 / statements, 3),
+        "rowstore_stmt_ms": round(rowstore_wall * 1e3 / statements, 3),
+        "speedup_x": round(speedup, 1),
+    }, path=ANALYTICS_BASELINE_PATH)
+    # CI perf gate: >2x regression of the ratio vs the committed baseline
+    # fails the job.
+    assert speedup >= canonical["speedup_x"] / 2, \
+        (f"analytics speedup {speedup:.1f}x regressed >2x vs committed "
+         f"baseline {canonical['speedup_x']}x")

@@ -1,0 +1,99 @@
+"""Time-travel analytics: `AS OF BLOCK` queries on the columnar replica.
+
+Boots a two-organization network running a tiny banking contract, commits
+a few blocks of transfers, then answers historical questions without ever
+touching the transactional row store:
+
+* ``SELECT ... AS OF BLOCK h`` — the full SQL surface at any committed
+  height (EXPLAIN shows the ColumnarScan / ColumnarAggregate routing);
+* ``client.query_as_of`` — the session-pinned variant;
+* ``ProvenanceAuditor.state_as_of`` / ``diff_between`` /
+  ``version_chain`` — audit helpers riding the same replica, which keeps
+  serving history even after VACUUM prunes the row store.
+
+Run:  python examples/time_travel_analytics.py
+"""
+
+from repro import BlockchainNetwork, ProvenanceAuditor
+
+SCHEMA = """
+CREATE TABLE balances (
+    account TEXT PRIMARY KEY,
+    org TEXT NOT NULL,
+    amount INT NOT NULL
+);
+"""
+
+CONTRACTS = [
+    """CREATE FUNCTION open_account(acc TEXT, org TEXT, amt INT)
+    RETURNS VOID AS $$
+    BEGIN
+        INSERT INTO balances (account, org, amount) VALUES (acc, org, amt);
+    END $$ LANGUAGE plpgsql""",
+    """CREATE FUNCTION transfer(src TEXT, dst TEXT, amt INT)
+    RETURNS VOID AS $$
+    BEGIN
+        UPDATE balances SET amount = amount - amt WHERE account = src;
+        UPDATE balances SET amount = amount + amt WHERE account = dst;
+    END $$ LANGUAGE plpgsql""",
+]
+
+
+def main() -> None:
+    net = BlockchainNetwork(
+        organizations=["acme", "globex"],
+        flow="order-execute",
+        schema_sql=SCHEMA,
+        contracts=CONTRACTS)
+    alice = net.register_client("alice", "acme")
+
+    alice.invoke_and_wait("open_account", "acme:ops", "acme", 1000)
+    alice.invoke_and_wait("open_account", "globex:ops", "globex", 1000)
+    alice.invoke_and_wait("transfer", "acme:ops", "globex:ops", 250)
+    alice.invoke_and_wait("transfer", "globex:ops", "acme:ops", 100)
+    height = alice.block_height()
+    print(f"committed height: {height}")
+
+    print("\n-- balances at every height --")
+    for h in range(1, height + 1):
+        rows = alice.query_as_of(
+            "SELECT account, amount FROM balances ORDER BY account", h).rows
+        print(f"  block {h}: {rows}")
+
+    print("\n-- historical aggregate (explicit AS OF clause) --")
+    total_then = alice.query(
+        "SELECT sum(amount), count(*) FROM balances AS OF BLOCK 2").rows
+    total_now = alice.query(
+        "SELECT sum(amount), count(*) FROM balances AS OF LATEST").rows
+    print(f"  at block 2: {total_then}  |  latest: {total_now}")
+    assert total_then == total_now  # transfers conserve the total
+
+    print("\n-- the plan: columnar operators, no SSI bookkeeping --")
+    for (line,) in alice.query_as_of(
+            "EXPLAIN SELECT org, sum(amount) FROM balances "
+            "GROUP BY org ORDER BY org", height).rows:
+        print(f"  {line}")
+
+    auditor = ProvenanceAuditor(alice)
+    print("\n-- audit: what changed in blocks (2, 4] --")
+    diff = auditor.diff_between("balances", 2, height)
+    for row in diff["created"]:
+        print(f"  created@{row['creator']}: {row['account']} = "
+              f"{row['amount']}")
+
+    print("\n-- vacuum prunes the row store, the replica keeps history --")
+    node = net.primary_node
+    report = node.vacuum(keep_blocks=1)
+    print(f"  vacuum removed {report.removed_versions} row versions "
+          f"(retain height {report.retain_height})")
+    chain = auditor.version_chain("balances", "account", "acme:ops")
+    print(f"  full version chain still auditable: "
+          f"{[(c['amount'], c['creator']) for c in chain]}")
+    assert len(chain) == 3
+
+    print("\nOK: historical state, plans and audits all served by the "
+          "columnar replica.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,577 @@
+"""Per-node columnar read replica of committed state.
+
+The paper's row store keeps every committed row version with its creator
+and deleter block heights, which makes historical (`AS OF BLOCK h`)
+queries *expressible* — but every read still funnels through the
+transactional heap: per-version visibility checks, SIREAD recording, and
+a content sort per scan.  HTAP designs (Polynesia et al.) route
+analytical reads to a separate columnar replica instead; this module is
+that replica.
+
+Layout: one :class:`TableColumns` per table, holding a list of
+:class:`ColumnChunk` objects.  A chunk stores
+
+* one Python list per schema column (typed values, NULL = ``None``),
+* parallel ``creators`` / ``deleters`` height vectors (the MVCC header),
+* ``row_ids`` / ``version_ids`` / ``xmins`` / ``xmaxs`` for provenance,
+* min/max **zone maps** per column (computed when the chunk seals) plus
+  incrementally maintained ``min_creator`` / ``max_deleter`` /
+  ``live_count`` counters, so scans can skip whole chunks.
+
+Only *committed* versions are ever ingested — the store receives the
+write sets of committed transactions (`Database.apply_commit` queues
+them; the block processor's post-commit hook drains the queue), so
+row-level visibility at height ``h`` reduces to the pure predicate
+:func:`visible_at`: ``creator <= h and (deleter is None or deleter >
+h)``.  State at or below the node's committed height is immutable, so
+columnar reads need no SSI bookkeeping at all.
+
+Consistency model: the store is an exact replica of the heap's committed
+versions.  Anything that mutates committed history out-of-band (recovery
+rollback, re-enabling a disabled store) marks it **stale**; the next
+access rebuilds it from the heap.  Vacuum does *not* touch the store —
+pruned history stays queryable here up to the retained-height horizon
+the executor enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import AnalyticsDisabledError, CatalogError
+from repro.sql.expressions import compare_values
+
+#: Rows per chunk before it seals and zone maps are computed.
+DEFAULT_CHUNK_ROWS = 1024
+
+#: Compaction cadence (in blocks) for the block processor hook.
+DEFAULT_COMPACT_EVERY = 16
+
+
+def visible_at(creator: Optional[int], deleter: Optional[int],
+               height: int) -> bool:
+    """Row visibility for committed versions at block ``height``.
+
+    This is the columnar twin of the row store's
+    ``version_visible(..., BlockSnapshot(height), ...)`` for committed
+    versions: created at or below the height, and not deleted at or
+    below it.  Boundary semantics (``creator == h`` visible,
+    ``deleter == h`` invisible, ``deleter > h`` visible) are shared with
+    the row store and pinned by tests."""
+    if creator is None or creator > height:
+        return False
+    return deleter is None or deleter > height
+
+
+def _zone_cmp(a: Any, b: Any) -> Optional[int]:
+    """Conservative comparison for zone pruning: ``None`` when the values
+    are not comparable (never prune on a type mismatch)."""
+    try:
+        return compare_values(a, b)
+    except Exception:
+        return None
+
+
+class ColumnChunk:
+    """A fixed batch of row versions in columnar form."""
+
+    __slots__ = ("data", "row_ids", "version_ids", "xmins", "xmaxs",
+                 "creators", "deleters", "live_count", "min_creator",
+                 "max_creator", "max_deleter", "zones", "sealed")
+
+    def __init__(self, columns: Iterable[str]):
+        self.data: Dict[str, List[Any]] = {col: [] for col in columns}
+        self.row_ids: List[int] = []
+        self.version_ids: List[int] = []
+        self.xmins: List[int] = []
+        self.xmaxs: List[Optional[int]] = []
+        self.creators: List[int] = []
+        self.deleters: List[Optional[int]] = []
+        self.live_count = 0
+        self.min_creator: Optional[int] = None
+        self.max_creator: Optional[int] = None
+        self.max_deleter: Optional[int] = None
+        self.zones: Dict[str, Tuple[Any, Any]] = {}
+        self.sealed = False
+
+    def __len__(self) -> int:
+        return len(self.creators)
+
+    # -- ingest ------------------------------------------------------------
+
+    def append(self, values: Dict[str, Any], row_id: int, version_id: int,
+               xmin: int, creator: int) -> int:
+        for col, vector in self.data.items():
+            vector.append(values.get(col))
+        self.row_ids.append(row_id)
+        self.version_ids.append(version_id)
+        self.xmins.append(xmin)
+        self.xmaxs.append(None)
+        self.creators.append(creator)
+        self.deleters.append(None)
+        self.live_count += 1
+        if self.min_creator is None or creator < self.min_creator:
+            self.min_creator = creator
+        if self.max_creator is None or creator > self.max_creator:
+            self.max_creator = creator
+        return len(self.creators) - 1
+
+    def mark_deleted(self, offset: int, deleter: int,
+                     xmax: Optional[int]) -> None:
+        if self.deleters[offset] is None:
+            self.live_count -= 1
+        self.deleters[offset] = deleter
+        self.xmaxs[offset] = xmax
+        if self.max_deleter is None or deleter > self.max_deleter:
+            self.max_deleter = deleter
+
+    def seal(self) -> None:
+        """Freeze the chunk and compute per-column min/max zone maps.
+        Columns with incomparable value mixes get no zone map (scans fall
+        back to reading the chunk — conservative, never wrong)."""
+        self.sealed = True
+        self.zones = {}
+        for col, vector in self.data.items():
+            values = [v for v in vector if v is not None]
+            if not values:
+                continue
+            try:
+                self.zones[col] = (min(values), max(values))
+            except TypeError:
+                continue
+
+    # -- pruning -----------------------------------------------------------
+
+    def may_contain_height(self, height: int) -> bool:
+        """False when no row of the chunk can be visible at ``height``."""
+        if self.min_creator is None or self.min_creator > height:
+            return False  # every row created after the snapshot height
+        if self.live_count == 0 and self.max_deleter is not None \
+                and self.max_deleter <= height:
+            return False  # every row already deleted at the height
+        return True
+
+    def may_match_bounds(self, bounds: Dict[str, Dict[str, Any]]) -> bool:
+        """Zone-map test against sargable bounds extracted from WHERE.
+        Only AND-ed conjunct bounds arrive here, so a column range that
+        cannot overlap the chunk's min/max proves the chunk empty for
+        the query."""
+        for col, slot in bounds.items():
+            zone = self.zones.get(col)
+            if zone is None:
+                continue
+            lo, hi = zone
+            if "eq" in slot:
+                value = slot["eq"]
+                if _zone_cmp(value, lo) == -1 or _zone_cmp(value, hi) == 1:
+                    return False
+                continue
+            if "low" in slot:
+                value, inclusive = slot["low"]
+                cmp = _zone_cmp(hi, value)
+                if cmp == -1 or (cmp == 0 and not inclusive):
+                    return False
+            if "high" in slot:
+                value, inclusive = slot["high"]
+                cmp = _zone_cmp(lo, value)
+                if cmp == 1 or (cmp == 0 and not inclusive):
+                    return False
+        return True
+
+    # -- selection ---------------------------------------------------------
+
+    def visible_offsets(self, height: int) -> List[int]:
+        creators = self.creators
+        deleters = self.deleters
+        if self.max_creator is not None and self.max_creator <= height \
+                and self.live_count == len(creators):
+            return list(range(len(creators)))  # append-only fast path
+        return [i for i in range(len(creators))
+                if creators[i] <= height
+                and (deleters[i] is None or deleters[i] > height)]
+
+    def header_at(self, offset: int) -> Dict[str, Any]:
+        """Provenance pseudo-columns for one row of the chunk."""
+        return {
+            "xmin": self.xmins[offset],
+            "xmax": self.xmaxs[offset],
+            "creator": self.creators[offset],
+            "deleter": self.deleters[offset],
+            "row_id": self.row_ids[offset],
+            "version_id": self.version_ids[offset],
+        }
+
+    def values_at(self, offset: int,
+                  columns: Iterable[str]) -> Dict[str, Any]:
+        data = self.data
+        return {col: data[col][offset] for col in columns}
+
+    def row_with_header(self, offset: int) -> Dict[str, Any]:
+        """Column values merged with the provenance pseudo-columns
+        (real columns shadow header names, matching the provenance
+        scan's ``setdefault`` behaviour; ``version_id`` is physical and
+        stays internal)."""
+        row = self.values_at(offset, self.data)
+        for key, value in self.header_at(offset).items():
+            if key != "version_id":
+                row.setdefault(key, value)
+        return row
+
+
+class TableColumns:
+    """All chunks of one table plus the version locator."""
+
+    def __init__(self, table: str, columns: Iterable[str],
+                 target_chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        self.table = table
+        self.columns = list(columns)
+        self.target_chunk_rows = target_chunk_rows
+        self.chunks: List[ColumnChunk] = []
+        # version_id -> (chunk, offset): late deleter stamps land on rows
+        # ingested blocks (or chunks) earlier.
+        self._locator: Dict[int, Tuple[ColumnChunk, int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks)
+
+    # -- ingest ------------------------------------------------------------
+
+    def _open_chunk(self) -> ColumnChunk:
+        if self.chunks and not self.chunks[-1].sealed:
+            return self.chunks[-1]
+        chunk = ColumnChunk(self.columns)
+        self.chunks.append(chunk)
+        return chunk
+
+    def append_version(self, values: Dict[str, Any], row_id: int,
+                       version_id: int, xmin: int, creator: int) -> None:
+        chunk = self._open_chunk()
+        offset = chunk.append(values, row_id, version_id, xmin, creator)
+        self._locator[version_id] = (chunk, offset)
+        if len(chunk) >= self.target_chunk_rows:
+            chunk.seal()
+
+    def seal_open(self) -> None:
+        """Seal the open tail chunk (block boundary): sealed chunks get
+        zone maps, so each block's delta becomes prunable immediately;
+        the small per-block chunks are merged back to full size by
+        periodic compaction."""
+        if self.chunks and not self.chunks[-1].sealed and \
+                len(self.chunks[-1]):
+            self.chunks[-1].seal()
+
+    def mark_deleted(self, version_id: int, deleter: int,
+                     xmax: Optional[int]) -> bool:
+        entry = self._locator.get(version_id)
+        if entry is None:
+            return False
+        chunk, offset = entry
+        chunk.mark_deleted(offset, deleter, xmax)
+        return True
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self) -> int:
+        """Merge runs of small sealed chunks into full-size ones; returns
+        the number of chunks eliminated.  Zone maps and the locator are
+        rebuilt for merged chunks; the open tail chunk is untouched."""
+        small = self.target_chunk_rows // 2
+        out: List[ColumnChunk] = []
+        run: List[ColumnChunk] = []
+
+        def flush_run() -> None:
+            if len(run) <= 1:
+                out.extend(run)
+                run.clear()
+                return
+            merged = ColumnChunk(self.columns)
+            for chunk in run:
+                for offset in range(len(chunk)):
+                    new_offset = merged.append(
+                        chunk.values_at(offset, self.columns),
+                        chunk.row_ids[offset], chunk.version_ids[offset],
+                        chunk.xmins[offset], chunk.creators[offset])
+                    deleter = chunk.deleters[offset]
+                    if deleter is not None:
+                        merged.mark_deleted(new_offset, deleter,
+                                            chunk.xmaxs[offset])
+                    self._locator[chunk.version_ids[offset]] = \
+                        (merged, new_offset)
+                    if len(merged) >= self.target_chunk_rows:
+                        merged.seal()
+                        out.append(merged)
+                        merged = ColumnChunk(self.columns)
+            if len(merged):
+                merged.seal()
+                out.append(merged)
+            run.clear()
+
+        for chunk in self.chunks:
+            if chunk.sealed and len(chunk) < small:
+                run.append(chunk)
+            else:
+                flush_run()
+                out.append(chunk)
+        flush_run()
+        eliminated = max(0, len(self.chunks) - len(out))
+        self.chunks = out
+        return eliminated
+
+
+class ColumnStore:
+    """The per-database columnar replica."""
+
+    def __init__(self, target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 compact_every: int = DEFAULT_COMPACT_EVERY):
+        self.enabled = True
+        self.target_chunk_rows = target_chunk_rows
+        self.compact_every = max(1, compact_every)
+        self.tables: Dict[str, TableColumns] = {}
+        # Committed-but-not-yet-ingested write sets, in commit order.
+        self._pending: List[list] = []
+        self._stale = True  # rebuilt from the heap on first access
+        self.synced_height = 0
+        # Observability counters.
+        self.ingested_versions = 0
+        self.deleter_updates = 0
+        self.rebuilds = 0
+        self.compactions = 0
+        self.chunks_pruned = 0
+        self.chunks_scanned = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Toggle columnar routing.  Re-enabling marks the store stale:
+        commits made while disabled were never queued."""
+        if enabled and not self.enabled:
+            self.mark_stale()
+        self.enabled = enabled
+
+    def mark_stale(self) -> None:
+        """Committed history changed out-of-band (recovery rollback,
+        re-enable): drop pending deltas and rebuild on next access."""
+        self._stale = True
+        self._pending.clear()
+
+    @property
+    def stale(self) -> bool:
+        return self._stale
+
+    # -- ingest ------------------------------------------------------------
+
+    def note_commit(self, tx) -> None:
+        """Hot-path hook from ``Database.apply_commit``: queue the
+        committed write set for lazy ingestion (one list append — the
+        OLTP commit path pays nothing else)."""
+        if not self.enabled or self._stale or not tx.writes:
+            return
+        self._pending.append(list(tx.writes))
+
+    def ensure_synced(self, db) -> None:
+        """Bring the store up to date with the heap's committed state:
+        full rebuild when stale, otherwise drain the pending delta
+        queue."""
+        if not self.enabled:
+            return
+        if self._stale:
+            self.rebuild(db)
+            return
+        self._drain(db)
+
+    def on_block(self, db, height: int) -> None:
+        """Block processor post-commit hook: ingest the block's committed
+        deltas into the column chunks, seal them (zone maps), and
+        compact the accumulated per-block chunks periodically."""
+        if not self.enabled:
+            return
+        self.ensure_synced(db)
+        self.synced_height = max(self.synced_height, height)
+        for tcols in self.tables.values():
+            tcols.seal_open()
+        if height % self.compact_every == 0:
+            self.compact()
+
+    def _table_for(self, db, name: str) -> Optional[TableColumns]:
+        tcols = self.tables.get(name)
+        if tcols is None:
+            if not db.catalog.has_table(name):
+                return None
+            columns = db.catalog.schema_of(name).column_names()
+            tcols = TableColumns(name, columns, self.target_chunk_rows)
+            self.tables[name] = tcols
+        return tcols
+
+    def _drain(self, db) -> None:
+        pending, self._pending = self._pending, []
+        for writes in pending:
+            for entry in writes:
+                tcols = self._table_for(db, entry.table)
+                if tcols is None:
+                    continue  # table dropped since the commit
+                new = entry.new_version
+                if new is not None and new.creator_block is not None:
+                    tcols.append_version(
+                        new.values, new.row_id, new.version_id, new.xmin,
+                        new.creator_block)
+                    self.ingested_versions += 1
+                old = entry.old_version
+                if old is not None and old.deleter_block is not None:
+                    if tcols.mark_deleted(old.version_id, old.deleter_block,
+                                          old.xmax_winner):
+                        self.deleter_updates += 1
+
+    def rebuild(self, db) -> None:
+        """Reconstruct the store from the heap's committed versions (used
+        at first access, after recovery rollback, and after re-enable).
+        History already vacuumed from the heap is gone here too — the
+        executor's retained-height gate keeps such reads un-servable."""
+        self.tables = {}
+        self._pending.clear()
+        statuses = db.statuses
+        for name in db.catalog.table_names():
+            tcols = self._table_for(db, name)
+            heap = db.catalog.heap_of(name)
+            for version in heap.all_versions():
+                if version.creator_block is None or \
+                        not statuses.is_committed(version.xmin):
+                    continue
+                tcols.append_version(
+                    version.values, version.row_id, version.version_id,
+                    version.xmin, version.creator_block)
+                self.ingested_versions += 1
+                if version.deleter_block is not None and \
+                        version.xmax_winner is not None and \
+                        statuses.is_committed(version.xmax_winner):
+                    tcols.mark_deleted(version.version_id,
+                                       version.deleter_block,
+                                       version.xmax_winner)
+        self._stale = False
+        self.synced_height = db.committed_height
+        self.rebuilds += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> int:
+        removed = 0
+        for tcols in self.tables.values():
+            removed += tcols.compact()
+        if removed:
+            self.compactions += 1
+        return removed
+
+    # -- reads -------------------------------------------------------------
+
+    def table(self, name: str) -> Optional[TableColumns]:
+        return self.tables.get(name)
+
+    def scan(self, db, table: str, height: Optional[int] = None,
+             bounds: Optional[Dict[str, Dict[str, Any]]] = None):
+        """Yield ``(chunk, offsets)`` pairs for rows of ``table`` visible
+        at ``height`` (every committed version when ``height`` is None),
+        pruning chunks via the height counters and zone maps.
+
+        Raises when the replica is disabled: a disabled store is frozen
+        (commits stop queueing), so serving from it would silently
+        return stale or empty history.  SQL routing already avoids this
+        path when disabled; the audit APIs surface it as an error."""
+        if not self.enabled:
+            raise AnalyticsDisabledError(
+                "the columnar replica is disabled on this node")
+        self.ensure_synced(db)
+        tcols = self.tables.get(table)
+        if tcols is None:
+            return
+        for chunk in tcols.chunks:
+            if height is not None and not chunk.may_contain_height(height):
+                self.chunks_pruned += 1
+                continue
+            if bounds and chunk.sealed and \
+                    not chunk.may_match_bounds(bounds):
+                self.chunks_pruned += 1
+                continue
+            self.chunks_scanned += 1
+            if height is None:
+                offsets = list(range(len(chunk)))
+            else:
+                offsets = chunk.visible_offsets(height)
+            if offsets:
+                yield chunk, offsets
+
+    # -- provenance helpers (the audit path rides the replica) ------------
+
+    def _check_audit_target(self, db, table: str,
+                            key_column: Optional[str] = None) -> None:
+        """Audit inputs must name real catalog objects — a typo'd table
+        or column must raise (as the provenance SQL path did), never
+        read as 'no history'."""
+        schema = db.catalog.schema_of(table)   # raises CatalogError
+        if key_column is not None and not schema.has_column(key_column):
+            raise CatalogError(
+                f"table {table!r} has no column {key_column!r}")
+
+    def history(self, db, table: str, key_column: str,
+                key_value: Any) -> List[Dict[str, Any]]:
+        """Every committed version of the logical rows matching
+        ``key_column = key_value``, in creation order, with the MVCC
+        header merged in — the columnar rewrite of the row-store
+        provenance ``version_chain`` query."""
+        self._check_audit_target(db, table, key_column)
+        out: List[Tuple[Tuple, Dict[str, Any]]] = []
+        for chunk, offsets in self.scan(db, table):
+            vector = chunk.data.get(key_column)
+            if vector is None:
+                continue  # chunk predates the column (re-created table)
+            for offset in offsets:
+                value = vector[offset]
+                if value is None or _zone_cmp(value, key_value) != 0:
+                    continue
+                order = (chunk.creators[offset], chunk.row_ids[offset],
+                         chunk.version_ids[offset])
+                out.append((order, chunk.row_with_header(offset)))
+        out.sort(key=lambda pair: pair[0])
+        return [row for _, row in out]
+
+    def diff(self, db, table: str, low_height: int,
+             high_height: int) -> Dict[str, List[Dict[str, Any]]]:
+        """Rows created and rows deleted in ``(low_height, high_height]``
+        — a block-window audit that previously required scanning every
+        version through the provenance SQL path."""
+        self._check_audit_target(db, table)
+        created: List[Tuple[Tuple, Dict[str, Any]]] = []
+        deleted: List[Tuple[Tuple, Dict[str, Any]]] = []
+        for chunk, offsets in self.scan(db, table):
+            for offset in offsets:
+                creator = chunk.creators[offset]
+                deleter = chunk.deleters[offset]
+                order = (creator, chunk.row_ids[offset],
+                         chunk.version_ids[offset])
+                if low_height < creator <= high_height:
+                    created.append((order, chunk.row_with_header(offset)))
+                if deleter is not None and \
+                        low_height < deleter <= high_height:
+                    deleted.append(((deleter,) + order[1:],
+                                    chunk.row_with_header(offset)))
+        created.sort(key=lambda pair: pair[0])
+        deleted.sort(key=lambda pair: pair[0])
+        return {"created": [row for _, row in created],
+                "deleted": [row for _, row in deleted]}
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "stale": self._stale,
+            "tables": len(self.tables),
+            "chunks": sum(len(t.chunks) for t in self.tables.values()),
+            "rows": sum(len(t) for t in self.tables.values()),
+            "pending_commits": len(self._pending),
+            "synced_height": self.synced_height,
+            "ingested_versions": self.ingested_versions,
+            "deleter_updates": self.deleter_updates,
+            "rebuilds": self.rebuilds,
+            "compactions": self.compactions,
+            "chunks_pruned": self.chunks_pruned,
+            "chunks_scanned": self.chunks_scanned,
+        }

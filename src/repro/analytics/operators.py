@@ -1,0 +1,284 @@
+"""Columnar plan operators for `AS OF` time-travel queries.
+
+Two operators plug into the Volcano tree (:mod:`repro.sql.plan`):
+
+* :class:`ColumnarScan` — a drop-in scan node (it subclasses ``SeqScan``
+  so joins, filters and DML-free pipelines compose unchanged) that reads
+  the :class:`~repro.analytics.columnstore.ColumnStore` instead of the
+  heap.  Rows visible at the statement's pinned height are materialized
+  from column vectors and content-sorted exactly like a heap scan, so a
+  columnar plan is byte-compatible with the row-store plan above the
+  scan.  Because the scanned state is immutable (at or below the node's
+  committed height), the scan records **no** SIREAD state and runs no
+  phantom/stale window checks.
+
+* :class:`ColumnarAggregate` — the vectorized fast path for eligible
+  single-table aggregates (``sum``/``avg``/``min``/``max``/``count``
+  over plain columns, optional ``GROUP BY`` plain columns, a WHERE of
+  sargable conjuncts).  It never builds per-row dict environments: the
+  WHERE conjuncts evaluate straight off the column vectors with the
+  engine's comparison kernel; counts and min/max fold incrementally,
+  and ``sum``/``avg`` use the engine-shared, order-independent
+  :func:`~repro.sql.plan.fold_sum` (float inputs are ``math.fsum``-ed —
+  exactly rounded), so results are bit-identical to the row-store path
+  regardless of which store served the read or how ingest order differs
+  across nodes.  The equivalence suite pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import FunctionCall, SelectItem
+from repro.sql.expressions import EvalContext, _compare, compare_values
+from repro.sql.plan import (
+    PlanNode,
+    Runtime,
+    ScanRow,
+    SeqScan,
+    _scan_target,
+    expr_sql,
+    extract_bounds,
+    fold_sum,
+    row_content_key,
+)
+
+__all__ = ["ColumnarAggregate", "ColumnarScan", "VectorPredicate"]
+
+
+class ColumnarScan(SeqScan):
+    """Height-filtered scan over the columnar replica.
+
+    Template-safe like every scan node: it stores the WHERE expression
+    and re-derives sargable bounds per execution (the bounds only drive
+    zone-map chunk pruning here — the Filter operator above applies the
+    full predicate, so pruning can only skip chunks that provably hold
+    no matching row)."""
+
+    def chunk_selections(self, rt: Runtime):
+        """Yield ``(chunk, visible offsets)`` pairs at the statement's
+        pinned height, after zone-map and height pruning."""
+        rt.check_read(self.table)
+        height = rt.ctx.as_of_height
+        if height is None:
+            raise ExecutionError(
+                "ColumnarScan outside an AS OF execution")
+        bounds = None
+        if rt.scan_bounds is not None:
+            bounds = rt.scan_bounds.get(id(self))
+        if bounds is None:
+            bounds = extract_bounds(self.where, self.alias, rt.ctx,
+                                    rt.alias_columns)
+        yield from rt.db.columnstore.scan(rt.db, self.table, height,
+                                          bounds)
+
+    def scan_rows(self, rt: Runtime) -> List[ScanRow]:
+        columns = rt.db.catalog.schema_of(self.table).column_names()
+        rows: List[ScanRow] = []
+        for chunk, offsets in self.chunk_selections(rt):
+            data = chunk.data
+            for offset in offsets:
+                rows.append(ScanRow(
+                    values={col: data[col][offset] for col in columns},
+                    version=None))
+        # Same content order as the heap scan: results must not depend
+        # on which replica (or which store) served the read.
+        rows.sort(key=lambda r: row_content_key(r.values))
+        return rows
+
+    def describe(self) -> str:
+        return (f"ColumnarScan {_scan_target(self.table, self.alias)} "
+                f"(rows~{int(self.est_rows)})")
+
+
+@dataclass
+class VectorPredicate:
+    """One sargable WHERE conjunct, normalized to column-on-the-left.
+
+    ``const`` / ``low`` / ``high`` are compiled row-free expressions
+    evaluated once per execution (parameters and PL variables resolve
+    from the statement context)."""
+
+    kind: str                      # "cmp" | "between"
+    column: str
+    op: str = "="
+    const: Optional[Callable[[EvalContext], Any]] = None
+    low: Optional[Callable[[EvalContext], Any]] = None
+    high: Optional[Callable[[EvalContext], Any]] = None
+
+
+@dataclass
+class AggSpec:
+    """One aggregate call: ``count(*)`` or ``fn(plain column)``."""
+
+    fingerprint: str
+    name: str
+    column: Optional[str]          # None for count(*)
+    star: bool = False
+
+
+# Per-aggregate accumulation modes: counters fold incrementally, min/max
+# keep one running value, sum/avg buffer (the shared order-independent
+# ``fold_sum`` needs the full value list for float fsum).
+_MODE_COUNTER = 0    # count(*) / count(col): int state
+_MODE_BUFFER = 1     # sum / avg: list state
+_MODE_MIN = 2        # running compare_values fold
+_MODE_MAX = 3
+
+_EMPTY = object()    # running-fold sentinel: no non-null value seen yet
+
+
+def _agg_mode(spec: AggSpec) -> int:
+    if spec.star or spec.name == "count":
+        return _MODE_COUNTER
+    if spec.name in ("sum", "avg"):
+        return _MODE_BUFFER
+    if spec.name == "min":
+        return _MODE_MIN
+    if spec.name == "max":
+        return _MODE_MAX
+    raise ExecutionError(f"unknown aggregate {spec.name!r}")
+
+
+def _finalize(spec: AggSpec, mode: int, state: Any) -> Any:
+    if mode == _MODE_COUNTER:
+        return state
+    if mode == _MODE_BUFFER:
+        if not state:
+            return None
+        total = fold_sum(state)
+        return total if spec.name == "sum" else total / len(state)
+    return None if state is _EMPTY else state
+
+
+class ColumnarAggregate(PlanNode):
+    """Vectorized single-table aggregation over the columnar replica.
+
+    Emits ``(order_keys, output_row)`` pairs like ``HashAggregate`` so
+    Sort/Distinct/Limit compose on top.  The planner only routes here
+    when the statement shape is fully covered (see
+    ``Planner._try_columnar_aggregate``); everything else takes the
+    generic ``ColumnarScan`` + Filter + HashAggregate pipeline."""
+
+    def __init__(self, scan: ColumnarScan, predicates: List[VectorPredicate],
+                 group_columns: List[str], agg_specs: List[AggSpec],
+                 output_specs: List[Tuple[str, int]],
+                 order_specs: List[Tuple[str, int]],
+                 items: List[SelectItem], est_rows: float = 0.0):
+        self.scan = scan
+        self.predicates = predicates
+        self.group_columns = list(group_columns)
+        self.agg_specs = agg_specs
+        self.output_specs = output_specs   # ("group"|"agg", index)
+        self.order_specs = order_specs
+        self.items = items                 # for EXPLAIN only
+        self.est_rows = est_rows
+
+    # ------------------------------------------------------------------
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        ctx = rt.ctx
+        # Resolve predicate constants once per execution.
+        cmp_preds: List[Tuple[str, str, Any]] = []
+        between_preds: List[Tuple[str, Any, Any]] = []
+        for pred in self.predicates:
+            if pred.kind == "cmp":
+                cmp_preds.append((pred.column, pred.op, pred.const(ctx)))
+            else:
+                between_preds.append((pred.column, pred.low(ctx),
+                                      pred.high(ctx)))
+
+        group_cols = self.group_columns
+        specs = self.agg_specs
+        modes = [_agg_mode(spec) for spec in specs]
+        groups: List[Tuple[Tuple, List[Any]]] = []
+        group_index: Dict[str, int] = {}
+
+        def new_states() -> List[Any]:
+            return [0 if mode == _MODE_COUNTER
+                    else [] if mode == _MODE_BUFFER
+                    else _EMPTY for mode in modes]
+
+        for chunk, offsets in self.scan.chunk_selections(rt):
+            data = chunk.data
+            cmp_vectors = [(data[col], op, const)
+                           for col, op, const in cmp_preds]
+            between_vectors = [(data[col], low, high)
+                               for col, low, high in between_preds]
+            group_vectors = [data[col] for col in group_cols]
+            agg_vectors = [None if spec.column is None else data[spec.column]
+                           for spec in specs]
+            for offset in offsets:
+                keep = True
+                for vector, op, const in cmp_vectors:
+                    if _compare(op, vector[offset], const) is not True:
+                        keep = False
+                        break
+                if keep:
+                    for vector, low, high in between_vectors:
+                        value = vector[offset]
+                        if _compare(">=", value, low) is not True or \
+                                _compare("<=", value, high) is not True:
+                            keep = False
+                            break
+                if not keep:
+                    continue
+                key = tuple(vector[offset] for vector in group_vectors)
+                fingerprint = repr(key)
+                pos = group_index.get(fingerprint)
+                if pos is None:
+                    group_index[fingerprint] = len(groups)
+                    groups.append((key, new_states()))
+                    pos = len(groups) - 1
+                states = groups[pos][1]
+                for j, mode in enumerate(modes):
+                    vector = agg_vectors[j]
+                    if vector is None:           # count(*)
+                        states[j] += 1
+                        continue
+                    value = vector[offset]
+                    if value is None:
+                        continue
+                    if mode == _MODE_COUNTER:
+                        states[j] += 1
+                    elif mode == _MODE_BUFFER:
+                        states[j].append(value)
+                    elif mode == _MODE_MIN:
+                        current = states[j]
+                        if current is _EMPTY or \
+                                compare_values(value, current) < 0:
+                            states[j] = value
+                    else:
+                        current = states[j]
+                        if current is _EMPTY or \
+                                compare_values(value, current) > 0:
+                            states[j] = value
+
+        if not groups and not group_cols:
+            groups = [((), new_states())]  # global aggregate, empty input
+
+        for key, states in groups:
+            finalized = [_finalize(spec, mode, state)
+                         for spec, mode, state in zip(specs, modes, states)]
+
+            def value_of(spec: Tuple[str, int]) -> Any:
+                kind, index = spec
+                return key[index] if kind == "group" else finalized[index]
+
+            output = tuple(value_of(spec) for spec in self.output_specs)
+            order_keys = tuple(value_of(spec) for spec in self.order_specs)
+            yield (order_keys, output)
+
+    # ------------------------------------------------------------------
+
+    def children(self):
+        return [self.scan]
+
+    def describe(self) -> str:
+        rendered = ", ".join(expr_sql(item.expr) for item in self.items)
+        if self.group_columns:
+            return (f"ColumnarAggregate (group by "
+                    f"{', '.join(self.group_columns)}: {rendered})")
+        return f"ColumnarAggregate ({rendered})"

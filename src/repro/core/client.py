@@ -121,6 +121,16 @@ class BlockchainClient:
         the chain)."""
         return self.peer.query(sql, username=self.name, params=params)
 
+    def query_as_of(self, sql: str, height: Optional[int] = None,
+                    params: Sequence[Any] = ()) -> Result:
+        """Time-travel SELECT: every statement reads the committed state
+        as of block ``height`` (default: the peer's committed height),
+        served by the peer's columnar replica with no SSI bookkeeping.
+        Statements may also carry an explicit ``AS OF BLOCK h`` clause,
+        which overrides the pin."""
+        return self.peer.query_as_of(sql, height=height,
+                                     username=self.name, params=params)
+
     def provenance_query(self, sql: str,
                          params: Sequence[Any] = ()) -> Result:
         """Provenance query: sees every committed row version and the

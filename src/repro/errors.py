@@ -178,3 +178,11 @@ class CheckpointMismatchError(NodeError):
 
 class RecoveryError(NodeError):
     """Failure during the section 3.6 recovery procedure."""
+
+
+# ---------------------------------------------------------------------------
+# Analytics (columnar replica)
+# ---------------------------------------------------------------------------
+
+class AnalyticsDisabledError(NodeError):
+    """The columnar replica is disabled and cannot serve the request."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+from repro.analytics.columnstore import ColumnStore
 from repro.errors import SerializationFailure
 from repro.mvcc.transaction import (
     Snapshot,
@@ -46,6 +47,18 @@ class Database:
         self.wal = wal or WriteAheadLog()
         self._xid_counter = itertools.count(1)
         self.committed_height = 0  # height of the last fully committed block
+        # Columnar read replica serving AS OF time-travel queries: commits
+        # queue their write sets here (one list append on the hot path);
+        # the block processor's post-commit hook and analytical reads
+        # drain the queue into column chunks.
+        self.columnstore = ColumnStore()
+        # A dropped table's chunks must never serve a later re-creation
+        # under the same name — rebuild from the heap instead.
+        self.catalog.add_drop_listener(
+            lambda table: self.columnstore.mark_stale())
+        # Vacuum retention horizon: heights below this may have had
+        # versions pruned, so time-travel reads refuse to go there.
+        self.retained_height = 0
         # all transactions ever started on this node, by xid
         self.transactions: Dict[int, TransactionContext] = {}
         # still-interesting transactions for SSI conflict checks
@@ -103,6 +116,7 @@ class Database:
         tx.block_number = stamp
         self._active.pop(tx.xid, None)
         self._recently_committed.append(tx)
+        self.columnstore.note_commit(tx)
         self.wal.append(WAL_COMMIT, xid=tx.xid, tx_id=tx.tx_id, block=stamp)
 
     def apply_abort(self, tx: TransactionContext, reason: str = "") -> None:
@@ -147,6 +161,10 @@ class Database:
             self._active[tx.xid] = tx
         self._recently_committed = [
             t for t in self._recently_committed if t.xid != tx.xid]
+        # Committed history changed out-of-band: the columnar replica
+        # rebuilds from the heap on its next access (section 3.6
+        # recovery re-executes the block through the normal pipeline).
+        self.columnstore.mark_stale()
 
     # ------------------------------------------------------------------
     # SSI support queries

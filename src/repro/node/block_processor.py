@@ -256,3 +256,8 @@ class BlockProcessor:
         node.notifications.notify(CHANNEL_BLOCKS, block=block.number,
                                   txs=len(block.transactions))
         node.db.prune_committed()
+
+        # Columnar replica ingest: append this block's committed version
+        # deltas into the per-table column chunks (and compact
+        # periodically) so AS OF analytics never touch the row store.
+        node.db.columnstore.on_block(node.db, block.number)

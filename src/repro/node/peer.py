@@ -157,21 +157,61 @@ class DatabaseNode:
 
     def query(self, sql: str, username: str = "@system",
               params: Sequence[Any] = (),
-              provenance: bool = False) -> Result:
+              provenance: bool = False,
+              as_of: Optional[int] = None) -> Result:
         """Read-only query against this node's latest committed state
-        (individual SELECTs are never recorded on the chain)."""
+        (individual SELECTs are never recorded on the chain).
+
+        ``as_of`` pins every SELECT to a block height (time travel): the
+        engine routes the scans to the columnar replica and skips all
+        SSI bookkeeping — state at or below the committed height is
+        immutable.  Statements may also carry their own ``AS OF BLOCK
+        h`` / ``AS OF LATEST`` clause, which overrides the session
+        pin."""
         if self.crashed:
             raise ReproError(f"node {self.name} is down")
         tx = self.db.begin(allow_nondeterministic=True, read_only=True,
                            username=username, provenance=provenance)
         try:
-            executor = Executor(self.db, tx, acl=self.acl)
+            executor = Executor(self.db, tx, acl=self.acl,
+                                default_as_of=as_of)
             result = Result()
             for stmt in parse_sql(sql):
                 result = executor.execute(stmt, params=params)
             return result
         finally:
             self.db.apply_abort(tx, reason="read-only")
+
+    def query_as_of(self, sql: str, height: Optional[int] = None,
+                    username: str = "@system",
+                    params: Sequence[Any] = ()) -> Result:
+        """Time-travel convenience: run ``sql`` pinned to ``height``
+        (default: this node's committed height)."""
+        pin = self.db.committed_height if height is None else height
+        return self.query(sql, username=username, params=params,
+                          as_of=pin)
+
+    def row_history(self, table: str, key_column: str, key_value: Any,
+                    username: str = "@system") -> List[Dict[str, Any]]:
+        """Every committed version of the logical rows matching
+        ``key_column = key_value`` with MVCC headers, in creation order —
+        served straight from the columnar replica (the provenance audit
+        path; survives vacuum, which only prunes the row store)."""
+        if self.crashed:
+            raise ReproError(f"node {self.name} is down")
+        self.acl.check_read(username, table)
+        return self.db.columnstore.history(self.db, table, key_column,
+                                           key_value)
+
+    def block_diff(self, table: str, low_height: int, high_height: int,
+                   username: str = "@system") -> Dict[str, Any]:
+        """Rows of ``table`` created and deleted in
+        ``(low_height, high_height]`` from the columnar replica."""
+        if self.crashed:
+            raise ReproError(f"node {self.name} is down")
+        self.acl.check_read(username, table)
+        return self.db.columnstore.diff(self.db, table, low_height,
+                                        high_height)
 
     def block_height(self) -> int:
         """Latest committed block height (clients pin EO snapshots here)."""
@@ -321,13 +361,16 @@ class DatabaseNode:
 
     def vacuum(self, keep_blocks: int = 16):
         """Prune dead row versions older than ``keep_blocks`` blocks of
-        history (section 7's creator/deleter-aware vacuum)."""
+        history (section 7's creator/deleter-aware vacuum).  The horizon
+        becomes the database's retained-height floor: AS OF reads below
+        it are refused, and reads at or above it are provably unaffected
+        (see ``storage/vacuum.py``)."""
         from repro.storage.vacuum import vacuum_database
 
         horizon = self.db.committed_height - keep_blocks
         if horizon < 0:
             from repro.storage.vacuum import VacuumReport
-            return VacuumReport(horizon_block=horizon)
+            return VacuumReport(retain_height=horizon)
         return vacuum_database(self.db, horizon)
 
     # ------------------------------------------------------------------
@@ -336,10 +379,13 @@ class DatabaseNode:
 
     def crash(self) -> None:
         """Take the node down: it stops receiving traffic and loses
-        unflushed WAL records (section 3.6)."""
+        unflushed WAL records (section 3.6).  The columnar replica is
+        marked stale — recovery may roll committed work back, so it
+        rebuilds from the heap once the node serves analytics again."""
         self.crashed = True
         self.network.take_down(self.name)
         self.db.wal.crash()
+        self.db.columnstore.mark_stale()
 
     def restart(self) -> None:
         """Bring the node back; the caller should then run

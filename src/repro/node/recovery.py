@@ -122,6 +122,10 @@ class RecoveryManager:
         node.db.wal.flush()
         node.db.committed_height = max(node.db.committed_height,
                                        block.number)
+        # The block's commits were durable but never ingested into the
+        # columnar replica (the crash preempted the post-commit hook);
+        # finish that bookkeeping too.
+        node.db.columnstore.on_block(node.db, block.number)
         digest = node.checkpoints.record_local(block.number,
                                                committed_contexts)
         if digest is not None and node.ordering is not None:

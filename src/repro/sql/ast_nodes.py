@@ -185,6 +185,17 @@ class OrderItem:
 
 
 @dataclass
+class AsOfClause:
+    """``AS OF BLOCK <expr>`` / ``AS OF LATEST`` time-travel pin.
+
+    ``block`` is an expression (literal, parameter or PL variable) so
+    plan templates stay value-free; the executor resolves it per
+    execution.  ``latest`` pins to the node's committed height."""
+    block: Optional[Expr] = None
+    latest: bool = False
+
+
+@dataclass
 class Select(Statement):
     items: List[SelectItem]
     from_table: Optional[TableRef] = None
@@ -198,6 +209,7 @@ class Select(Statement):
     distinct: bool = False
     provenance: bool = False  # PROVENANCE SELECT — sees all row versions
     into_vars: List[str] = field(default_factory=list)  # PL: SELECT .. INTO
+    as_of: Optional[AsOfClause] = None  # time-travel pin (AS OF BLOCK h)
 
 
 @dataclass

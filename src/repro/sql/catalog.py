@@ -157,6 +157,7 @@ class Catalog:
         self._heaps: Dict[str, HeapTable] = {}
         self._version = 0
         self._version_listeners: List[Any] = []
+        self._drop_listeners: List[Any] = []
 
     # -- versioning --------------------------------------------------------
 
@@ -174,6 +175,12 @@ class Catalog:
     def add_version_listener(self, listener) -> None:
         """``listener(new_version)`` fires after every bump."""
         self._version_listeners.append(listener)
+
+    def add_drop_listener(self, listener) -> None:
+        """``listener(table_name)`` fires when a table is dropped —
+        replicas holding per-table state (the columnar store) must not
+        serve a later re-creation from the old copies."""
+        self._drop_listeners.append(listener)
 
     # -- tables ------------------------------------------------------------
 
@@ -206,6 +213,8 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._schemas[name]
         del self._heaps[name]
+        for listener in self._drop_listeners:
+            listener(name)
         self.bump_version()
 
     def schema_of(self, name: str) -> TableSchema:

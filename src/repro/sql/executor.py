@@ -152,13 +152,20 @@ class AccessChecker:
 
 
 class Executor:
-    """Statement driver bound to one database + one transaction."""
+    """Statement driver bound to one database + one transaction.
+
+    ``default_as_of`` pins every SELECT of this executor to a block
+    height (the session-level time-travel API: ``node.query(sql,
+    as_of=h)``); an explicit ``AS OF`` clause on a statement overrides
+    it."""
 
     def __init__(self, database: "Database", tx: TransactionContext,
-                 acl: Optional[AccessChecker] = None):
+                 acl: Optional[AccessChecker] = None,
+                 default_as_of: Optional[int] = None):
         self.db = database
         self.tx = tx
         self.acl = acl
+        self.default_as_of = default_as_of
         # Depth of nested statement execution: correlated subqueries run
         # through this executor mid-statement and must not count (or
         # double-bill their time) as standalone statements in
@@ -233,21 +240,93 @@ class Executor:
         sub_ctx = EvalContext(
             variables=outer_ctx.variables, params=outer_ctx.params,
             allow_nondeterministic=outer_ctx.allow_nondeterministic,
-            subquery_fn=self._run_subquery, outer=outer_ctx)
+            subquery_fn=self._run_subquery, outer=outer_ctx,
+            as_of_height=outer_ctx.as_of_height)
         self._stmt_depth += 1
         try:
             return self._execute_select(select, sub_ctx).rows
         finally:
             self._stmt_depth -= 1
 
+    # ------------------------------------------------------------------
+    # AS OF resolution (time travel)
+    # ------------------------------------------------------------------
+
+    def _apply_as_of(self, stmt: Select, ctx: EvalContext) -> None:
+        """Resolve the statement's time-travel pin into
+        ``ctx.as_of_height``.
+
+        Precedence: an explicit ``AS OF`` clause wins; otherwise a pin
+        inherited from the enclosing query (subqueries read at the same
+        height); otherwise the executor's ``default_as_of``.  A pinned
+        height must name immutable, still-retained state: read-only
+        session, at or below the committed height, at or above the
+        vacuum retention horizon."""
+        clause = stmt.as_of
+        if clause is None:
+            if ctx.as_of_height is not None:
+                return  # inherited from the outer query, already checked
+            if self.default_as_of is None:
+                return
+            height: Any = self.default_as_of
+            latest = False
+        elif clause.latest:
+            height = None
+            latest = True
+        else:
+            height = compiled(clause.block)(ctx)
+            latest = False
+
+        if self.tx.provenance:
+            raise ExecutionError(
+                "AS OF cannot be combined with PROVENANCE (provenance "
+                "sessions already see every committed version)")
+        if not self.tx.read_only:
+            raise ExecutionError(
+                "AS OF queries require a read-only session: historical "
+                "state is immutable and executes outside SSI")
+        committed = self.db.committed_height
+        if latest:
+            height = committed
+        if height is None:
+            raise ExecutionError("AS OF BLOCK height must not be NULL")
+        # Strict typing: a fractional height silently truncating (or a
+        # string/boolean coercing) would read the *wrong* historical
+        # state without any diagnostic.
+        if isinstance(height, bool) or not isinstance(height, (int, float)):
+            raise ExecutionError(
+                f"AS OF BLOCK height must be an integer, got "
+                f"{height!r}")
+        if isinstance(height, float):
+            if not height.is_integer():
+                raise ExecutionError(
+                    f"AS OF BLOCK height must be an integer, got "
+                    f"{height!r}")
+            height = int(height)
+        if height < 0:
+            raise ExecutionError(
+                f"AS OF BLOCK height must not be negative, got {height}")
+        if height > committed:
+            raise ExecutionError(
+                f"AS OF BLOCK {height} is above this node's committed "
+                f"height {committed} (cannot read the future)")
+        retained = getattr(self.db, "retained_height", 0)
+        if height < retained:
+            raise ExecutionError(
+                f"AS OF BLOCK {height} precedes the vacuum retention "
+                f"horizon {retained}: that history has been pruned")
+        ctx.as_of_height = height
+
     def _plan_select_cached(self, stmt: Select, ctx: EvalContext
                             ) -> Tuple[SelectPlan, bool, Optional[Dict]]:
         """Fetch a guard-validated plan template from the statement
         cache, or plan and cache a fresh one.  Returns
         (plan, hit, bounds-by-scan-node from guard validation)."""
+        self._apply_as_of(stmt, ctx)
         cache = self.db.plan_cache
         version = self.db.catalog.version
-        key = PlanCache.key_for(stmt, ctx, self.tx, version)
+        key = PlanCache.key_for(stmt, ctx, self.tx, version,
+                                self.db.columnstore.enabled)
         got = cache.get(key, self.db.catalog, ctx)
         if got is not None:
             entry, scan_bounds = got

@@ -68,6 +68,10 @@ class EvalContext:
     subquery_fn: Optional[Callable] = None
     # enclosing query's row context (correlated subqueries)
     outer: Optional["EvalContext"] = None
+    # time-travel pin: block height this statement (and its subqueries)
+    # reads at — set by the executor's AS OF resolution, None for normal
+    # latest-state execution
+    as_of_height: Optional[int] = None
 
     def child_for_row(self, env: Dict[str, Dict[str, Any]]) -> "EvalContext":
         return EvalContext(env=env, variables=self.variables,
@@ -75,7 +79,8 @@ class EvalContext:
                            allow_nondeterministic=self.allow_nondeterministic,
                            aggregate_values=self.aggregate_values,
                            subquery_fn=self.subquery_fn,
-                           outer=self.outer)
+                           outer=self.outer,
+                           as_of_height=self.as_of_height)
 
 
 def _resolve_column(ref: ColumnRef, ctx: EvalContext) -> Any:

@@ -29,6 +29,7 @@ KEYWORDS = frozenset("""
     INTERVAL NOW PROVENANCE GRANT REVOKE TO EXPLAIN
     COUNT SUM AVG MIN MAX
     FOR LOOP WHILE PERFORM INTO LANGUAGE CALLED REPLACE
+    OF BLOCK LATEST
 """.split())
 
 # Multi-character operators, longest first.

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SQLSyntaxError
 from repro.sql.ast_nodes import (
+    AsOfClause,
     Between, BinaryOp, CaseExpr, ColumnDefNode, ColumnRef, CreateFunction,
     CreateIndex, CreateTable, Delete, DropFunction, DropTable, Explain, Expr,
     FunctionCall, InList, Insert, IntervalLiteral, IsNull, Join, Like,
@@ -30,7 +31,7 @@ _AGGREGATES = {"count", "sum", "avg", "min", "max"}
 # Keywords that may double as column/variable names (or function names)
 # in expressions.
 _SOFT_IDENT_KEYWORDS = {"KEY", "INDEX", "CHECK", "LANGUAGE", "NOTICE",
-                        "REPLACE"}
+                        "REPLACE", "OF", "BLOCK", "LATEST"}
 
 _TYPE_KEYWORDS = {
     "INT", "INTEGER", "BIGINT", "FLOAT", "DOUBLE", "NUMERIC", "DECIMAL",
@@ -107,9 +108,23 @@ class Parser:
         # Non-reserved usage of soft keywords as identifiers.
         if tok.kind == "KEYWORD" and tok.value in {
                 "KEY", "INDEX", "CHECK", "LANGUAGE", "END", "NOTICE",
-                "COUNT", "SUM", "AVG", "MIN", "MAX", "TIMESTAMP"}:
+                "COUNT", "SUM", "AVG", "MIN", "MAX", "TIMESTAMP",
+                "OF", "BLOCK", "LATEST"}:
             return self.advance().value.lower()
         raise self.error("expected identifier")
+
+    def _as_of_ahead(self) -> bool:
+        """True when the next tokens start the time-travel clause:
+        ``AS OF BLOCK`` or ``AS OF LATEST``.  Requiring the full head
+        keeps ``of``/``block``/``latest`` usable as ordinary aliases
+        (``SELECT v AS of FROM t`` still parses as an alias)."""
+        if not self.check_kw("AS") or self.index + 2 >= len(self.tokens):
+            return False
+        second = self.tokens[self.index + 1]
+        third = self.tokens[self.index + 2]
+        return (second.kind == "KEYWORD" and second.value == "OF"
+                and third.kind == "KEYWORD"
+                and third.value in ("BLOCK", "LATEST"))
 
     # ------------------------------------------------------------------
     # Entry points
@@ -196,6 +211,14 @@ class Parser:
             select.limit = self.parse_expr()
         if self.accept_kw("OFFSET"):
             select.offset = self.parse_expr()
+        if self._as_of_ahead():
+            self.advance()  # AS
+            self.advance()  # OF
+            if self.accept_kw("LATEST"):
+                select.as_of = AsOfClause(latest=True)
+            else:
+                self.expect_kw("BLOCK")
+                select.as_of = AsOfClause(block=self.parse_expr())
         return select
 
     def parse_select_item(self) -> SelectItem:
@@ -214,19 +237,29 @@ class Parser:
             return SelectItem(expr=Star(table=table))
         expr = self.parse_expr()
         alias = None
-        if self.accept_kw("AS"):
+        if not self._as_of_ahead() and self.accept_kw("AS"):
             alias = self.expect_ident()
-        elif self.check("IDENT"):
-            alias = self.advance().value
+        elif self.check("IDENT") or self._bare_alias_keyword():
+            alias = self._accept_alias()
         return SelectItem(expr=expr, alias=alias)
+
+    def _bare_alias_keyword(self) -> bool:
+        """OF/BLOCK/LATEST were identifiers before the time-travel
+        grammar; keep accepting them as bare aliases (the clause always
+        starts with AS, so there is no ambiguity here)."""
+        return self.check_kw("OF", "BLOCK", "LATEST")
+
+    def _accept_alias(self) -> str:
+        tok = self.advance()
+        return tok.value.lower() if tok.kind == "KEYWORD" else tok.value
 
     def parse_table_ref(self) -> TableRef:
         name = self.expect_ident()
         alias = name
-        if self.accept_kw("AS"):
+        if not self._as_of_ahead() and self.accept_kw("AS"):
             alias = self.expect_ident()
-        elif self.check("IDENT"):
-            alias = self.advance().value
+        elif self.check("IDENT") or self._bare_alias_keyword():
+            alias = self._accept_alias()
         return TableRef(name=name, alias=alias)
 
     def parse_join_opt(self) -> Optional[Join]:

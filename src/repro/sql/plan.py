@@ -260,6 +260,22 @@ def rank_indexes(heap, slots: Dict[str, Dict[str, Any]]
     return best
 
 
+def scan_estimate(live_rows: int, n_eq: int, has_range: bool,
+                  unique_covered: bool) -> float:
+    """System-R-style default selectivities over the live row count.
+    (Lives here, beside the index scoring, so the plan cache can refresh
+    ``rows~N`` annotations on cache hits without importing the planner.)"""
+    base = float(max(live_rows, 1))
+    if unique_covered:
+        return 1.0
+    est = base
+    if n_eq:
+        est = max(1.0, est / 4.0)
+    if has_range:
+        est = max(1.0, est / 3.0)
+    return est
+
+
 def choose_index(heap, bounds: Dict[str, Dict[str, Any]]
                  ) -> Optional[Tuple[Index, List[Any], Optional[Tuple],
                                      Optional[Tuple], bool, bool]]:
@@ -296,14 +312,31 @@ def choose_index(heap, bounds: Dict[str, Dict[str, Any]]
 # The scan runtime — SSI hooks live here
 # ---------------------------------------------------------------------------
 
+def row_content_key(values: Dict[str, Any]) -> str:
+    """Content-defined sort key shared by heap and columnar scans:
+    physical version ids differ across nodes (aborted executions burn
+    ids), and float aggregation is order-sensitive — sorting rows by
+    content makes every node (and every store) fold identically."""
+    return repr(sorted(values.items(), key=lambda kv: kv[0]))
+
+
 def execute_scan(rt: Runtime, table_name: str, alias: str,
                  bounds: Dict[str, Dict[str, Any]]) -> List[ScanRow]:
     """Scan ``table_name`` returning visible rows, recording SIREAD
-    state and running the EO-flow phantom/stale checks."""
+    state and running the EO-flow phantom/stale checks.
+
+    Time-travel executions (``rt.ctx.as_of_height`` set) read the
+    immutable state at that height instead: visibility pins to
+    ``BlockSnapshot(height)`` and *no* SSI bookkeeping happens — no
+    SIREAD recording, no phantom/stale window checks.  State at or
+    below the committed height can never change, so there is nothing
+    for SSI to validate against (the transaction is read-only by
+    construction; the executor enforces that)."""
     rt.check_read(table_name)
     schema = rt.db.catalog.schema_of(table_name)
     heap = rt.db.catalog.heap_of(table_name)
     tx = rt.tx
+    as_of = rt.ctx.as_of_height if not tx.provenance else None
     choice = choose_index(heap, bounds)
 
     if choice is not None:
@@ -325,9 +358,15 @@ def execute_scan(rt: Runtime, table_name: str, alias: str,
                 f"index-backed predicate reads")
         candidates = heap.all_versions()
         predicate = PredicateRead(table=table_name, columns=())
-    tx.record_predicate_read(predicate)
 
-    window_checks(rt, table_name, candidates)
+    if as_of is None:
+        tx.record_predicate_read(predicate)
+        window_checks(rt, table_name, candidates)
+        snapshot = tx.snapshot
+        own_xid: Optional[int] = tx.xid
+    else:
+        snapshot = BlockSnapshot(as_of)
+        own_xid = None  # pure committed-height semantics
 
     rows: List[ScanRow] = []
     for version in candidates:
@@ -339,18 +378,14 @@ def execute_scan(rt: Runtime, table_name: str, alias: str,
                 values.setdefault(key, val)
             rows.append(ScanRow(values=values, version=version))
         else:
-            if not version_visible(version, tx.snapshot,
-                                   rt.db.statuses, tx.xid):
+            if not version_visible(version, snapshot,
+                                   rt.db.statuses, own_xid):
                 continue
-            tx.record_row_read(table_name, version)
+            if as_of is None:
+                tx.record_row_read(table_name, version)
             rows.append(ScanRow(values=dict(version.values),
                                 version=version))
-    # Deterministic logical order: physical version ids differ across
-    # nodes (aborted executions burn ids), and float aggregation is
-    # order-sensitive — sort by row content so every node folds
-    # aggregates identically.
-    rows.sort(key=lambda r: repr(sorted(r.values.items(),
-                                        key=lambda kv: kv[0])))
+    rows.sort(key=lambda r: row_content_key(r.values))
     return rows
 
 
@@ -821,6 +856,28 @@ def _compile_grouped_item(item: SelectItem, binder) -> Any:
     return compile_expr(item.expr, binder)
 
 
+def fold_sum(values: Sequence[Any]) -> Any:
+    """Order-independent SUM fold shared by the row-store and columnar
+    aggregate paths.
+
+    All-float inputs use ``math.fsum`` — exactly rounded, so the total
+    does not depend on fold order (scan content order here, physical
+    ingest order in the column store, either across nodes).  Exact types
+    (int/Decimal) and mixed inputs fold sequentially, where order cannot
+    change the result (or, for text concatenation, where scan content
+    order is the defined behaviour)."""
+    import math
+
+    if not values:
+        return None
+    if all(type(v) is float for v in values):
+        return math.fsum(values)
+    total = values[0]
+    for value in values[1:]:
+        total = total + value
+    return total
+
+
 def _compute_aggregate(call: FunctionCall, arg_fn, group: List[Env],
                        ctx: EvalContext) -> Any:
     import functools
@@ -848,15 +905,9 @@ def _compute_aggregate(call: FunctionCall, arg_fn, group: List[Env],
     if not values:
         return None
     if call.name == "sum":
-        total = values[0]
-        for value in values[1:]:
-            total = total + value
-        return total
+        return fold_sum(values)
     if call.name == "avg":
-        total = values[0]
-        for value in values[1:]:
-            total = total + value
-        return total / len(values)
+        return fold_sum(values) / len(values)
     if call.name == "min":
         return functools.reduce(
             lambda a, b: a if compare_values(a, b) <= 0 else b, values)

@@ -54,11 +54,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import CatalogError
 from repro.sql.ast_nodes import Expr, Statement
 from repro.sql.expressions import EvalContext
-from repro.sql.plan import extract_bounds, rank_indexes
+from repro.sql.plan import extract_bounds, rank_indexes, scan_estimate
 
 __all__ = [
     "PlanCache", "PlanEntry", "ScanGuard", "context_shape",
-    "statement_fingerprint", "validate_guards",
+    "refresh_row_estimates", "statement_fingerprint", "validate_guards",
 ]
 
 # (index name, n leading equality columns, has range on next column);
@@ -115,6 +115,10 @@ class ScanGuard:
     alias_columns: Dict[str, Sequence[str]]
     signature: ScanSignature
     node: Any = None
+    # Columnar (AS OF) scans have no index signature to re-derive — the
+    # guard only validates table existence and recomputes the bounds the
+    # scan uses for zone-map pruning.
+    columnar: bool = False
 
 
 def validate_guards(catalog, guards: Sequence[ScanGuard],
@@ -135,13 +139,42 @@ def validate_guards(catalog, guards: Sequence[ScanGuard],
             return None
         bounds = extract_bounds(guard.where, guard.alias, ctx,
                                 guard.alias_columns)
-        best = rank_indexes(heap, bounds)
-        sig = None if best is None else (best[0].name, best[1], best[2])
-        if sig != guard.signature:
-            return None
+        if not guard.columnar:
+            best = rank_indexes(heap, bounds)
+            sig = None if best is None else (best[0].name, best[1], best[2])
+            if sig != guard.signature:
+                return None
         if guard.node is not None:
             bounds_by_node[id(guard.node)] = bounds
     return bounds_by_node
+
+
+def refresh_row_estimates(catalog, guards: Sequence[ScanGuard]) -> None:
+    """Refresh the ``rows~N`` EXPLAIN annotations of a cached template
+    from *live* catalog statistics.
+
+    Row counts drift with every committed DML without a catalog-version
+    bump (only DDL and vacuum bump), so templates frozen at creation
+    would show stale estimates on cache hits.  Run on every validated
+    hit; only scan nodes re-estimate — the join strategy never reads row
+    counts (node-determinism), so this is purely observational."""
+    for guard in guards:
+        node = guard.node
+        if node is None:
+            continue
+        try:
+            stats = catalog.stats_of(guard.table)
+        except CatalogError:
+            continue
+        if guard.columnar:
+            node.est_rows = float(max(stats.total_versions, 0))
+        elif guard.signature is None:
+            node.est_rows = float(max(stats.live_rows, 0))
+        else:
+            _, n_eq, has_range = guard.signature
+            node.est_rows = scan_estimate(
+                stats.live_rows, n_eq, has_range,
+                getattr(node, "unique_covered", False))
 
 
 @dataclass
@@ -170,10 +203,23 @@ class PlanCache:
 
     @staticmethod
     def key_for(stmt: Statement, ctx: EvalContext, tx,
-                catalog_version: int) -> Tuple:
+                catalog_version: int,
+                columnar_enabled: bool = False) -> Tuple:
+        # AS OF statements additionally key on the *presence* of a
+        # height pin and on whether columnar routing was available:
+        # pinning changes the chosen operators (ColumnarScan vs heap
+        # scans), and so does toggling the replica.  The height value
+        # itself is deliberately NOT part of the key — templates are
+        # height-free (operators read ``ctx.as_of_height`` per
+        # execution), so `AS OF BLOCK $1` at a thousand heights, or a
+        # dashboard pinning to every new committed height, reuses one
+        # template instead of churning the LRU.
+        as_of = getattr(ctx, "as_of_height", None)
+        pinned = as_of is not None
         return (statement_fingerprint(stmt), context_shape(ctx),
                 catalog_version, bool(tx.require_index),
-                bool(tx.provenance), bool(ctx.allow_nondeterministic))
+                bool(tx.provenance), bool(ctx.allow_nondeterministic),
+                pinned, bool(columnar_enabled) if pinned else None)
 
     # -- lookup / store ----------------------------------------------------
 
@@ -195,6 +241,7 @@ class PlanCache:
                 self.guard_failures += 1
                 self.misses += 1
             return None
+        refresh_row_estimates(catalog, entry.guards)
         with self._lock:
             self.hits += 1
         return entry, scan_bounds

@@ -32,14 +32,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analytics.operators import (
+    AggSpec,
+    ColumnarAggregate,
+    ColumnarScan,
+    VectorPredicate,
+)
 from repro.sql import functions
 from repro.sql.ast_nodes import (
-    BinaryOp, ColumnRef, Expr, FunctionCall, Join,
+    Between, BinaryOp, ColumnRef, Expr, FunctionCall, Join,
     OrderItem, Select, SelectItem, Star, SubqueryExpr,
 )
 from repro.sql.expressions import (
     COMPILE_STATS,
     EvalContext,
+    compile_expr,
     expr_fingerprint,
 )
 from repro.sql.plan import (
@@ -62,6 +69,7 @@ from repro.sql.plan import (
     extract_bounds,
     rank_indexes,
     render_plan,
+    scan_estimate,
 )
 from repro.sql.plancache import ScanGuard
 
@@ -259,6 +267,33 @@ class Planner:
     # Scan planning
     # ------------------------------------------------------------------
 
+    def _columnar_routing(self, ctx: EvalContext) -> bool:
+        """True when this statement executes at a pinned AS OF height and
+        the node's columnar replica may serve its scans."""
+        return (ctx.as_of_height is not None
+                and not self.tx.provenance
+                and getattr(self.db, "columnstore", None) is not None
+                and self.db.columnstore.enabled)
+
+    def _plan_columnar_scan(self, table: str, alias: str,
+                            where: Optional[Expr], ctx: EvalContext,
+                            alias_columns: Dict[str, Sequence[str]]
+                            ) -> ColumnarScan:
+        """Columnar access path for an AS OF scan.  The guard records no
+        index signature (the store has none to validate) but still
+        threads the extracted bounds to execution for zone-map pruning."""
+        stats = self.db.catalog.stats_of(table)
+        scan = ColumnarScan(table, alias, where,
+                            est_rows=float(max(stats.total_versions, 0)))
+        guard = ScanGuard(table=table, alias=alias, where=where,
+                          alias_columns=alias_columns, signature=None,
+                          columnar=True)
+        guard.node = scan
+        self.guards.append(guard)
+        self.scan_bounds[id(scan)] = extract_bounds(where, alias, ctx,
+                                                    alias_columns)
+        return scan
+
     def plan_scan(self, table: str, alias: str, where: Optional[Expr],
                   ctx: EvalContext,
                   alias_columns: Optional[Dict[str, Sequence[str]]] = None
@@ -269,10 +304,18 @@ class Planner:
         carry no per-execution values); execution re-derives the bounds
         from the live context and re-runs the same deterministic index
         scoring over them.  A :class:`ScanGuard` capturing the structural
-        choice is recorded for plan-cache validation."""
+        choice is recorded for plan-cache validation.
+
+        Statements pinned to an AS OF height route to the columnar
+        replica instead (:class:`ColumnarScan`) whenever it is enabled —
+        reads below the committed height have no SSI obligations, so the
+        index-backed-predicate rules don't apply there."""
         if alias_columns is None:
             schema = self.db.catalog.schema_of(table)
             alias_columns = {alias: schema.column_names()}
+        if self._columnar_routing(ctx):
+            return self._plan_columnar_scan(table, alias, where, ctx,
+                                            alias_columns)
         heap = self.db.catalog.heap_of(table)
         stats = self.db.catalog.stats_of(table)
         sources: Dict[str, List[Expr]] = {}
@@ -548,6 +591,19 @@ class Planner:
         aggregates = self.collect_aggregates(stmt, order_items)
         columns = self.output_columns(stmt, alias_columns)
 
+        if self._columnar_routing(ctx) and stmt.from_table is not None:
+            fast = self._try_columnar_aggregate(
+                stmt, ctx, alias_columns, order_items, aggregates)
+            if fast is not None:
+                top: PlanNode = fast
+                if stmt.order_by:
+                    top = Sort(top, order_items)
+                if stmt.limit is not None or stmt.offset is not None:
+                    top = Limit(top, stmt.limit, stmt.offset)
+                return SelectPlan(root=top, columns=columns,
+                                  alias_columns=alias_columns,
+                                  guards=self.guards)
+
         if stmt.from_table is None:
             source: PlanNode = OneRow()
         else:
@@ -580,16 +636,145 @@ class Planner:
                           alias_columns=alias_columns,
                           guards=self.guards)
 
+    # ------------------------------------------------------------------
+    # Columnar aggregate pushdown (AS OF fast path)
+    # ------------------------------------------------------------------
 
-def scan_estimate(live_rows: int, n_eq: int, has_range: bool,
-                  unique_covered: bool) -> float:
-    """System-R-style default selectivities over the live row count."""
-    base = float(max(live_rows, 1))
-    if unique_covered:
-        return 1.0
-    est = base
-    if n_eq:
-        est = max(1.0, est / 4.0)
-    if has_range:
-        est = max(1.0, est / 3.0)
-    return est
+    _VECTOR_NUMERIC_TYPES = frozenset({
+        "INT", "INTEGER", "BIGINT", "SERIAL", "INT4", "INT8",
+        "FLOAT", "DOUBLE", "REAL", "NUMERIC", "DECIMAL", "TIMESTAMP",
+    })
+
+    def _try_columnar_aggregate(self, stmt: Select, ctx: EvalContext,
+                                alias_columns: Dict[str, Sequence[str]],
+                                order_items: Sequence[OrderItem],
+                                aggregates: List[FunctionCall]
+                                ) -> Optional[ColumnarAggregate]:
+        """Build a vectorized :class:`ColumnarAggregate` when the whole
+        statement shape is covered, else None (the generic ColumnarScan
+        pipeline handles it).  Covered means: single table, aggregates
+        over plain columns (``sum``/``avg`` on numeric types only — the
+        row store's string "sum" concatenates in content order, which a
+        vector fold cannot reproduce), GROUP BY plain columns with an
+        ORDER BY covering every group column (so output order is fully
+        determined and node-independent), and a WHERE of sargable
+        conjuncts.  No HAVING / DISTINCT / joins / subqueries."""
+        if stmt.joins or stmt.distinct or stmt.having is not None:
+            return None
+        if not aggregates:
+            return None
+        alias = stmt.from_table.alias
+        table = stmt.from_table.name
+        inner_cols = alias_columns.get(alias, ())
+        schema = self.db.catalog.schema_of(table)
+
+        group_cols: List[str] = []
+        for group in stmt.group_by:
+            col = column_of_alias(group, alias, inner_cols)
+            if col is None:
+                return None
+            group_cols.append(col)
+
+        agg_specs: List[AggSpec] = []
+        agg_index: Dict[str, int] = {}
+        for call in aggregates:
+            if call.distinct:
+                return None
+            if call.star:
+                if call.name != "count":
+                    return None
+                spec = AggSpec(expr_fingerprint(call), "count", None,
+                               star=True)
+            else:
+                if len(call.args) != 1:
+                    return None
+                col = column_of_alias(call.args[0], alias, inner_cols)
+                if col is None:
+                    return None
+                if call.name in {"sum", "avg"} and \
+                        schema.column(col).type_name.upper() not in \
+                        self._VECTOR_NUMERIC_TYPES:
+                    return None
+                spec = AggSpec(expr_fingerprint(call), call.name, col)
+            agg_index[spec.fingerprint] = len(agg_specs)
+            agg_specs.append(spec)
+
+        def spec_of(expr: Expr) -> Optional[Tuple[str, int]]:
+            if isinstance(expr, FunctionCall):
+                pos = agg_index.get(expr_fingerprint(expr))
+                return None if pos is None else ("agg", pos)
+            col = column_of_alias(expr, alias, inner_cols)
+            if col is not None and col in group_cols:
+                return ("group", group_cols.index(col))
+            return None
+
+        output_specs: List[Tuple[str, int]] = []
+        for item in stmt.items:
+            spec = spec_of(item.expr)
+            if spec is None:
+                return None
+            output_specs.append(spec)
+
+        order_specs: List[Tuple[str, int]] = []
+        ordered_groups: Set[str] = set()
+        for order in order_items:
+            spec = spec_of(order.expr)
+            if spec is None:
+                return None
+            if spec[0] == "group":
+                ordered_groups.add(group_cols[spec[1]])
+            order_specs.append(spec)
+        if group_cols and set(group_cols) - ordered_groups:
+            # Without a total order over the group keys the emission
+            # order would leak physical ingest order — the row store
+            # emits first-encounter-over-content order instead, and the
+            # two must stay byte-identical.
+            return None
+
+        predicates: List[VectorPredicate] = []
+        if stmt.where is not None:
+            for conj in conjuncts(stmt.where):
+                pred = self._vector_predicate(conj, alias, inner_cols)
+                if pred is None:
+                    return None
+                predicates.append(pred)
+
+        scan = self._plan_columnar_scan(table, alias, stmt.where, ctx,
+                                        alias_columns)
+        return ColumnarAggregate(
+            scan, predicates, group_cols, agg_specs, output_specs,
+            order_specs, list(stmt.items),
+            est_rows=scan.est_rows if group_cols else 1.0)
+
+    def _vector_predicate(self, conj: Expr, alias: str,
+                          inner_cols: Sequence[str]
+                          ) -> Optional[VectorPredicate]:
+        """Lower one WHERE conjunct to a vector predicate (column-left
+        normalized), or None when its shape is not covered."""
+        if isinstance(conj, BinaryOp) and conj.op in {
+                "=", "<", "<=", ">", ">="}:
+            col = column_of_alias(conj.left, alias, inner_cols)
+            other = conj.right
+            op = conj.op
+            if col is None:
+                col = column_of_alias(conj.right, alias, inner_cols)
+                other = conj.left
+                op = {"<": ">", "<=": ">=", ">": "<",
+                      ">=": "<="}.get(op, op)
+            if col is None or not self._row_free(other, alias, inner_cols):
+                return None
+            return VectorPredicate("cmp", col, op=op,
+                                   const=compile_expr(other, None))
+        if isinstance(conj, Between) and not conj.negated:
+            col = column_of_alias(conj.operand, alias, inner_cols)
+            if col is None:
+                return None
+            if not self._row_free(conj.low, alias, inner_cols) or \
+                    not self._row_free(conj.high, alias, inner_cols):
+                return None
+            return VectorPredicate("between", col,
+                                   low=compile_expr(conj.low, None),
+                                   high=compile_expr(conj.high, None))
+        return None
+
+

@@ -1,0 +1,237 @@
+"""Unit tests for the columnar replica (chunks, zone maps, ingest)."""
+
+import pytest
+
+from repro.analytics.columnstore import (
+    ColumnChunk,
+    ColumnStore,
+    TableColumns,
+    visible_at,
+)
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+
+
+def make_db():
+    db = Database()
+    tx = db.begin(allow_nondeterministic=True)
+    run_sql(db, tx, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.apply_commit(tx, block_number=0)
+    return db
+
+
+def commit_block(db, statements):
+    height = db.committed_height + 1
+    tx = db.begin(allow_nondeterministic=True)
+    for sql, params in statements:
+        run_sql(db, tx, sql, params=params)
+    db.apply_commit(tx, block_number=height)
+    db.committed_height = height
+    db.columnstore.on_block(db, height)
+    return height
+
+
+class TestChunk:
+    def test_append_and_visibility(self):
+        chunk = ColumnChunk(["id", "v"])
+        chunk.append({"id": 1, "v": 10}, 1, 1, 5, creator=1)
+        chunk.append({"id": 2, "v": 20}, 2, 2, 5, creator=2)
+        assert chunk.visible_offsets(1) == [0]
+        assert chunk.visible_offsets(2) == [0, 1]
+        chunk.mark_deleted(0, deleter=3, xmax=9)
+        assert chunk.visible_offsets(2) == [0, 1]   # deleter > 2
+        assert chunk.visible_offsets(3) == [1]      # deleter == 3 hides
+        assert chunk.live_count == 1
+        assert chunk.max_deleter == 3
+
+    def test_height_pruning_counters(self):
+        chunk = ColumnChunk(["id"])
+        chunk.append({"id": 1}, 1, 1, 5, creator=4)
+        assert not chunk.may_contain_height(3)   # created after height
+        assert chunk.may_contain_height(4)
+        chunk.mark_deleted(0, deleter=6, xmax=9)
+        assert not chunk.may_contain_height(7)   # everything dead by 7
+        assert chunk.may_contain_height(5)
+
+    def test_zone_maps_prune_by_bounds(self):
+        chunk = ColumnChunk(["id"])
+        for i in range(10, 20):
+            chunk.append({"id": i}, i, i, 1, creator=1)
+        chunk.seal()
+        assert chunk.zones["id"] == (10, 19)
+        assert not chunk.may_match_bounds({"id": {"eq": 99}})
+        assert chunk.may_match_bounds({"id": {"eq": 15}})
+        assert not chunk.may_match_bounds({"id": {"low": (20, True)}})
+        assert chunk.may_match_bounds({"id": {"low": (19, True)}})
+        assert not chunk.may_match_bounds({"id": {"low": (19, False)}})
+        assert not chunk.may_match_bounds({"id": {"high": (9, True)}})
+        assert chunk.may_match_bounds({"id": {"high": (10, True)}})
+
+    def test_zone_maps_skip_mixed_types_and_nulls(self):
+        chunk = ColumnChunk(["v"])
+        chunk.append({"v": 1}, 1, 1, 1, creator=1)
+        chunk.append({"v": "text"}, 2, 2, 1, creator=1)
+        chunk.append({"v": None}, 3, 3, 1, creator=1)
+        chunk.seal()
+        assert "v" not in chunk.zones          # unorderable mix: no map
+        assert chunk.may_match_bounds({"v": {"eq": 123}})  # conservative
+
+    def test_type_mismatched_bound_never_prunes(self):
+        chunk = ColumnChunk(["v"])
+        chunk.append({"v": 5}, 1, 1, 1, creator=1)
+        chunk.seal()
+        assert chunk.may_match_bounds({"v": {"eq": "not-a-number"}})
+
+
+class TestTableColumns:
+    def test_chunks_seal_at_target(self):
+        tcols = TableColumns("t", ["id"], target_chunk_rows=3)
+        for i in range(7):
+            tcols.append_version({"id": i}, i, i, 1, creator=1)
+        assert [len(c) for c in tcols.chunks] == [3, 3, 1]
+        assert [c.sealed for c in tcols.chunks] == [True, True, False]
+
+    def test_late_deleter_lands_in_older_chunk(self):
+        tcols = TableColumns("t", ["id"], target_chunk_rows=2)
+        tcols.append_version({"id": 1}, 1, 1, 1, creator=1)
+        tcols.append_version({"id": 2}, 2, 2, 1, creator=1)
+        tcols.append_version({"id": 3}, 3, 3, 2, creator=2)
+        assert tcols.mark_deleted(1, deleter=5, xmax=9)
+        first = tcols.chunks[0]
+        assert first.deleters[0] == 5
+        assert first.xmaxs[0] == 9
+        assert not tcols.mark_deleted(999, deleter=5, xmax=9)
+
+    def test_compaction_merges_small_sealed_chunks(self):
+        tcols = TableColumns("t", ["id"], target_chunk_rows=8)
+        # Simulate per-block sealing: many 2-row sealed chunks.
+        for block in range(6):
+            for i in range(2):
+                tcols.append_version({"id": block * 2 + i},
+                                     block * 2 + i, block * 2 + i, 1,
+                                     creator=block + 1)
+            tcols.seal_open()
+        assert len(tcols.chunks) == 6
+        tcols.mark_deleted(0, deleter=4, xmax=7)
+        removed = tcols.compact()
+        assert removed > 0
+        assert len(tcols.chunks) < 6
+        assert all(c.sealed for c in tcols.chunks)
+        # Content survives: 12 rows, the deleter stamp included.
+        assert len(tcols) == 12
+        chunk, offset = tcols._locator[0]
+        assert chunk in tcols.chunks
+        assert chunk.deleters[offset] == 4
+        assert chunk.xmaxs[offset] == 7
+        # Locator still resolves every version id.
+        for vid in range(12):
+            chunk, offset = tcols._locator[vid]
+            assert chunk.version_ids[offset] == vid
+
+
+class TestColumnStore:
+    def test_rebuild_then_delta_ingest(self):
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        store = db.columnstore
+        assert store.rebuilds == 1          # first on_block rebuilt
+        commit_block(db, [("UPDATE t SET v = 11 WHERE id = 1", ())])
+        assert store.rebuilds == 1          # delta path, no rebuild
+        assert store.deleter_updates == 1
+        tcols = store.table("t")
+        assert len(tcols) == 2              # both versions retained
+
+    def test_rollback_marks_stale_and_rebuilds(self):
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        tx = db.transactions[max(db.transactions)]
+        db.rollback_committed(tx)
+        assert db.columnstore.stale
+        db.apply_abort(tx, reason="test rollback")
+        db.committed_height = 0
+        db.columnstore.ensure_synced(db)
+        assert not db.columnstore.stale
+        assert len(db.columnstore.table("t") or []) == 0
+
+    def test_disabled_store_queues_nothing(self):
+        db = make_db()
+        db.columnstore.set_enabled(False)
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        assert db.columnstore.stats()["pending_commits"] == 0
+        # Re-enabling rebuilds from the heap, so nothing is lost.
+        db.columnstore.set_enabled(True)
+        db.columnstore.ensure_synced(db)
+        assert len(db.columnstore.table("t")) == 1
+
+    def test_history_and_diff(self):
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        commit_block(db, [("UPDATE t SET v = 20 WHERE id = 1", ())])
+        commit_block(db, [("DELETE FROM t WHERE id = 1", ())])
+        history = db.columnstore.history(db, "t", "id", 1)
+        assert [(h["v"], h["creator"], h["deleter"]) for h in history] == \
+            [(10, 1, 2), (20, 2, 3)]
+        diff = db.columnstore.diff(db, "t", 1, 3)
+        assert [d["v"] for d in diff["created"]] == [20]
+        assert [d["v"] for d in diff["deleted"]] == [10, 20]
+
+    def test_scan_prunes_chunks_by_height(self):
+        db = make_db()
+        for block in range(5):
+            commit_block(db, [(
+                "INSERT INTO t (id, v) VALUES ($1, $2)",
+                (block, block * 10))])
+        store = db.columnstore
+        before = store.chunks_pruned
+        # Height 1: later per-block chunks are all created above it.
+        selections = list(store.scan(db, "t", height=1))
+        assert sum(len(sel) for _, sel in selections) == 1
+        assert store.chunks_pruned > before
+
+    def test_visible_at_matches_docstring(self):
+        assert visible_at(3, None, 3)
+        assert not visible_at(3, None, 2)
+        assert not visible_at(3, 3, 3)
+        assert visible_at(3, 4, 3)
+        assert not visible_at(None, None, 3)
+
+    def test_drop_table_invalidates_store(self):
+        """A re-created table must never be served from the dropped
+        table's chunks (stale schema or resurrected rows)."""
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DROP TABLE t")
+        run_sql(db, tx, "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+        run_sql(db, tx, "INSERT INTO t (id, name) VALUES (7, 'new')")
+        db.apply_commit(tx, block_number=db.committed_height + 1)
+        db.committed_height += 1
+        db.columnstore.on_block(db, db.committed_height)
+        rows = list(db.columnstore.scan(db, "t",
+                                        height=db.committed_height))
+        values = [chunk.values_at(offset, ["id", "name"])
+                  for chunk, sel in rows for offset in sel]
+        assert values == [{"id": 7, "name": "new"}]
+
+    def test_disabled_store_refuses_audit_reads(self):
+        from repro.errors import AnalyticsDisabledError
+
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        db.columnstore.set_enabled(False)
+        with pytest.raises(AnalyticsDisabledError):
+            db.columnstore.history(db, "t", "id", 1)
+        with pytest.raises(AnalyticsDisabledError):
+            db.columnstore.diff(db, "t", 0, 1)
+
+    def test_history_rejects_unknown_table_and_column(self):
+        from repro.errors import CatalogError
+
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 10)", ())])
+        with pytest.raises(CatalogError):
+            db.columnstore.history(db, "nope", "id", 1)
+        with pytest.raises(CatalogError):
+            db.columnstore.history(db, "t", "not_a_column", 1)
+        with pytest.raises(CatalogError):
+            db.columnstore.diff(db, "nope", 0, 1)

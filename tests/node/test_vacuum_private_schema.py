@@ -65,7 +65,7 @@ class TestVacuum:
         run_sql(db, pending, "DELETE FROM t WHERE id = 1")
         heap = db.catalog.heap_of("t")
         # Deleter has not committed: not reclaimable.
-        assert vacuum_table(heap, db.statuses, horizon_block=99) == 0
+        assert vacuum_table(heap, db.statuses, retain_height=99) == 0
 
 
 class TestPrivateSchema:

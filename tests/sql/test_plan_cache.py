@@ -105,12 +105,12 @@ class TestCatalogVersion:
         db.apply_commit(tx, block_number=2)
         db.committed_height = 10
         v0 = db.catalog.version
-        report = vacuum_database(db, horizon_block=5)
+        report = vacuum_database(db, retain_height=5)
         assert report.removed_versions > 0
         assert db.catalog.version > v0
         # A no-op vacuum must NOT churn the cache.
         v1 = db.catalog.version
-        vacuum_database(db, horizon_block=5)
+        vacuum_database(db, retain_height=5)
         assert db.catalog.version == v1
 
 
@@ -155,6 +155,59 @@ class TestPlanCacheHits:
         assert stats["hits"] >= 10  # 12 outer rows, first probe misses
 
 
+class TestRowEstimateRefresh:
+    """``rows~N`` EXPLAIN annotations refresh from live catalog stats on
+    every cache hit — committed DML drifts row counts without a
+    catalog-version bump, and templates must not show stale estimates
+    (ROADMAP follow-on from the plan-cache PR)."""
+
+    SEQ_SQL = "SELECT status FROM invoices"
+    IDX_SQL = "SELECT balance FROM accounts WHERE org = $1"
+
+    @staticmethod
+    def _rows_annotation(lines, node):
+        for line in lines:
+            if node in line:
+                return int(line.split("rows~")[1].split(")")[0])
+        raise AssertionError(f"no {node} line in {lines}")
+
+    def test_seqscan_estimate_tracks_inserts(self, db):
+        first = explain_lines(db, self.SEQ_SQL)
+        assert first[-1] == "Plan Cache: miss"
+        assert self._rows_annotation(first, "SeqScan") == 36
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO invoices (invoice_id, acc_id, org, "
+                        "amount, status) VALUES (99, 1, 'org1', 5.0, 'new')")
+        db.apply_commit(tx, block_number=2)
+        hit = explain_lines(db, self.SEQ_SQL)
+        assert hit[-1] == "Plan Cache: hit"     # DML does not bump version
+        assert self._rows_annotation(hit, "SeqScan") == 37
+
+    def test_indexscan_estimate_tracks_deletes(self, db):
+        first = explain_lines(db, self.IDX_SQL, params=("org1",))
+        baseline = self._rows_annotation(first, "IndexScan")
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM accounts WHERE acc_id > 4")
+        db.apply_commit(tx, block_number=2)
+        hit = explain_lines(db, self.IDX_SQL, params=("org1",))
+        assert hit[-1] == "Plan Cache: hit"
+        refreshed = self._rows_annotation(hit, "IndexScan")
+        assert refreshed < baseline
+
+    def test_hit_refresh_matches_fresh_plan(self, db):
+        """A cache hit and a cold re-plan must render identical EXPLAIN
+        output even after stats drift."""
+        explain_lines(db, self.SEQ_SQL)         # prime
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO invoices (invoice_id, acc_id, org, "
+                        "amount, status) VALUES (98, 2, 'org2', 6.0, 'new')")
+        db.apply_commit(tx, block_number=2)
+        hit = explain_lines(db, self.SEQ_SQL)
+        db.plan_cache.clear()
+        cold = explain_lines(db, self.SEQ_SQL)
+        assert hit[:-1] == cold[:-1]            # all but hit/miss line
+
+
 class TestInvalidation:
     def test_create_index_mid_chain_evicts_and_replans(self, db):
         sql = "SELECT invoice_id FROM invoices WHERE status = $1"
@@ -189,7 +242,7 @@ class TestInvalidation:
         db.committed_height = 10
         run_tx(db, FIG6_SQL, params=("org1",))
         assert len(db.plan_cache) > 0
-        vacuum_database(db, horizon_block=5)
+        vacuum_database(db, retain_height=5)
         assert len(db.plan_cache) == 0
 
     def test_null_param_changes_shape_not_correctness(self, db):

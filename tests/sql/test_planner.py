@@ -267,7 +267,7 @@ class TestCatalogStatistics:
         run_sql(db, tx, "DELETE FROM invoices WHERE org = 'org3'")
         db.apply_commit(tx, block_number=2)
         db.committed_height = 10
-        report = vacuum_database(db, horizon_block=5)
+        report = vacuum_database(db, retain_height=5)
         assert report.removed_versions == 12
         stats = db.catalog.stats_of("invoices")
         assert stats.vacuumed_versions == 12
