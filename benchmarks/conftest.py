@@ -19,6 +19,7 @@ import pytest
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = _REPO_ROOT / "BENCH_statement_fastpath.json"
 ANALYTICS_BASELINE_PATH = _REPO_ROOT / "BENCH_analytics_scan.json"
+JOIN_COSTING_BASELINE_PATH = _REPO_ROOT / "BENCH_join_costing.json"
 
 
 def print_banner(title: str) -> None:

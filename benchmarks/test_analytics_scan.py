@@ -44,6 +44,18 @@ QUERIES = [
     ("grouped aggregate",
      "SELECT region, sum(amount), count(*) FROM readings "
      "GROUP BY region ORDER BY region AS OF BLOCK $1"),
+    # Unfiltered min/max/count answer from zone maps + counters alone
+    # on fully-visible sealed chunks (no row touch).
+    ("zone-map aggregate",
+     "SELECT min(amount), max(amount), count(*), count(amount) "
+     "FROM readings AS OF BLOCK $1"),
+    # IN-list and LIKE-prefix vector predicates on the fast path.
+    ("in-list aggregate",
+     "SELECT count(*), sum(amount) FROM readings "
+     "WHERE region IN ('r1', 'r3', 'r5') AS OF BLOCK $1"),
+    ("like-prefix aggregate",
+     "SELECT count(*) FROM readings WHERE region LIKE 'r1%' "
+     "AS OF BLOCK $1"),
 ]
 
 

@@ -77,7 +77,8 @@ class ColumnChunk:
 
     __slots__ = ("data", "row_ids", "version_ids", "xmins", "xmaxs",
                  "creators", "deleters", "live_count", "min_creator",
-                 "max_creator", "max_deleter", "zones", "sealed")
+                 "max_creator", "max_deleter", "zones", "null_counts",
+                 "sealed")
 
     def __init__(self, columns: Iterable[str]):
         self.data: Dict[str, List[Any]] = {col: [] for col in columns}
@@ -92,6 +93,7 @@ class ColumnChunk:
         self.max_creator: Optional[int] = None
         self.max_deleter: Optional[int] = None
         self.zones: Dict[str, Tuple[Any, Any]] = {}
+        self.null_counts: Dict[str, int] = {}
         self.sealed = False
 
     def __len__(self) -> int:
@@ -126,13 +128,16 @@ class ColumnChunk:
             self.max_deleter = deleter
 
     def seal(self) -> None:
-        """Freeze the chunk and compute per-column min/max zone maps.
-        Columns with incomparable value mixes get no zone map (scans fall
-        back to reading the chunk — conservative, never wrong)."""
+        """Freeze the chunk and compute per-column min/max zone maps and
+        NULL counts.  Columns with incomparable value mixes get no zone
+        map (scans fall back to reading the chunk — conservative, never
+        wrong)."""
         self.sealed = True
         self.zones = {}
+        self.null_counts = {}
         for col, vector in self.data.items():
             values = [v for v in vector if v is not None]
+            self.null_counts[col] = len(vector) - len(values)
             if not values:
                 continue
             try:
@@ -150,6 +155,35 @@ class ColumnChunk:
                 and self.max_deleter <= height:
             return False  # every row already deleted at the height
         return True
+
+    def fully_visible_at(self, height: int) -> bool:
+        """True when *every* row of the chunk is visible at ``height`` —
+        provable from the counters alone (no deleter stamps, all creators
+        at or below the height)."""
+        return (self.max_creator is not None
+                and self.max_creator <= height
+                and self.live_count == len(self.creators))
+
+    def visible_count_at(self, height: int) -> Optional[int]:
+        """Visible-row count at ``height`` from chunk counters alone, or
+        None when the counters cannot prove a count (a row scan is then
+        required).  Cases the counters settle exactly:
+
+        * nothing can be visible (``may_contain_height`` is False) → 0;
+        * all creators at/below the height and no deleter stamps → len;
+        * all creators *and* all deleter stamps at/below the height →
+          ``live_count`` (every stamped deletion already happened, every
+          surviving row is visible).
+        """
+        if not self.may_contain_height(height):
+            return 0
+        if self.max_creator is None or self.max_creator > height:
+            return None
+        if self.live_count == len(self.creators):
+            return len(self.creators)
+        if self.max_deleter is not None and self.max_deleter <= height:
+            return self.live_count
+        return None
 
     def may_match_bounds(self, bounds: Dict[str, Dict[str, Any]]) -> bool:
         """Zone-map test against sargable bounds extracted from WHERE.
@@ -338,6 +372,9 @@ class ColumnStore:
         self.compactions = 0
         self.chunks_pruned = 0
         self.chunks_scanned = 0
+        # Chunks whose aggregate contribution was answered from zone maps
+        # and counters alone (no row touch) — see ColumnarAggregate.
+        self.zone_only_chunks = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -498,6 +535,73 @@ class ColumnStore:
             if offsets:
                 yield chunk, offsets
 
+    def chunks_at(self, db, table: str, height: int):
+        """Yield the chunks of ``table`` that may hold rows visible at
+        ``height`` (height-pruned only — callers that can answer from
+        chunk metadata avoid computing per-row offsets entirely)."""
+        if not self.enabled:
+            raise AnalyticsDisabledError(
+                "the columnar replica is disabled on this node")
+        self.ensure_synced(db)
+        tcols = self.tables.get(table)
+        if tcols is None:
+            return
+        for chunk in tcols.chunks:
+            if not chunk.may_contain_height(height):
+                self.chunks_pruned += 1
+                continue
+            yield chunk
+
+    # -- planner statistics (snapshot-anchored, see sql/stats.py) ----------
+
+    def committed_rows(self, db, table: str, height: int) -> Optional[int]:
+        """Exact committed-row count visible at ``height``, answered from
+        the creator/deleter vectors (chunk counters where they prove the
+        count, per-row visibility otherwise).  Returns None when the
+        replica cannot serve (disabled or the table is unknown to it and
+        absent from the catalog)."""
+        if not self.enabled:
+            return None
+        self.ensure_synced(db)
+        if not self.enabled or self._stale:
+            return None
+        tcols = self.tables.get(table)
+        if tcols is None:
+            return 0 if db.catalog.has_table(table) else None
+        total = 0
+        for chunk in tcols.chunks:
+            count = chunk.visible_count_at(height)
+            if count is None:
+                count = len(chunk.visible_offsets(height))
+            total += count
+        return total
+
+    def distinct_count(self, db, table: str, columns: Tuple[str, ...],
+                       height: int, key_of) -> Optional[int]:
+        """Number of distinct non-NULL ``columns`` tuples over the rows
+        visible at ``height``; ``key_of(values tuple)`` normalizes the
+        tuple the same way the caller's heap fallback does, so both
+        stores count identically.  None when the replica cannot serve."""
+        if not self.enabled:
+            return None
+        self.ensure_synced(db)
+        if not self.enabled or self._stale:
+            return None
+        tcols = self.tables.get(table)
+        if tcols is None:
+            return 0 if db.catalog.has_table(table) else None
+        seen = set()
+        for chunk in tcols.chunks:
+            vectors = [chunk.data.get(col) for col in columns]
+            if any(vector is None for vector in vectors):
+                continue  # chunk predates the column (re-created table)
+            for offset in chunk.visible_offsets(height):
+                values = tuple(vector[offset] for vector in vectors)
+                if any(v is None for v in values):
+                    continue
+                seen.add(key_of(values))
+        return len(seen)
+
     # -- provenance helpers (the audit path rides the replica) ------------
 
     def _check_audit_target(self, db, table: str,
@@ -574,4 +678,5 @@ class ColumnStore:
             "compactions": self.compactions,
             "chunks_pruned": self.chunks_pruned,
             "chunks_scanned": self.chunks_scanned,
+            "zone_only_chunks": self.zone_only_chunks,
         }

@@ -32,7 +32,12 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.sql.ast_nodes import FunctionCall, SelectItem
-from repro.sql.expressions import EvalContext, _compare, compare_values
+from repro.sql.expressions import (
+    EvalContext,
+    _compare,
+    _like_to_regex,
+    compare_values,
+)
 from repro.sql.plan import (
     PlanNode,
     Runtime,
@@ -57,20 +62,33 @@ class ColumnarScan(SeqScan):
     full predicate, so pruning can only skip chunks that provably hold
     no matching row)."""
 
-    def chunk_selections(self, rt: Runtime):
-        """Yield ``(chunk, visible offsets)`` pairs at the statement's
-        pinned height, after zone-map and height pruning."""
+    def pinned_height(self, rt: Runtime) -> int:
+        """The statement's AS OF height, with the scan's access check."""
         rt.check_read(self.table)
         height = rt.ctx.as_of_height
         if height is None:
             raise ExecutionError(
                 "ColumnarScan outside an AS OF execution")
+        return height
+
+    def chunk_selections(self, rt: Runtime,
+                         extra_bounds: Optional[Dict[str, Dict[str, Any]]]
+                         = None):
+        """Yield ``(chunk, visible offsets)`` pairs at the statement's
+        pinned height, after zone-map and height pruning.
+        ``extra_bounds`` (e.g. a LIKE-prefix range) adds prune-only
+        bounds for columns the sargable extraction did not cover."""
+        height = self.pinned_height(rt)
         bounds = None
         if rt.scan_bounds is not None:
             bounds = rt.scan_bounds.get(id(self))
         if bounds is None:
             bounds = extract_bounds(self.where, self.alias, rt.ctx,
                                     rt.alias_columns)
+        if extra_bounds:
+            bounds = dict(bounds)
+            for col, slot in extra_bounds.items():
+                bounds.setdefault(col, slot)
         yield from rt.db.columnstore.scan(rt.db, self.table, height,
                                           bounds)
 
@@ -88,25 +106,47 @@ class ColumnarScan(SeqScan):
         rows.sort(key=lambda r: row_content_key(r.values))
         return rows
 
+    def recost(self, db) -> None:
+        rows = float(max(db.stats.table_stats(self.table).row_count, 0))
+        self.est_rows = rows
+        # Vectorized column reads: one pass, no heap resolution.
+        self.est_cost = rows
+
     def describe(self) -> str:
-        return (f"ColumnarScan {_scan_target(self.table, self.alias)} "
-                f"(rows~{int(self.est_rows)})")
+        return f"ColumnarScan {_scan_target(self.table, self.alias)}"
 
 
 @dataclass
 class VectorPredicate:
     """One sargable WHERE conjunct, normalized to column-on-the-left.
 
-    ``const`` / ``low`` / ``high`` are compiled row-free expressions
-    evaluated once per execution (parameters and PL variables resolve
-    from the statement context)."""
+    ``const`` / ``low`` / ``high`` / ``items`` / ``pattern`` are
+    compiled row-free expressions evaluated once per execution
+    (parameters and PL variables resolve from the statement context).
+    Kinds: ``cmp`` (comparison against a constant), ``between``,
+    ``in`` (non-negated IN-list), ``like`` (LIKE / NOT LIKE against a
+    row-free pattern; literal prefixes additionally contribute a
+    zone-map prune range)."""
 
-    kind: str                      # "cmp" | "between"
+    kind: str                      # "cmp" | "between" | "in" | "like"
     column: str
     op: str = "="
     const: Optional[Callable[[EvalContext], Any]] = None
     low: Optional[Callable[[EvalContext], Any]] = None
     high: Optional[Callable[[EvalContext], Any]] = None
+    items: Optional[List[Callable[[EvalContext], Any]]] = None
+    pattern: Optional[Callable[[EvalContext], Any]] = None
+    negated: bool = False
+
+
+def _like_prefix(pattern: str) -> str:
+    """Literal prefix of a LIKE pattern (up to the first wildcard)."""
+    out = []
+    for ch in pattern:
+        if ch in ("%", "_"):
+            break
+        out.append(ch)
+    return "".join(out)
 
 
 @dataclass
@@ -183,12 +223,36 @@ class ColumnarAggregate(PlanNode):
         # Resolve predicate constants once per execution.
         cmp_preds: List[Tuple[str, str, Any]] = []
         between_preds: List[Tuple[str, Any, Any]] = []
+        in_preds: List[Tuple[str, List[Any]]] = []
+        like_preds: List[Tuple[str, Any, bool]] = []
+        impossible = False
+        extra_bounds: Dict[str, Dict[str, Any]] = {}
         for pred in self.predicates:
             if pred.kind == "cmp":
                 cmp_preds.append((pred.column, pred.op, pred.const(ctx)))
-            else:
+            elif pred.kind == "between":
                 between_preds.append((pred.column, pred.low(ctx),
                                       pred.high(ctx)))
+            elif pred.kind == "in":
+                in_preds.append((pred.column,
+                                 [fn(ctx) for fn in pred.items]))
+            else:
+                value = pred.pattern(ctx)
+                if value is None:
+                    impossible = True   # x [NOT] LIKE NULL is never true
+                    continue
+                text = str(value)
+                like_preds.append((pred.column, _like_to_regex(text),
+                                   pred.negated))
+                if not pred.negated:
+                    prefix = _like_prefix(text)
+                    if prefix:
+                        slot: Dict[str, Any] = {"low": (prefix, True)}
+                        last = prefix[-1]
+                        if ord(last) < 0x10FFFF:
+                            slot["high"] = (
+                                prefix[:-1] + chr(ord(last) + 1), False)
+                        extra_bounds.setdefault(pred.column, slot)
 
         group_cols = self.group_columns
         specs = self.agg_specs
@@ -201,12 +265,29 @@ class ColumnarAggregate(PlanNode):
                     else [] if mode == _MODE_BUFFER
                     else _EMPTY for mode in modes]
 
-        for chunk, offsets in self.scan.chunk_selections(rt):
+        if impossible:
+            if not group_cols:
+                groups = [((), new_states())]
+            yield from self._finalize_groups(groups, specs, modes)
+            return
+
+        if not self.predicates and not group_cols:
+            # Unfiltered global aggregates: answer whole chunks from
+            # zone maps and counters where provable (no row touch).
+            yield from self._zone_fast_path(rt, specs, modes,
+                                            new_states)
+            return
+
+        for chunk, offsets in self.scan.chunk_selections(
+                rt, extra_bounds or None):
             data = chunk.data
             cmp_vectors = [(data[col], op, const)
                            for col, op, const in cmp_preds]
             between_vectors = [(data[col], low, high)
                                for col, low, high in between_preds]
+            in_vectors = [(data[col], values) for col, values in in_preds]
+            like_vectors = [(data[col], regex, negated)
+                            for col, regex, negated in like_preds]
             group_vectors = [data[col] for col in group_cols]
             agg_vectors = [None if spec.column is None else data[spec.column]
                            for spec in specs]
@@ -221,6 +302,24 @@ class ColumnarAggregate(PlanNode):
                         value = vector[offset]
                         if _compare(">=", value, low) is not True or \
                                 _compare("<=", value, high) is not True:
+                            keep = False
+                            break
+                if keep:
+                    for vector, values in in_vectors:
+                        value = vector[offset]
+                        if value is None or not any(
+                                _compare("=", value, item) is True
+                                for item in values):
+                            keep = False
+                            break
+                if keep:
+                    for vector, regex, negated in like_vectors:
+                        value = vector[offset]
+                        if value is None:
+                            keep = False
+                            break
+                        matched = bool(regex.match(str(value)))
+                        if matched if negated else not matched:
                             keep = False
                             break
                 if not keep:
@@ -259,6 +358,10 @@ class ColumnarAggregate(PlanNode):
         if not groups and not group_cols:
             groups = [((), new_states())]  # global aggregate, empty input
 
+        yield from self._finalize_groups(groups, specs, modes)
+
+    def _finalize_groups(self, groups, specs, modes
+                         ) -> Iterator[Tuple[Tuple, Tuple]]:
         for key, states in groups:
             finalized = [_finalize(spec, mode, state)
                          for spec, mode, state in zip(specs, modes, states)]
@@ -272,9 +375,104 @@ class ColumnarAggregate(PlanNode):
             yield (order_keys, output)
 
     # ------------------------------------------------------------------
+    # Zone-map fast path (unfiltered global aggregates)
+    # ------------------------------------------------------------------
+
+    def _zone_fast_path(self, rt: Runtime, specs, modes, new_states
+                        ) -> Iterator[Tuple[Tuple, Tuple]]:
+        """Unfiltered global aggregates fold chunk *metadata* instead of
+        rows wherever the counters prove every row of the chunk visible:
+        ``count(*)`` from the chunk length, ``count(col)`` from the
+        sealed NULL counts, ``min``/``max`` from the zone maps.  Only
+        ``sum``/``avg`` still read the column vector (the shared
+        order-independent ``fold_sum`` needs the values), and chunks the
+        counters cannot prove fall back to per-row visibility."""
+        height = self.scan.pinned_height(rt)
+        store = rt.db.columnstore
+        states = new_states()
+        for chunk in store.chunks_at(rt.db, self.scan.table, height):
+            if self._zone_accumulate(chunk, height, specs, modes, states):
+                store.zone_only_chunks += 1
+                continue
+            store.chunks_scanned += 1
+            data = chunk.data
+            agg_vectors = [None if spec.column is None
+                           else data[spec.column] for spec in specs]
+            for offset in chunk.visible_offsets(height):
+                self._accumulate_row(specs, modes, states, agg_vectors,
+                                     offset)
+        yield from self._finalize_groups([((), states)], specs, modes)
+
+    def _zone_accumulate(self, chunk, height: int, specs, modes,
+                         states) -> bool:
+        """Fold ``chunk`` into ``states`` from metadata alone; False when
+        the chunk needs a row scan (not sealed, not provably fully
+        visible, or a min/max column lacks a zone map)."""
+        if not chunk.sealed or not chunk.fully_visible_at(height):
+            return False
+        n = len(chunk)
+        for spec, mode in zip(specs, modes):
+            if mode in (_MODE_MIN, _MODE_MAX):
+                if chunk.zones.get(spec.column) is None and \
+                        chunk.null_counts.get(spec.column) != n:
+                    return False  # mixed-type column without a zone map
+        for j, (spec, mode) in enumerate(zip(specs, modes)):
+            if mode == _MODE_COUNTER:
+                states[j] += n if spec.star \
+                    else n - chunk.null_counts[spec.column]
+            elif mode == _MODE_BUFFER:
+                states[j].extend(v for v in chunk.data[spec.column]
+                                 if v is not None)
+            else:
+                zone = chunk.zones.get(spec.column)
+                if zone is None:
+                    continue   # all-NULL column contributes nothing
+                value = zone[0] if mode == _MODE_MIN else zone[1]
+                current = states[j]
+                if current is _EMPTY:
+                    states[j] = value
+                elif mode == _MODE_MIN and \
+                        compare_values(value, current) < 0:
+                    states[j] = value
+                elif mode == _MODE_MAX and \
+                        compare_values(value, current) > 0:
+                    states[j] = value
+        return True
+
+    @staticmethod
+    def _accumulate_row(specs, modes, states, agg_vectors,
+                        offset: int) -> None:
+        for j, mode in enumerate(modes):
+            vector = agg_vectors[j]
+            if vector is None:           # count(*)
+                states[j] += 1
+                continue
+            value = vector[offset]
+            if value is None:
+                continue
+            if mode == _MODE_COUNTER:
+                states[j] += 1
+            elif mode == _MODE_BUFFER:
+                states[j].append(value)
+            elif mode == _MODE_MIN:
+                current = states[j]
+                if current is _EMPTY or \
+                        compare_values(value, current) < 0:
+                    states[j] = value
+            else:
+                current = states[j]
+                if current is _EMPTY or \
+                        compare_values(value, current) > 0:
+                    states[j] = value
+
+    # ------------------------------------------------------------------
 
     def children(self):
         return [self.scan]
+
+    def recost(self, db) -> None:
+        self.est_rows = self.scan.est_rows if self.group_columns else 1.0
+        self.est_cost = self.scan.est_cost + self.scan.est_rows
 
     def describe(self) -> str:
         rendered = ", ".join(expr_sql(item.expr) for item in self.items)

@@ -23,6 +23,7 @@ from repro.mvcc.transaction import (
 )
 from repro.sql.catalog import Catalog
 from repro.sql.plancache import PlanCache
+from repro.sql.stats import StatisticsManager
 from repro.storage.snapshot import BlockSnapshot, SeqSnapshot, TxStatusTable
 from repro.storage.wal import (
     WAL_ABORT,
@@ -59,6 +60,14 @@ class Database:
         # Vacuum retention horizon: heights below this may have had
         # versions pruned, so time-travel reads refuse to go there.
         self.retained_height = 0
+        # Snapshot-anchored planner statistics: committed row counts and
+        # distinct-key counts pinned to the committed height, identical
+        # on every node at the same height (sql/stats.py).  The planner
+        # costs join strategies from these; set cost_based_planning to
+        # False to fall back to the purely structural pre-costing rules
+        # (the flag participates in the plan-cache key).
+        self.stats = StatisticsManager(self)
+        self.cost_based_planning = True
         # all transactions ever started on this node, by xid
         self.transactions: Dict[int, TransactionContext] = {}
         # still-interesting transactions for SSI conflict checks

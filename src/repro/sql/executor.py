@@ -325,9 +325,11 @@ class Executor:
         self._apply_as_of(stmt, ctx)
         cache = self.db.plan_cache
         version = self.db.catalog.version
-        key = PlanCache.key_for(stmt, ctx, self.tx, version,
-                                self.db.columnstore.enabled)
-        got = cache.get(key, self.db.catalog, ctx)
+        key = PlanCache.key_for(
+            stmt, ctx, self.tx, version, self.db.columnstore.enabled,
+            stats_anchor=self.db.stats.anchor,
+            cost_based=getattr(self.db, "cost_based_planning", True))
+        got = cache.get(key, self.db, ctx)
         if got is not None:
             entry, scan_bounds = got
             return entry.plan, True, scan_bounds
@@ -500,8 +502,11 @@ class Executor:
         alias_columns = {table: schema.column_names()}
         cache = self.db.plan_cache
         version = self.db.catalog.version
-        key = PlanCache.key_for(stmt, ctx, self.tx, version)
-        got = cache.get(key, self.db.catalog, ctx)
+        key = PlanCache.key_for(
+            stmt, ctx, self.tx, version,
+            stats_anchor=self.db.stats.anchor,
+            cost_based=getattr(self.db, "cost_based_planning", True))
+        got = cache.get(key, self.db, ctx)
         if got is not None:
             entry, scan_bounds = got
             return entry.plan, True, scan_bounds

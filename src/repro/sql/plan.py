@@ -96,6 +96,10 @@ class Runtime:
     # {id(scan node): bounds} computed by plan-cache guard validation for
     # this execution; scans fall back to extracting their own bounds.
     scan_bounds: Optional[Dict[int, Dict[str, Dict[str, Any]]]] = None
+    # {id(scan node): prepared state} for index-order scans: the SSI
+    # side effects (predicate read, window checks) happen once at
+    # preparation even when a streaming Limit consumes zero rows.
+    prepared_scans: Optional[Dict[int, Any]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -260,20 +264,73 @@ def rank_indexes(heap, slots: Dict[str, Dict[str, Any]]
     return best
 
 
-def scan_estimate(live_rows: int, n_eq: int, has_range: bool,
-                  unique_covered: bool) -> float:
-    """System-R-style default selectivities over the live row count.
+def scan_estimate(row_count: int, n_eq: int, has_range: bool,
+                  unique_covered: bool,
+                  eq_ndv: Optional[int] = None) -> float:
+    """Selectivity estimate over the snapshot-anchored committed row
+    count.  Equality prefixes divide by the anchored distinct-key count
+    of the bound columns when the caller supplies it (``eq_ndv``),
+    falling back to the System-R 1/4 guess; ranges keep the classic 1/3.
     (Lives here, beside the index scoring, so the plan cache can refresh
-    ``rows~N`` annotations on cache hits without importing the planner.)"""
-    base = float(max(live_rows, 1))
+    estimates on cache hits without importing the planner.)"""
+    base = float(max(row_count, 1))
     if unique_covered:
         return 1.0
     est = base
     if n_eq:
-        est = max(1.0, est / 4.0)
+        if eq_ndv is not None:
+            est = max(1.0, est / float(max(eq_ndv, 1)))
+        else:
+            est = max(1.0, est / 4.0)
     if has_range:
         est = max(1.0, est / 3.0)
     return est
+
+
+def _l2(x: float) -> float:
+    """log₂ clamped away from zero — the cost model's loop factor."""
+    import math
+
+    return math.log2(max(float(x), 2.0))
+
+
+# (n_eq, has_range, unique_covered, eq column names) — everything a scan
+# needs to re-derive its row/cost estimates from anchored statistics.
+CostSig = Tuple[int, bool, bool, Tuple[str, ...]]
+
+
+def ordered_scan_sig(bounds: Dict[str, Dict[str, Any]],
+                     order_column: str) -> CostSig:
+    """CostSig of an index-order walk: only bounds on the leading
+    (order) column narrow it."""
+    slot = bounds.get(order_column, {})
+    n_eq = 1 if "eq" in slot else 0
+    has_range = n_eq == 0 and ("low" in slot or "high" in slot)
+    return (n_eq, has_range, False, (order_column,) if n_eq else ())
+
+
+def ordered_scan_estimates(db, table: str,
+                           cost_sig: CostSig) -> Tuple[float, float]:
+    """(est_rows, est_cost) of an IndexOrderScan: index walk + matched
+    rows, no content sort.  The single formula both the planner's
+    candidate costing and :meth:`IndexOrderScan.recost` use — choosing
+    and rendering must never disagree."""
+    stats = db.stats.table_stats(table)
+    n_eq, has_range, unique_covered, eq_cols = cost_sig
+    ndv = db.stats.ndv(table, eq_cols) if eq_cols else None
+    est = scan_estimate(stats.row_count, n_eq, has_range,
+                        unique_covered, eq_ndv=ndv)
+    return est, _l2(stats.row_count) + est
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Lightweight (est_rows, est_cost) carrier so cost helpers like
+    :func:`join_estimates` serve both real plan nodes and the planner's
+    not-yet-constructed candidates."""
+
+    est_rows: float
+    est_cost: float
 
 
 def choose_index(heap, bounds: Dict[str, Dict[str, Any]]
@@ -503,6 +560,7 @@ class PlanNode:
     """Base physical operator."""
 
     est_rows: float = 0.0
+    est_cost: float = 0.0
 
     def rows(self, rt: Runtime) -> Iterator:
         raise NotImplementedError
@@ -513,14 +571,33 @@ class PlanNode:
     def describe(self) -> str:
         return type(self).__name__
 
+    def recost(self, db) -> None:
+        """Recompute ``est_rows`` / ``est_cost`` from this node's
+        children and the database's snapshot-anchored statistics.  Leaf
+        scans re-derive from ``db.stats``; composite operators fold
+        their children's estimates — so a bottom-up pass
+        (:func:`recost_plan`) refreshes the whole tree, and a cache hit
+        renders the same ``cost~``/``rows~`` annotations a fresh plan
+        would."""
+        return None
+
+
+def recost_plan(node: PlanNode, db) -> None:
+    """Bottom-up estimate refresh over a plan tree (children first)."""
+    for child in node.children():
+        recost_plan(child, db)
+    node.recost(db)
+
 
 def render_plan(node: PlanNode, depth: int = 0,
                 lines: Optional[List[str]] = None) -> List[str]:
-    """Pretty-print a plan tree, Postgres-style."""
+    """Pretty-print a plan tree, Postgres-style, annotating every
+    operator with its estimated cost and output rows."""
     if lines is None:
         lines = []
     prefix = "" if depth == 0 else "  " * depth + "-> "
-    lines.append(prefix + node.describe())
+    lines.append(prefix + node.describe() +
+                 f" (cost~{int(node.est_cost)} rows~{int(node.est_rows)})")
     for child in node.children():
         render_plan(child, depth + 1, lines)
     return lines
@@ -533,6 +610,10 @@ class OneRow(PlanNode):
 
     def rows(self, rt: Runtime) -> Iterator[Env]:
         yield {}
+
+    def recost(self, db) -> None:
+        self.est_rows = 1.0
+        self.est_cost = 0.0
 
     def describe(self) -> str:
         return "Result"
@@ -571,9 +652,14 @@ class SeqScan(PlanNode):
         for row in self.scan_rows(rt):
             yield {self.alias: row.values}
 
+    def recost(self, db) -> None:
+        rows = float(max(db.stats.table_stats(self.table).row_count, 0))
+        self.est_rows = rows
+        # Full heap walk plus the content sort of the output.
+        self.est_cost = max(rows, 1.0) + rows * _l2(rows)
+
     def describe(self) -> str:
-        return (f"SeqScan {_scan_target(self.table, self.alias)} "
-                f"(rows~{int(self.est_rows)})")
+        return f"SeqScan {_scan_target(self.table, self.alias)}"
 
 
 class IndexScan(SeqScan):
@@ -583,22 +669,35 @@ class IndexScan(SeqScan):
 
     ``unique_covered`` marks a point lookup (every column of a unique
     index bound by equality) — a structural fact the planner's join
-    strategy may rely on, unlike row counts.
+    strategy may rely on, unlike row counts.  ``cost_sig`` carries the
+    structural bound shape so estimates re-derive from anchored
+    statistics (``recost``) without re-planning.
     """
 
     def __init__(self, table: str, alias: str, where: Optional[Expr],
                  index_name: str, conditions: Sequence[Expr],
-                 est_rows: float = 0.0, unique_covered: bool = False):
+                 est_rows: float = 0.0, unique_covered: bool = False,
+                 cost_sig: Optional[CostSig] = None):
         super().__init__(table, alias, where, est_rows)
         self.index_name = index_name
         self.conditions = list(conditions)
         self.unique_covered = unique_covered
+        self.cost_sig = cost_sig or (0, False, unique_covered, ())
+
+    def recost(self, db) -> None:
+        stats = db.stats.table_stats(self.table)
+        n_eq, has_range, unique_covered, eq_cols = self.cost_sig
+        ndv = db.stats.ndv(self.table, eq_cols) if eq_cols else None
+        est = scan_estimate(stats.row_count, n_eq, has_range,
+                            unique_covered, eq_ndv=ndv)
+        self.est_rows = est
+        # Index descent + matched rows + content sort of the output.
+        self.est_cost = _l2(stats.row_count) + est + est * _l2(est)
 
     def describe(self) -> str:
         conds = ", ".join(expr_sql(c) for c in self.conditions)
         return (f"IndexScan {_scan_target(self.table, self.alias)} "
-                f"using {self.index_name} ({conds}) "
-                f"(rows~{int(self.est_rows)})")
+                f"using {self.index_name} ({conds})")
 
 
 class Filter(PlanNode):
@@ -621,25 +720,47 @@ class Filter(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def recost(self, db) -> None:
+        self.est_rows = self.child.est_rows
+        self.est_cost = self.child.est_cost + self.child.est_rows
+
     def describe(self) -> str:
         return f"Filter ({expr_sql(self.predicate)})"
 
 
 class DynamicProbe(PlanNode):
     """Explain-only child of a NestedLoopJoin: the inner access path is
-    re-derived per outer row (outer-row values feed the index bounds)."""
+    re-derived per outer row (outer-row values feed the index bounds).
+    ``est_rows``/``est_cost`` are *per-probe* estimates."""
 
     def __init__(self, table: str, alias: str,
                  index_name: Optional[str], conditions: Sequence[Expr],
-                 est_rows: float = 0.0):
+                 est_rows: float = 0.0,
+                 cost_sig: Optional[CostSig] = None):
         self.table = table
         self.alias = alias
         self.index_name = index_name
         self.conditions = list(conditions)
         self.est_rows = est_rows
+        self.cost_sig = cost_sig or (0, False, False, ())
 
     def rows(self, rt: Runtime) -> Iterator:  # pragma: no cover
         raise ExecutionError("DynamicProbe is driven by NestedLoopJoin")
+
+    def recost(self, db) -> None:
+        stats = db.stats.table_stats(self.table)
+        rows = float(max(stats.row_count, 0))
+        if self.index_name is None:
+            # Per-row sequential rescans, content sort included.
+            self.est_rows = rows
+            self.est_cost = max(rows, 1.0) + rows * _l2(rows)
+            return
+        n_eq, has_range, unique_covered, eq_cols = self.cost_sig
+        ndv = db.stats.ndv(self.table, eq_cols) if eq_cols else None
+        est = scan_estimate(stats.row_count, n_eq, has_range,
+                            unique_covered, eq_ndv=ndv)
+        self.est_rows = est
+        self.est_cost = _l2(stats.row_count) + est + est * _l2(est)
 
     def describe(self) -> str:
         if self.index_name is None:
@@ -688,6 +809,12 @@ class NestedLoopJoin(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.outer, self.probe]
 
+    def recost(self, db) -> None:
+        outer_rows = max(self.outer.est_rows, 1.0)
+        self.est_rows = outer_rows * max(self.probe.est_rows, 1.0)
+        self.est_cost = self.outer.est_cost + \
+            outer_rows * max(self.probe.est_cost, 1.0)
+
     def describe(self) -> str:
         on = f" on ({expr_sql(self.join.on)})" if self.join.on is not None \
             else ""
@@ -704,6 +831,25 @@ def _join_key(values: Sequence[Any]) -> Tuple:
         normalize_key_part(float(v)) if isinstance(v, bool)
         else normalize_key_part(v)
         for v in values)
+
+
+def join_estimates(db, outer: PlanNode, inner: PlanNode, join,
+                   inner_key_cols: Tuple[str, ...]
+                   ) -> Tuple[float, float]:
+    """(est_rows, est_cost) for a both-sides-read-once equi-join (hash
+    or sort-merge): output is the classic ``|outer|·|inner| / NDV(key)``
+    over the anchored distinct-key count of the inner join columns; cost
+    is both inputs plus one pass over each side's rows (build+probe for
+    hash, merge for sort-merge — the same first-order shape)."""
+    ndv = db.stats.ndv(join.table.name, inner_key_cols) \
+        if inner_key_cols else 1
+    outer_rows = max(outer.est_rows, 1.0)
+    inner_rows = max(inner.est_rows, 1.0)
+    est = max(1.0, outer_rows * inner_rows / float(max(ndv, 1)))
+    if join.kind == "LEFT":
+        est = max(est, outer_rows)
+    cost = outer.est_cost + inner.est_cost + outer_rows + inner_rows
+    return est, cost
 
 
 class HashJoin(PlanNode):
@@ -763,6 +909,11 @@ class HashJoin(PlanNode):
 
     def children(self) -> List[PlanNode]:
         return [self.outer, self.build]
+
+    def recost(self, db) -> None:
+        self.est_rows, self.est_cost = join_estimates(
+            db, self.outer, self.build, self.join,
+            tuple(col for col, _ in self.keys))
 
     def describe(self) -> str:
         alias = self.join.table.alias
@@ -840,6 +991,11 @@ class HashAggregate(PlanNode):
 
     def children(self) -> List[PlanNode]:
         return [self.child]
+
+    def recost(self, db) -> None:
+        child_rows = self.child.est_rows
+        self.est_rows = child_rows if self.group_by else 1.0
+        self.est_cost = self.child.est_cost + 2.0 * child_rows
 
     def describe(self) -> str:
         if self.group_by:
@@ -956,6 +1112,10 @@ class Project(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def recost(self, db) -> None:
+        self.est_rows = self.child.est_rows
+        self.est_cost = self.child.est_cost + self.child.est_rows
+
     def describe(self) -> str:
         return f"Project ({', '.join(self.columns)})"
 
@@ -1010,6 +1170,11 @@ class Sort(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def recost(self, db) -> None:
+        rows = self.child.est_rows
+        self.est_rows = rows
+        self.est_cost = self.child.est_cost + rows * _l2(rows)
+
     def describe(self) -> str:
         keys = ", ".join(
             f"{expr_sql(o.expr)} {'ASC' if o.ascending else 'DESC'}"
@@ -1035,6 +1200,10 @@ class Distinct(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def recost(self, db) -> None:
+        self.est_rows = self.child.est_rows
+        self.est_cost = self.child.est_cost + self.child.est_rows
+
     def describe(self) -> str:
         return "Distinct"
 
@@ -1057,6 +1226,18 @@ class Limit(PlanNode):
         self.est_rows = child.est_rows
 
     def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        start, stop = self._slice_bounds(rt)
+        output = list(self.child.rows(rt))
+        yield from islice(output, start, stop)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def recost(self, db) -> None:
+        self.est_rows = self.child.est_rows
+        self.est_cost = self.child.est_cost
+
+    def _slice_bounds(self, rt: Runtime) -> Tuple[int, Optional[int]]:
         start = 0
         if self.offset is not None:
             start = int(evaluate(self.offset, rt.ctx) or 0)
@@ -1069,14 +1250,321 @@ class Limit(PlanNode):
                 if int(value) < 0:
                     raise ExecutionError("LIMIT must not be negative")
                 stop = start + int(value)
-        output = list(self.child.rows(rt))
-        yield from islice(output, start, stop)
-
-    def children(self) -> List[PlanNode]:
-        return [self.child]
+        return start, stop
 
     def describe(self) -> str:
         parts = []
+        if self.limit is not None:
+            parts.append(f"limit={expr_sql(self.limit)}")
+        if self.offset is not None:
+            parts.append(f"offset={expr_sql(self.offset)}")
+        return f"Limit ({', '.join(parts)})"
+
+
+# ---------------------------------------------------------------------------
+# Index-order streaming: ordered scans, sort-merge join, streaming Limit
+# ---------------------------------------------------------------------------
+
+class IndexOrderScan(SeqScan):
+    """Scan that emits rows in *index order* instead of content order.
+
+    The candidate versions come from walking an index whose leading
+    column is ``order_column`` (a range walk when the execution-time
+    bounds constrain that column, the whole index otherwise), so the
+    output is ordered by that column without any O(n·log n) sort.  Two
+    determinism obligations remain:
+
+    * physical index order is NOT node-deterministic for *equal* keys
+      (entries tie-break on version ids, which differ across nodes —
+      aborted executions burn ids), so rows within an equal-key run are
+      content-sorted before they are emitted: key-major, content-minor
+      order is identical on every node;
+    * the SSI side effects — the predicate read, the phantom/stale
+      window checks over every candidate, and the EO missing-index
+      abort — happen eagerly in :meth:`prepare`, *before* the first row
+      is consumed, so a streaming Limit that stops early (or consumes
+      nothing) still performs them exactly once.  Row reads are
+      recorded only for rows actually streamed; the predicate read
+      covers the whole scanned range, so SSI stays conservative (see
+      docs/sql_engine.md).
+    """
+
+    def __init__(self, table: str, alias: str, where: Optional[Expr],
+                 index_name: str, order_column: str,
+                 descending: bool = False,
+                 conditions: Sequence[Expr] = (),
+                 est_rows: float = 0.0,
+                 cost_sig: Optional[CostSig] = None):
+        super().__init__(table, alias, where, est_rows)
+        self.index_name = index_name
+        self.order_column = order_column
+        self.descending = descending
+        self.conditions = list(conditions)
+        self.cost_sig = cost_sig or (0, False, False, ())
+
+    # -- preparation (SSI side effects happen here, exactly once) --------
+
+    def prepare(self, rt: Runtime):
+        if rt.prepared_scans is None:
+            rt.prepared_scans = {}
+        state = rt.prepared_scans.get(id(self))
+        if state is not None:
+            return state
+        rt.check_read(self.table)
+        schema = rt.db.catalog.schema_of(self.table)
+        heap = rt.db.catalog.heap_of(self.table)
+        index = heap.indexes.get(self.index_name)
+        if index is None or index.columns[0] != self.order_column:
+            raise ExecutionError(
+                f"index {self.index_name!r} no longer orders "
+                f"{self.table}.{self.order_column} (stale plan)")
+        tx = rt.tx
+        as_of = rt.ctx.as_of_height if not tx.provenance else None
+
+        bounds = None
+        if rt.scan_bounds is not None:
+            bounds = rt.scan_bounds.get(id(self))
+        if bounds is None:
+            bounds = extract_bounds(self.where, self.alias, rt.ctx,
+                                    rt.alias_columns)
+        slot = bounds.get(self.order_column, {})
+        low_key = high_key = None
+        low_incl = high_incl = True
+        if "eq" in slot:
+            low_key = high_key = normalize_key([slot["eq"]])
+        else:
+            if "low" in slot:
+                value, low_incl = slot["low"]
+                low_key = normalize_key([value])
+            if "high" in slot:
+                value, high_incl = slot["high"]
+                high_key = normalize_key([value])
+
+        if low_key is None and high_key is None:
+            if tx.require_index and not schema.system and \
+                    not tx.provenance:
+                raise MissingIndexError(
+                    f"no index supports the predicate on "
+                    f"{self.table!r}; the execute-order-in-parallel "
+                    f"flow requires index-backed predicate reads")
+            candidate_ids = index.scan_all()
+            predicate = PredicateRead(table=self.table, columns=())
+        else:
+            candidate_ids = index._scan(low_key, high_key, low_incl,
+                                        high_incl, 1)
+            predicate = PredicateRead(
+                table=self.table, columns=index.columns[:1],
+                low_key=low_key, high_key=high_key,
+                low_inclusive=low_incl, high_inclusive=high_incl)
+
+        candidates = heap.resolve(candidate_ids)
+        if as_of is None:
+            tx.record_predicate_read(predicate)
+            window_checks(rt, self.table, candidates)
+            snapshot = tx.snapshot
+            own_xid: Optional[int] = tx.xid
+        else:
+            snapshot = BlockSnapshot(as_of)
+            own_xid = None
+        state = (candidates, snapshot, own_xid, as_of)
+        rt.prepared_scans[id(self)] = state
+        return state
+
+    # -- ordered iteration ------------------------------------------------
+
+    @staticmethod
+    def _order_key(value: Any):
+        if value is None:
+            return (_ORDER_NULL,)
+        try:
+            return _join_key((value,))
+        except TypeMismatchError:
+            return (_ORDER_NULL, repr(value))
+
+    def stream_rows(self, rt: Runtime) -> Iterator[ScanRow]:
+        """Rows in (key, content) order; visibility checks and row-read
+        recording happen lazily as the consumer advances."""
+        candidates, snapshot, own_xid, as_of = self.prepare(rt)
+        tx = rt.tx
+        statuses = rt.db.statuses
+        ordered = reversed(candidates) if self.descending else candidates
+        buffer: List[ScanRow] = []
+        current_key = None
+        for version in ordered:
+            if not version_visible(version, snapshot, statuses, own_xid):
+                continue
+            if as_of is None:
+                tx.record_row_read(self.table, version)
+            row = ScanRow(values=dict(version.values), version=version)
+            key = self._order_key(row.values.get(self.order_column))
+            if buffer and key != current_key:
+                buffer.sort(key=lambda r: row_content_key(r.values))
+                yield from buffer
+                buffer = []
+            current_key = key
+            buffer.append(row)
+        if buffer:
+            buffer.sort(key=lambda r: row_content_key(r.values))
+            yield from buffer
+
+    def scan_rows(self, rt: Runtime) -> List[ScanRow]:
+        return list(self.stream_rows(rt))
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        for row in self.stream_rows(rt):
+            yield {self.alias: row.values}
+
+    def recost(self, db) -> None:
+        self.est_rows, self.est_cost = ordered_scan_estimates(
+            db, self.table, self.cost_sig)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        conds = "; ".join(expr_sql(c) for c in self.conditions)
+        cond_note = f" ({conds})" if conds else ""
+        return (f"IndexOrderScan {_scan_target(self.table, self.alias)} "
+                f"using {self.index_name}{cond_note} "
+                f"(order by {self.order_column} {direction})")
+
+
+_ORDER_NULL = -1   # sorts a NULL/unindexable marker below every rank
+
+
+class SortMergeJoin(PlanNode):
+    """Merge two index-ordered scans on one equi-key pair.
+
+    Both inputs arrive in (join key, content) order from
+    :class:`IndexOrderScan`, so matching is a single linear merge: no
+    hash build, no per-outer-row probes, and the output is itself
+    ordered by the join key — when an ``ORDER BY <join key> ASC``
+    follows, the planner elides the Sort entirely.
+
+    Output order is outer-major within each equal-key group (each outer
+    row pairs with the inner group in the inner's content order), which
+    is exactly the order the hash/nested-loop pipelines feed into a Sort
+    on the join key — so plan-shape changes never change result bytes.
+    The full ON clause re-evaluates per candidate pair (NULL-key and
+    residual semantics match the other join operators; normalized-key
+    collisions behave like hash-bucket collisions).  Predicate reads are
+    the two scans' own — whole-range, conservative for SSI, exactly like
+    a hash join's build scan.
+    """
+
+    def __init__(self, outer_scan: IndexOrderScan, join: Join,
+                 inner_scan: IndexOrderScan, outer_key: str,
+                 inner_key: str, est_rows: float = 0.0,
+                 binder: Optional[Binder] = None):
+        self.outer = outer_scan
+        self.join = join
+        self.inner = inner_scan
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self._on = compile_predicate(join.on, binder)
+        self.est_rows = est_rows
+
+    def rows(self, rt: Runtime) -> Iterator[Env]:
+        join = self.join
+        outer_alias = self.outer.alias
+        inner_alias = join.table.alias
+        on = self._on
+        left = join.kind == "LEFT"
+        schema = rt.db.catalog.schema_of(join.table.name)
+        null_row = {col: None for col in schema.column_names()}
+        ctx = rt.ctx
+
+        def merge_key(values: Dict[str, Any], column: str):
+            value = values.get(column)
+            if value is None:
+                return None
+            try:
+                return _join_key((value,))
+            except TypeMismatchError:
+                return None   # unindexable values never match '='
+
+        outer_rows = self.outer.scan_rows(rt)
+        okeys = [merge_key(r.values, self.outer_key) for r in outer_rows]
+        # NULL/unmatchable inner keys can never join; dropping them keeps
+        # the remaining keys contiguous and non-decreasing for the merge.
+        inner_pairs = [(merge_key(r.values, self.inner_key), r)
+                       for r in self.inner.scan_rows(rt)]
+        inner_pairs = [(k, r) for k, r in inner_pairs if k is not None]
+
+        n_outer = len(outer_rows)
+        n_inner = len(inner_pairs)
+        i = j = 0
+        while i < n_outer:
+            okey = okeys[i]
+            group_start = i
+            while i < n_outer and okeys[i] == okey:
+                i += 1
+            group = outer_rows[group_start:i]
+            matches: List[ScanRow] = []
+            if okey is not None:
+                while j < n_inner and inner_pairs[j][0] < okey:
+                    j += 1
+                k = j
+                while k < n_inner and inner_pairs[k][0] == okey:
+                    matches.append(inner_pairs[k][1])
+                    k += 1
+            for outer_row in group:
+                env = {outer_alias: outer_row.values}
+                matched = False
+                for inner_row in matches:
+                    candidate = {**env, inner_alias: inner_row.values}
+                    if on(ctx.child_for_row(candidate)):
+                        matched = True
+                        yield candidate
+                if left and not matched:
+                    yield {**env, inner_alias: dict(null_row)}
+
+    def sorted_columns(self) -> List[Tuple[str, str]]:
+        """(alias, column) pairs the output is ascending-ordered by.
+        The inner key only qualifies for INNER joins: LEFT emits NULL
+        inner columns on unmatched outer rows."""
+        out = [(self.outer.alias, self.outer_key)]
+        if self.join.kind != "LEFT":
+            out.append((self.join.table.alias, self.inner_key))
+        return out
+
+    def children(self) -> List[PlanNode]:
+        return [self.outer, self.inner]
+
+    def recost(self, db) -> None:
+        self.est_rows, self.est_cost = join_estimates(
+            db, self.outer, self.inner, self.join, (self.inner_key,))
+
+    def describe(self) -> str:
+        return (f"SortMergeJoin {self.join.kind} "
+                f"({self.join.table.alias}.{self.inner_key} = "
+                f"{self.outer.alias}.{self.outer_key})")
+
+
+class StreamingLimit(Limit):
+    """LIMIT/OFFSET over an index-order pipeline.
+
+    Unlike :class:`Limit`, the child is consumed lazily and iteration
+    stops at the slice boundary — the point of the index-order pipeline
+    is to not materialize (or sort) rows past the LIMIT.  The SSI
+    obligations a draining Limit met implicitly are met explicitly
+    instead: :meth:`IndexOrderScan.prepare` records the predicate read
+    and runs the candidate window checks before the first row is
+    consumed, even for ``LIMIT 0``.  Rows past the slice are never
+    *read* (no row-read records) — the predicate read already covers
+    them, so SSI conflict detection stays conservative.
+    """
+
+    def __init__(self, child: PlanNode, limit: Optional[Expr],
+                 offset: Optional[Expr], scan: IndexOrderScan):
+        super().__init__(child, limit, offset)
+        self.scan = scan
+
+    def rows(self, rt: Runtime) -> Iterator[Tuple[Tuple, Tuple]]:
+        start, stop = self._slice_bounds(rt)
+        self.scan.prepare(rt)   # SSI side effects even when stop == 0
+        yield from islice(self.child.rows(rt), start, stop)
+
+    def describe(self) -> str:
+        parts = ["streaming"]
         if self.limit is not None:
             parts.append(f"limit={expr_sql(self.limit)}")
         if self.offset is not None:

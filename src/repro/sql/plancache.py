@@ -5,7 +5,8 @@ on every replica, so re-binding and re-planning each execution is pure
 overhead.  This module caches physical plan *templates* per database,
 keyed by::
 
-    (statement fingerprint, context shape, catalog version, tx flags)
+    (statement fingerprint, context shape, catalog version,
+     stats anchor, tx flags)
 
 * **statement fingerprint** — the structural identity of the parsed tree
   (``repr`` of the dataclass AST, memoized on the node: cached parse
@@ -17,9 +18,16 @@ keyed by::
 * **catalog version** — a monotonic counter the catalog bumps on DDL and
   on vacuum-driven stats drift; a bump makes every older entry
   unreachable (and a registered listener purges them eagerly);
+* **stats anchor** — the committed block height the planner's anchored
+  statistics were pinned to.  Cost-based strategy choice is a pure
+  function of (statement, anchored stats), so a template planned at one
+  height must never serve an execution planning at another: nodes at
+  the same height re-derive the same plan, nodes at different heights
+  simply miss and re-plan (sql/stats.py);
 * **tx flags** — ``require_index`` (execute-order-in-parallel planning
-  rules), ``provenance`` (pseudo-columns change binding and output), and
-  ``allow_nondeterministic`` (changes which bounds are const-evaluable).
+  rules), ``provenance`` (pseudo-columns change binding and output),
+  ``allow_nondeterministic`` (changes which bounds are const-evaluable),
+  and the database's ``cost_based_planning`` toggle.
 
 Determinism argument: plans must be *node-deterministic* — a cache hit
 may never change the chosen plan or the SIREAD set, or replicas would
@@ -37,11 +45,12 @@ diverge on SSI abort decisions.  Two mechanisms guarantee this:
    may fold to NULL for some inputs) falls back to a full re-plan, which
    is exactly what an uncached execution would do.
 
-The only thing a cached template may legitimately show stale is the
-``rows~N`` EXPLAIN annotation, which is frozen at template creation and
-refreshes on the next catalog-version bump (the join strategy never reads
-row counts, precisely so plans stay deterministic — see
-``docs/sql_engine.md``).
+``cost~``/``rows~`` EXPLAIN annotations are never left stale: every
+validated hit re-derives the whole tree's estimates from the anchored
+statistics (:func:`refresh_row_estimates` → ``recost_plan``), so a hit
+renders exactly what a fresh planning pass at the same anchor would.
+The strategy choice itself cannot drift on a hit — every costing input
+(anchor, catalog version, cost-based toggle) is part of the key.
 """
 
 from __future__ import annotations
@@ -54,7 +63,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import CatalogError
 from repro.sql.ast_nodes import Expr, Statement
 from repro.sql.expressions import EvalContext
-from repro.sql.plan import extract_bounds, rank_indexes, scan_estimate
+from repro.sql.plan import PlanNode, extract_bounds, rank_indexes, \
+    recost_plan
 
 __all__ = [
     "PlanCache", "PlanEntry", "ScanGuard", "context_shape",
@@ -149,32 +159,30 @@ def validate_guards(catalog, guards: Sequence[ScanGuard],
     return bounds_by_node
 
 
-def refresh_row_estimates(catalog, guards: Sequence[ScanGuard]) -> None:
-    """Refresh the ``rows~N`` EXPLAIN annotations of a cached template
-    from *live* catalog statistics.
+def refresh_row_estimates(db, entry: "PlanEntry") -> None:
+    """Refresh the ``cost~``/``rows~`` EXPLAIN annotations of a cached
+    template from the database's snapshot-anchored statistics.
 
-    Row counts drift with every committed DML without a catalog-version
-    bump (only DDL and vacuum bump), so templates frozen at creation
-    would show stale estimates on cache hits.  Run on every validated
-    hit; only scan nodes re-estimate — the join strategy never reads row
-    counts (node-determinism), so this is purely observational."""
-    for guard in guards:
-        node = guard.node
-        if node is None:
-            continue
-        try:
-            stats = catalog.stats_of(guard.table)
-        except CatalogError:
-            continue
-        if guard.columnar:
-            node.est_rows = float(max(stats.total_versions, 0))
-        elif guard.signature is None:
-            node.est_rows = float(max(stats.live_rows, 0))
-        else:
-            _, n_eq, has_range = guard.signature
-            node.est_rows = scan_estimate(
-                stats.live_rows, n_eq, has_range,
-                getattr(node, "unique_covered", False))
+    Committed state can change at the same anchor only through test-style
+    out-of-band commits (the block processor always advances the anchor,
+    which changes the cache key), but the anchored stats cache also
+    tracks heap drift — so a validated hit recosts the *whole* tree
+    (scan estimates, join costs, everything above) and renders exactly
+    what a cold re-plan at the same anchor would.  Purely observational:
+    the strategy choice embedded in the template was keyed on the same
+    anchor, so recosting can never disagree with it."""
+    tables = sorted({guard.table for guard in entry.guards})
+    try:
+        token = tuple(db.stats._token(table) for table in tables)
+    except CatalogError:
+        token = None
+    if token is not None and token == entry.recost_token:
+        return   # nothing the estimates depend on has moved
+    plan = entry.plan
+    root = getattr(plan, "root", plan)
+    if isinstance(root, PlanNode):
+        recost_plan(root, db)
+    entry.recost_token = token
 
 
 @dataclass
@@ -184,6 +192,9 @@ class PlanEntry:
     plan: Any                       # SelectPlan, or a scan node for DML
     guards: List[ScanGuard] = field(default_factory=list)
     catalog_version: int = 0
+    # Stats freshness token of the last recost: hits skip the estimate
+    # refresh entirely while every referenced table's token is unmoved.
+    recost_token: Optional[Tuple] = None
 
 
 class PlanCache:
@@ -204,7 +215,9 @@ class PlanCache:
     @staticmethod
     def key_for(stmt: Statement, ctx: EvalContext, tx,
                 catalog_version: int,
-                columnar_enabled: bool = False) -> Tuple:
+                columnar_enabled: bool = False,
+                stats_anchor: int = 0,
+                cost_based: bool = True) -> Tuple:
         # AS OF statements additionally key on the *presence* of a
         # height pin and on whether columnar routing was available:
         # pinning changes the chosen operators (ColumnarScan vs heap
@@ -214,16 +227,23 @@ class PlanCache:
         # execution), so `AS OF BLOCK $1` at a thousand heights, or a
         # dashboard pinning to every new committed height, reuses one
         # template instead of churning the LRU.
+        #
+        # ``stats_anchor`` is the committed height the planner's
+        # statistics were pinned to: cost-based strategy choice reads
+        # them, so templates are only ever reused at the anchor they
+        # were costed at (all nodes at one height agree; a new block
+        # simply re-plans).  ``cost_based`` keys the planning mode.
         as_of = getattr(ctx, "as_of_height", None)
         pinned = as_of is not None
         return (statement_fingerprint(stmt), context_shape(ctx),
-                catalog_version, bool(tx.require_index),
+                catalog_version, int(stats_anchor), bool(cost_based),
+                bool(tx.require_index),
                 bool(tx.provenance), bool(ctx.allow_nondeterministic),
                 pinned, bool(columnar_enabled) if pinned else None)
 
     # -- lookup / store ----------------------------------------------------
 
-    def get(self, key: Tuple, catalog, ctx: EvalContext
+    def get(self, key: Tuple, db, ctx: EvalContext
             ) -> Optional[Tuple[PlanEntry, Dict[int, Dict]]]:
         """Return a guard-validated ``(entry, bounds-by-scan-node)`` pair,
         or None (counting the miss)."""
@@ -235,13 +255,13 @@ class PlanCache:
             with self._lock:
                 self.misses += 1
             return None
-        scan_bounds = validate_guards(catalog, entry.guards, ctx)
+        scan_bounds = validate_guards(db.catalog, entry.guards, ctx)
         if scan_bounds is None:
             with self._lock:
                 self.guard_failures += 1
                 self.misses += 1
             return None
-        refresh_row_estimates(catalog, entry.guards)
+        refresh_row_estimates(db, entry)
         with self._lock:
             self.hits += 1
         return entry, scan_bounds

@@ -8,21 +8,35 @@ cached statement (stored procedures re-execute the same tree) can't see a
 corrupted ORDER BY.
 
 Stage 2 (**physical planning**): pick access paths and join strategies
-using the live row counts the catalog exposes (:meth:`Catalog.stats_of`):
+from the *snapshot-anchored* statistics in :mod:`repro.sql.stats`
+(committed row counts and distinct-key counts pinned to the committed
+block height — identical on every node at the same height, so cost-based
+choices cannot diverge SIREAD sets across replicas):
 
 * scans: sargable bounds (evaluated against the statement's parameters /
   PL variables / outer row context) feed the same leading-column index
   scoring the old executor used, so index choice — and therefore the
   candidate set the phantom/stale window checks inspect — is unchanged;
-* joins: an equi-key join becomes a :class:`HashJoin` (build the inner
-  side once, probe per outer row) when costing says so and the flow allows
-  it; otherwise a :class:`NestedLoopJoin` with dynamic per-row index
-  probes.  Under ``tx.require_index`` (the execute-order-in-parallel flow)
-  a hash build whose scan no index can serve is never chosen — the
-  nested-loop probes keep every predicate read index-backed, preserving
-  the paper's section 4.3 rule.
+* joins: the planner costs a :class:`HashJoin` (build the inner side
+  once, probe per outer row), an index-:class:`NestedLoopJoin` (dynamic
+  per-row probes), and — when both join columns have ordering indexes —
+  a :class:`SortMergeJoin` over :class:`IndexOrderScan` inputs, crediting
+  the merge join with the downstream Sort it makes unnecessary when an
+  ``ORDER BY <join key>`` follows.  The decision is a pure function of
+  (statement fingerprint, anchored statistics), and the plan cache keys
+  on the stats anchor, so every node planning at one committed height
+  picks the same plan.  Under ``tx.require_index`` (the
+  execute-order-in-parallel flow) the pre-costing structural rules apply
+  unchanged: a hash build whose scan no index can serve is never chosen —
+  the nested-loop probes keep every predicate read index-backed,
+  preserving the paper's section 4.3 rule — and the full-index walks of
+  the merge/streaming operators are never planned;
+* Limit-only pipelines (single table, ``ORDER BY <indexed column>
+  LIMIT n``) stream through an :class:`IndexOrderScan` +
+  :class:`StreamingLimit` instead of materialize-and-sort.
 
-``EXPLAIN <stmt>`` renders the physical tree (:func:`render_plan`).
+``EXPLAIN <stmt>`` renders the physical tree (:func:`render_plan`) with
+per-operator ``cost~``/``rows~`` annotations.
 """
 
 from __future__ import annotations
@@ -56,20 +70,28 @@ from repro.sql.plan import (
     Filter,
     HashAggregate,
     HashJoin,
+    IndexOrderScan,
     IndexScan,
     Limit,
     NestedLoopJoin,
     OneRow,
+    PlanEstimate,
     PlanNode,
     Project,
     SeqScan,
     Sort,
+    SortMergeJoin,
+    StreamingLimit,
+    _l2,
     column_of_alias,
     conjuncts,
     extract_bounds,
+    join_estimates,
+    ordered_scan_estimates,
+    ordered_scan_sig,
     rank_indexes,
+    recost_plan,
     render_plan,
-    scan_estimate,
 )
 from repro.sql.plancache import ScanGuard
 
@@ -282,9 +304,7 @@ class Planner:
         """Columnar access path for an AS OF scan.  The guard records no
         index signature (the store has none to validate) but still
         threads the extracted bounds to execution for zone-map pruning."""
-        stats = self.db.catalog.stats_of(table)
-        scan = ColumnarScan(table, alias, where,
-                            est_rows=float(max(stats.total_versions, 0)))
+        scan = ColumnarScan(table, alias, where)
         guard = ScanGuard(table=table, alias=alias, where=where,
                           alias_columns=alias_columns, signature=None,
                           columnar=True)
@@ -292,6 +312,7 @@ class Planner:
         self.guards.append(guard)
         self.scan_bounds[id(scan)] = extract_bounds(where, alias, ctx,
                                                     alias_columns)
+        scan.recost(self.db)
         return scan
 
     def plan_scan(self, table: str, alias: str, where: Optional[Expr],
@@ -317,7 +338,6 @@ class Planner:
             return self._plan_columnar_scan(table, alias, where, ctx,
                                             alias_columns)
         heap = self.db.catalog.heap_of(table)
-        stats = self.db.catalog.stats_of(table)
         sources: Dict[str, List[Expr]] = {}
         bounds = extract_bounds(where, alias, ctx, alias_columns, sources)
         best = rank_indexes(heap, bounds)
@@ -328,9 +348,7 @@ class Planner:
             else (best[0].name, best[1], best[2]))
         self.guards.append(guard)
         if best is None:
-            scan: SeqScan = SeqScan(
-                table, alias, where,
-                est_rows=float(max(stats.live_rows, 0)))
+            scan: SeqScan = SeqScan(table, alias, where)
         else:
             index, n_eq, has_range = best
             depth = n_eq + (1 if has_range else 0) or 1
@@ -341,13 +359,55 @@ class Planner:
                     if conj not in conditions:
                         conditions.append(conj)
             unique_covered = index.unique and n_eq == len(index.columns)
-            est = scan_estimate(stats.live_rows, n_eq, has_range,
-                                unique_covered)
-            scan = IndexScan(table, alias, where, index.name, conditions,
-                             est_rows=est, unique_covered=unique_covered)
+            scan = IndexScan(
+                table, alias, where, index.name, conditions,
+                unique_covered=unique_covered,
+                cost_sig=(n_eq, has_range, unique_covered,
+                          tuple(index.columns[:n_eq])))
         guard.node = scan
         self.scan_bounds[id(scan)] = bounds
+        scan.recost(self.db)
         return scan
+
+    def _plan_index_order_scan(self, table: str, alias: str,
+                               where: Optional[Expr], ctx: EvalContext,
+                               alias_columns: Dict[str, Sequence[str]],
+                               index_name: str, order_column: str,
+                               descending: bool = False) -> IndexOrderScan:
+        """An :class:`IndexOrderScan` over ``index_name`` (whose leading
+        column is ``order_column``), with the standard ScanGuard so the
+        plan cache revalidates structure and threads bounds.  Bounds on
+        the order column narrow the index walk; everything else is left
+        to the Filter above."""
+        sources: Dict[str, List[Expr]] = {}
+        bounds = extract_bounds(where, alias, ctx, alias_columns, sources)
+        best = rank_indexes(self.db.catalog.heap_of(table), bounds)
+        guard = ScanGuard(
+            table=table, alias=alias, where=where,
+            alias_columns=alias_columns,
+            signature=None if best is None
+            else (best[0].name, best[1], best[2]))
+        scan = IndexOrderScan(
+            table, alias, where, index_name, order_column,
+            descending=descending,
+            conditions=sources.get(order_column, []),
+            cost_sig=ordered_scan_sig(bounds, order_column))
+        guard.node = scan
+        self.guards.append(guard)
+        self.scan_bounds[id(scan)] = bounds
+        scan.recost(self.db)
+        return scan
+
+    def _order_index_for(self, table: str,
+                         column: str) -> Optional[str]:
+        """The index that orders ``table`` by ``column``: smallest name
+        among indexes whose leading column is ``column`` (name order is
+        catalog-deterministic — replicas run the same DDL)."""
+        heap = self.db.catalog.heap_of(table)
+        names = sorted(name for name, index in heap.indexes.items()
+                       if index.columns and index.columns[0] == column)
+        return names[0] if names else None
+
 
     # ------------------------------------------------------------------
     # Join planning
@@ -412,11 +472,12 @@ class Planner:
     def _predict_probe(self, combined: Optional[Expr], join: Join,
                        planned_aliases: Set[str],
                        alias_columns: Dict[str, Sequence[str]]
-                       ) -> Tuple[Optional[str], List[Expr], int, bool, bool]:
+                       ) -> Tuple[Optional[str], List[Expr], int, bool,
+                                  bool, Tuple[str, ...]]:
         """Structural dry-run of the per-row bound extraction: which index
         would a nested-loop probe use, given that outer-row columns become
         constants at probe time?  Returns (index_name, condition exprs,
-        n_eq, has_range, unique_covered)."""
+        n_eq, has_range, unique_covered, eq column names)."""
         alias = join.table.alias
         inner_cols = alias_columns.get(alias, ())
         heap = self.db.catalog.heap_of(join.table.name)
@@ -428,7 +489,7 @@ class Planner:
                                     sources)
         best = rank_indexes(heap, shapes)
         if best is None:
-            return None, [], 0, False, False
+            return None, [], 0, False, False, ()
         index, n_eq, has_range = best
         depth = n_eq + (1 if has_range else 0)
         conditions: List[Expr] = []
@@ -437,7 +498,8 @@ class Planner:
                 if conj not in conditions:
                     conditions.append(conj)
         unique_covered = index.unique and n_eq == len(index.columns)
-        return index.name, conditions, n_eq, has_range, unique_covered
+        return (index.name, conditions, n_eq, has_range, unique_covered,
+                tuple(index.columns[:n_eq]))
 
     def _predict_shape(self, conj: Expr, alias: str,
                        inner_cols: Sequence[str],
@@ -515,9 +577,65 @@ class Planner:
         beyond the schema the binder knows about."""
         return None if self.tx.provenance else alias_columns
 
+    def _cost_based(self) -> bool:
+        """Cost-based strategy choice applies outside the EO flow (where
+        the section 4.3 structural rules stay authoritative) whenever the
+        database has it enabled.  Both inputs are part of the plan-cache
+        key, so the mode can never flip between a miss and a hit."""
+        return (getattr(self.db, "cost_based_planning", True)
+                and not self.tx.require_index)
+
+    def _smj_candidate(self, outer: PlanNode, join: Join,
+                       keys: List[Tuple[str, Expr]],
+                       ctx: EvalContext,
+                       alias_columns: Dict[str, Sequence[str]]
+                       ) -> Optional[Tuple[str, str, str, str]]:
+        """Structural sort-merge eligibility: a single equi-key pair of
+        plain columns, the outer side still a base heap scan, and an
+        ordering index (leading column = join column) on each side.
+        Returns (outer column, outer index, inner column, inner index)
+        or None."""
+        if len(keys) != 1 or join.kind not in ("INNER", "LEFT"):
+            return None
+        if self.tx.provenance or ctx.as_of_height is not None:
+            return None
+        if not isinstance(outer, (SeqScan, IndexScan)) or \
+                isinstance(outer, ColumnarScan):
+            return None
+        inner_col, probe_expr = keys[0]
+        if not isinstance(probe_expr, ColumnRef):
+            return None
+        outer_cols = alias_columns.get(outer.alias, ())
+        if probe_expr.table is not None and probe_expr.table != outer.alias:
+            return None
+        if probe_expr.table is None and probe_expr.name not in outer_cols:
+            return None
+        outer_col = probe_expr.name
+        outer_index = self._order_index_for(outer.table, outer_col)
+        inner_index = self._order_index_for(join.table.name, inner_col)
+        if outer_index is None or inner_index is None:
+            return None
+        return outer_col, outer_index, inner_col, inner_index
+
     def plan_join(self, outer: PlanNode, join: Join, where: Optional[Expr],
                   ctx: EvalContext, planned_aliases: Set[str],
-                  alias_columns: Dict[str, Sequence[str]]) -> PlanNode:
+                  alias_columns: Dict[str, Sequence[str]],
+                  sort_elision_order: Optional[Sequence[OrderItem]] = None
+                  ) -> PlanNode:
+        """Join strategy for one joined table.
+
+        ``sort_elision_order`` is the statement's effective ORDER BY when
+        this is the last join and no aggregation/grouping reorders rows
+        above it — a SortMergeJoin that satisfies that order makes the
+        downstream Sort unnecessary, and the costing credits it.
+
+        Determinism: every cost input is snapshot-anchored (sql/stats.py)
+        and every structural input is part of the plan-cache key, so the
+        chosen strategy is a pure function of (statement fingerprint,
+        anchored statistics) — nodes at the same committed height always
+        agree, and a cache hit can never produce a different plan than a
+        fresh planning pass.
+        """
         # Conditions usable for the inner access path may come from the
         # ON clause and from the WHERE clause.
         combined = join.on
@@ -526,60 +644,158 @@ class Planner:
                         else BinaryOp("AND", combined, where))
         alias = join.table.alias
         schema = self.db.catalog.schema_of(join.table.name)
-        stats = self.db.catalog.stats_of(join.table.name)
-        inner_live = max(stats.live_rows, 0)
 
         keys = self._find_equi_keys(combined, join, planned_aliases,
                                     alias_columns)
-        probe_index, probe_conds, n_eq, has_range, unique_covered = \
-            self._predict_probe(combined, join, planned_aliases,
-                                alias_columns)
+        (probe_index, probe_conds, n_eq, has_range, unique_covered,
+         probe_eq_cols) = self._predict_probe(combined, join,
+                                              planned_aliases,
+                                              alias_columns)
 
-        # Strategy choice must be *deterministic across nodes*: in-flight
-        # transactions make live_rows interleaving-sensitive, and nodes
-        # that picked different plans would record different SIREAD sets
-        # and diverge on SSI abort decisions.  So the decision is purely
-        # structural (statement + catalog shape); the row counts below
-        # only annotate EXPLAIN output.
-        hash_allowed = bool(keys)
+        binder = self._binder(alias_columns)
+        probe = DynamicProbe(join.table.name, alias, probe_index,
+                             probe_conds,
+                             cost_sig=(n_eq, has_range, unique_covered,
+                                       probe_eq_cols))
+        probe.recost(self.db)
+        outer_est = max(outer.est_rows, 1.0)
+        nlj_cost = outer.est_cost + outer_est * max(probe.est_cost, 1.0)
+
         build: Optional[SeqScan] = None
-        if hash_allowed:
+        if keys:
             # The build side is scanned once, so only conjuncts constant
             # at plan time (no outer-row references) can bound it.
             build = self.plan_scan(join.table.name, alias, combined, ctx,
                                    alias_columns)
-            if self.tx.require_index and not schema.system \
-                    and not self.tx.provenance \
-                    and not isinstance(build, IndexScan):
-                # A full build scan would violate the EO flow's
-                # index-backed-predicate rule; per-row index probes keep
-                # the old (narrow, index-served) predicate reads.
-                hash_allowed = False
-            elif unique_covered or (isinstance(outer, IndexScan)
-                                    and outer.unique_covered):
-                # Point lookups on either side — a unique fully-bound
-                # probe, or a single-row outer — make per-row index
-                # probes cheaper than building a hash over the whole
-                # inner side, and they record the narrowest possible
-                # predicate reads.  Both facts are structural, so the
-                # choice stays deterministic across nodes.
-                hash_allowed = False
 
-        outer_est = max(outer.est_rows, 1.0)
-        binder = self._binder(alias_columns)
-        if hash_allowed:
-            return HashJoin(outer, join, build, keys,
-                            est_rows=max(outer_est, build.est_rows),
-                            binder=binder)
+        if not self._cost_based():
+            # Pre-costing structural rules (also the EO section 4.3
+            # flow): hash when an equi-key exists, except index-less
+            # builds under require_index and point-lookup shapes.
+            hash_allowed = build is not None
+            if hash_allowed:
+                if self.tx.require_index and not schema.system \
+                        and not self.tx.provenance \
+                        and not isinstance(build, IndexScan):
+                    hash_allowed = False
+                elif unique_covered or (isinstance(outer, IndexScan)
+                                        and outer.unique_covered):
+                    hash_allowed = False
+            if hash_allowed:
+                node: PlanNode = HashJoin(outer, join, build, keys,
+                                          binder=binder)
+            else:
+                node = NestedLoopJoin(outer, join, combined, probe,
+                                      binder=binder)
+            node.recost(self.db)
+            return node
 
-        probe_est = (scan_estimate(inner_live, n_eq, has_range,
-                                   unique_covered)
-                     if probe_index is not None else float(inner_live))
-        probe = DynamicProbe(join.table.name, alias, probe_index,
-                             probe_conds, est_rows=probe_est)
-        return NestedLoopJoin(outer, join, combined, probe,
-                              est_rows=outer_est * max(probe_est, 1.0),
-                              binder=binder)
+        # ---- cost-based choice -----------------------------------------
+        candidates: List[Tuple[float, int, str]] = [(nlj_cost, 2, "nlj")]
+        if build is not None:
+            _, hash_cost = join_estimates(self.db, outer, build, join,
+                                          tuple(c for c, _ in keys))
+            candidates.append((hash_cost, 0, "hash"))
+
+        smj = self._smj_candidate(outer, join, keys, ctx, alias_columns)
+        smj_cost = None
+        if smj is not None:
+            outer_col, outer_index, inner_col, inner_index = smj
+            outer_bounds = extract_bounds(outer.where, outer.alias, ctx,
+                                          alias_columns)
+            inner_bounds = extract_bounds(combined, alias, ctx,
+                                          alias_columns)
+            # Same formulas the constructed nodes' recost would use —
+            # computed via estimate carriers so candidate costing never
+            # leaks guards for plans that are not chosen.
+            smj_outer = PlanEstimate(*ordered_scan_estimates(
+                self.db, outer.table,
+                ordered_scan_sig(outer_bounds, outer_col)))
+            smj_inner = PlanEstimate(*ordered_scan_estimates(
+                self.db, join.table.name,
+                ordered_scan_sig(inner_bounds, inner_col)))
+            smj_rows, smj_cost = join_estimates(
+                self.db, smj_outer, smj_inner, join, (inner_col,))
+            if sort_elision_order and self._order_satisfied(
+                    [(outer.alias, outer_col)] +
+                    ([(alias, inner_col)] if join.kind != "LEFT" else []),
+                    {outer.alias: outer.table, alias: join.table.name},
+                    sort_elision_order, alias_columns,
+                    emitted_nulls_first=(join.kind == "LEFT")):
+                # Every other strategy pays the Sort this join elides.
+                sort_cost = smj_rows * _l2(smj_rows)
+                candidates = [(cost + sort_cost, rank, kind)
+                              for cost, rank, kind in candidates]
+            candidates.append((smj_cost, 1, "smj"))
+
+        _, _, choice = min(candidates)
+        if choice == "hash":
+            node = HashJoin(outer, join, build, keys, binder=binder)
+        elif choice == "smj":
+            outer_col, outer_index, inner_col, inner_index = smj
+            outer_scan = self._plan_index_order_scan(
+                outer.table, outer.alias, outer.where, ctx,
+                alias_columns, outer_index, outer_col)
+            # Thread the replaced outer scan's guard to the new node so
+            # guard-validated bounds reach the scan that actually runs.
+            for guard in self.guards:
+                if guard.node is outer:
+                    guard.node = None
+            self.scan_bounds.pop(id(outer), None)
+            inner_scan = self._plan_index_order_scan(
+                join.table.name, alias, combined, ctx, alias_columns,
+                inner_index, inner_col)
+            node = SortMergeJoin(outer_scan, join, inner_scan,
+                                 outer_col, inner_col, binder=binder)
+        else:
+            node = NestedLoopJoin(outer, join, combined, probe,
+                                  binder=binder)
+        node.recost(self.db)
+        return node
+
+    # ------------------------------------------------------------------
+    # Order-satisfaction (Sort elision)
+    # ------------------------------------------------------------------
+
+    #: Declared types whose index-key order provably matches the Sort
+    #: comparator.  NUMERIC/DECIMAL is excluded: index keys normalize
+    #: Decimals through float, which can collapse values the comparator
+    #: distinguishes.
+    _ORDER_SAFE_TYPES = frozenset({
+        "INT", "INTEGER", "BIGINT", "SERIAL", "INT4", "INT8",
+        "FLOAT", "DOUBLE", "REAL", "TIMESTAMP", "BOOLEAN",
+        "TEXT", "VARCHAR", "CHAR",
+    })
+
+    def _order_satisfied(self, sorted_cols: List[Tuple[str, str]],
+                         tables_by_alias: Dict[str, str],
+                         order_items: Sequence[OrderItem],
+                         alias_columns: Dict[str, Sequence[str]],
+                         emitted_nulls_first: bool = True) -> bool:
+        """True when a single ascending ORDER BY item names one of the
+        ``sorted_cols`` an index-order operator already emits, with
+        type/NULL rules that make index order provably equal to the Sort
+        comparator's order (NULLS LAST): the column's declared type must
+        be order-safe, and — since index order puts NULLs first — the
+        column must be NOT NULL unless the operator can never emit a
+        NULL key (INNER-join keys)."""
+        if len(order_items) != 1:
+            return False
+        item = order_items[0]
+        if not item.ascending or not isinstance(item.expr, ColumnRef):
+            return False
+        for alias, col in sorted_cols:
+            if column_of_alias(item.expr, alias,
+                               alias_columns.get(alias, ())) != col:
+                continue
+            table = tables_by_alias[alias]
+            column = self.db.catalog.schema_of(table).column(col)
+            if column.type_name.upper() not in self._ORDER_SAFE_TYPES:
+                return False
+            if emitted_nulls_first and not column.not_null:
+                return False
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # SELECT planning
@@ -600,9 +816,20 @@ class Planner:
                     top = Sort(top, order_items)
                 if stmt.limit is not None or stmt.offset is not None:
                     top = Limit(top, stmt.limit, stmt.offset)
-                return SelectPlan(root=top, columns=columns,
-                                  alias_columns=alias_columns,
-                                  guards=self.guards)
+                return self._finish(top, columns, alias_columns)
+
+        stream = self._try_streaming_limit(stmt, ctx, alias_columns,
+                                           order_items, aggregates,
+                                           columns)
+        if stream is not None:
+            return stream
+
+        # No aggregation/grouping above the joins means the last join's
+        # output order survives to the Sort — a SortMergeJoin satisfying
+        # the ORDER BY then elides it (the costing credit and the
+        # structural elision below use the same predicate).
+        elision_order = (order_items if not stmt.group_by
+                         and not aggregates else None)
 
         if stmt.from_table is None:
             source: PlanNode = OneRow()
@@ -611,10 +838,13 @@ class Planner:
                                     stmt.from_table.alias, stmt.where, ctx,
                                     alias_columns)
             planned = {stmt.from_table.alias}
-            for join in stmt.joins:
-                source = self.plan_join(source, join, stmt.where, ctx,
-                                        planned, alias_columns)
+            for position, join in enumerate(stmt.joins):
+                last = position == len(stmt.joins) - 1
+                source = self.plan_join(
+                    source, join, stmt.where, ctx, planned, alias_columns,
+                    sort_elision_order=elision_order if last else None)
                 planned.add(join.table.alias)
+        join_root = source
         binder = self._binder(alias_columns)
         if stmt.where is not None:
             source = Filter(source, stmt.where, binder=binder)
@@ -626,15 +856,96 @@ class Planner:
         else:
             top = Project(source, stmt.items, order_items, columns,
                           est_rows=source.est_rows, binder=binder)
-        if stmt.order_by:
+        if stmt.order_by and not self._sorted_by_merge(
+                join_root, elision_order, alias_columns):
             top = Sort(top, order_items)
         if stmt.distinct:
             top = Distinct(top)
         if stmt.limit is not None or stmt.offset is not None:
             top = Limit(top, stmt.limit, stmt.offset)
+        return self._finish(top, columns, alias_columns)
+
+    def _finish(self, top: PlanNode, columns: List[str],
+                alias_columns: Dict[str, Sequence[str]]) -> SelectPlan:
+        recost_plan(top, self.db)
         return SelectPlan(root=top, columns=columns,
                           alias_columns=alias_columns,
                           guards=self.guards)
+
+    def _sorted_by_merge(self, join_root: PlanNode,
+                         elision_order: Optional[Sequence[OrderItem]],
+                         alias_columns: Dict[str, Sequence[str]]) -> bool:
+        """True when the ORDER BY is already satisfied by a top-level
+        SortMergeJoin's emission order (Filter/Project/Distinct/Limit all
+        preserve it)."""
+        if elision_order is None or not isinstance(join_root,
+                                                   SortMergeJoin):
+            return False
+        return self._order_satisfied(
+            join_root.sorted_columns(),
+            {join_root.outer.alias: join_root.outer.table,
+             join_root.join.table.alias: join_root.join.table.name},
+            elision_order, alias_columns,
+            emitted_nulls_first=(join_root.join.kind == "LEFT"))
+
+    # ------------------------------------------------------------------
+    # Streaming Limit pipelines (index-order scan, no materialize/sort)
+    # ------------------------------------------------------------------
+
+    def _try_streaming_limit(self, stmt: Select, ctx: EvalContext,
+                             alias_columns: Dict[str, Sequence[str]],
+                             order_items: Sequence[OrderItem],
+                             aggregates: List[FunctionCall],
+                             columns: List[str]) -> Optional[SelectPlan]:
+        """``SELECT ... FROM t [WHERE ...] ORDER BY <indexed column>
+        LIMIT n`` streams through an IndexOrderScan + StreamingLimit
+        instead of materialize-and-sort, when the ordering column has an
+        ordering index and index order provably equals the Sort order
+        (see ``_order_satisfied``; DESC flips the walk, and NULLS-LAST
+        then matches even for nullable columns).  Eligibility is purely
+        structural, so every node (and cache hit) agrees."""
+        if not self._cost_based():
+            return None
+        if stmt.from_table is None or stmt.joins:
+            return None
+        if aggregates or stmt.group_by or stmt.distinct:
+            return None
+        if stmt.limit is None or len(order_items) != 1:
+            return None
+        if self.tx.provenance or ctx.as_of_height is not None:
+            return None
+        item = order_items[0]
+        if not isinstance(item.expr, ColumnRef):
+            return None
+        alias = stmt.from_table.alias
+        table = stmt.from_table.name
+        col = column_of_alias(item.expr, alias,
+                              alias_columns.get(alias, ()))
+        if col is None:
+            return None
+        schema = self.db.catalog.schema_of(table)
+        column = schema.column(col)
+        if column.type_name.upper() not in self._ORDER_SAFE_TYPES:
+            return None
+        # Ascending index order emits NULLs first, Sort puts them last —
+        # a nullable column only streams descending (reversed walk ends
+        # with NULLs, which is exactly NULLS LAST).
+        if item.ascending and not column.not_null:
+            return None
+        index_name = self._order_index_for(table, col)
+        if index_name is None:
+            return None
+        scan = self._plan_index_order_scan(
+            table, alias, stmt.where, ctx, alias_columns, index_name,
+            col, descending=not item.ascending)
+        binder = self._binder(alias_columns)
+        source: PlanNode = scan
+        if stmt.where is not None:
+            source = Filter(source, stmt.where, binder=binder)
+        top: PlanNode = Project(source, stmt.items, order_items, columns,
+                                binder=binder)
+        top = StreamingLimit(top, stmt.limit, stmt.offset, scan)
+        return self._finish(top, columns, alias_columns)
 
     # ------------------------------------------------------------------
     # Columnar aggregate pushdown (AS OF fast path)
@@ -750,7 +1061,31 @@ class Planner:
                           inner_cols: Sequence[str]
                           ) -> Optional[VectorPredicate]:
         """Lower one WHERE conjunct to a vector predicate (column-left
-        normalized), or None when its shape is not covered."""
+        normalized), or None when its shape is not covered.  Covered
+        shapes: comparisons and BETWEEN against row-free values,
+        non-negated IN-lists of row-free items, and LIKE / NOT LIKE
+        against a row-free pattern (a literal prefix also feeds the
+        zone-map pruner)."""
+        from repro.sql.ast_nodes import InList, Like
+
+        if isinstance(conj, InList) and not conj.negated:
+            col = column_of_alias(conj.operand, alias, inner_cols)
+            if col is None or not conj.items:
+                return None
+            if not all(self._row_free(item, alias, inner_cols)
+                       for item in conj.items):
+                return None
+            return VectorPredicate(
+                "in", col,
+                items=[compile_expr(item, None) for item in conj.items])
+        if isinstance(conj, Like):
+            col = column_of_alias(conj.operand, alias, inner_cols)
+            if col is None or \
+                    not self._row_free(conj.pattern, alias, inner_cols):
+                return None
+            return VectorPredicate(
+                "like", col, pattern=compile_expr(conj.pattern, None),
+                negated=conj.negated)
         if isinstance(conj, BinaryOp) and conj.op in {
                 "=", "<", "<=", ">", ">="}:
             col = column_of_alias(conj.left, alias, inner_cols)

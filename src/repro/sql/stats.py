@@ -1,0 +1,227 @@
+"""Snapshot-anchored planner statistics.
+
+The cost-based planner needs row counts and distinct-key counts, but
+*live* counts are interleaving-sensitive: an in-flight transaction's
+uncommitted inserts inflate ``HeapTable.live_rows`` on the node that
+happens to host it, and two replicas costing the same statement from
+different counts would pick different plans → different SIREAD sets →
+SSI divergence (the reason PR 1 left the join choice structural).
+
+The fix is the statistics-on-the-replica trick HTAP systems use: anchor
+every statistic at the node's **committed block height**.  Committed
+state at height ``h`` is identical on every node that has processed
+block ``h`` — it is the replicated state machine's output — so
+
+* ``row_count``: committed rows visible at the anchor, and
+* ``ndv(columns)``: distinct non-NULL column tuples over those rows
+
+are pure functions of the block sequence.  The columnar replica's
+creator/deleter height vectors answer both exactly
+(:meth:`ColumnStore.committed_rows` / :meth:`ColumnStore.distinct_count`);
+when the replica is disabled the heap fallback filters the version store
+with the *same* committed-at-anchor predicate, so both sources agree to
+the row (tests pin this).
+
+Caching: statistics are memoized per (table, columns) under a freshness
+token of ``(catalog version, anchor, heap length, live_rows,
+vacuumed_versions)``.  The token is deliberately over-sensitive —
+uncommitted churn recomputes identical values — but never *under*:
+anything that can change the committed-at-anchor state moves at least
+one component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CatalogError
+from repro.storage.index import normalize_key_part
+
+__all__ = ["AnchoredTableStats", "StatisticsManager", "stats_key_part"]
+
+
+def stats_key_part(value: Any) -> Any:
+    """Normalization for distinct counting, consistent with the ``=``
+    comparator (TRUE = 1, 1 = 1.0): values the engine would call equal
+    must count as one distinct key.  Unindexable value types fall back
+    to ``repr`` (typed columns make that unreachable in practice)."""
+    try:
+        if isinstance(value, bool):
+            return normalize_key_part(float(value))
+        return normalize_key_part(value)
+    except Exception:
+        return repr(value)
+
+
+def _stats_key(values: Tuple[Any, ...]) -> Tuple:
+    return tuple(stats_key_part(v) for v in values)
+
+
+@dataclass(frozen=True)
+class AnchoredTableStats:
+    """Deterministic per-table statistics pinned to one block height."""
+
+    table: str
+    anchor: int      # block height the counts are anchored at
+    row_count: int   # committed rows visible at the anchor
+
+
+class StatisticsManager:
+    """Per-database anchored-statistics provider (see module docstring).
+
+    The anchor is always the owning database's current committed height:
+    nodes replaying the same block sequence consult identical statistics
+    whenever they plan at the same height, which — together with the
+    plan cache keying on the anchor — makes every cost-based decision a
+    pure function of (statement fingerprint, anchored stats).
+    """
+
+    def __init__(self, db):
+        self.db = db
+        # (table, columns-or-None) -> (freshness token, value)
+        self._cache: Dict[Tuple[str, Optional[Tuple[str, ...]]],
+                          Tuple[Tuple, Any]] = {}
+        # Observability.
+        self.computations = 0
+        self.columnar_served = 0
+        self.heap_served = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def anchor(self) -> int:
+        """The stats anchor: the node's committed block height."""
+        return self.db.committed_height
+
+    def _token(self, table: str) -> Tuple:
+        heap = self.db.catalog.heap_of(table)
+        return (self.db.catalog.version, self.anchor, len(heap),
+                heap.live_rows, heap.vacuumed_versions)
+
+    def _cached(self, table: str,
+                columns: Optional[Tuple[str, ...]], compute):
+        token = self._token(table)
+        key = (table, columns)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == token:
+            return entry[1]
+        value = compute()
+        self._cache[key] = (token, value)
+        self.computations += 1
+        return value
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Row counts
+    # ------------------------------------------------------------------
+
+    def table_stats(self, table: str) -> AnchoredTableStats:
+        """Committed-row count for ``table`` at the current anchor."""
+        self.db.catalog.schema_of(table)  # raises CatalogError on typos
+        anchor = self.anchor
+
+        def compute() -> AnchoredTableStats:
+            count = self._columnar_row_count(table, anchor)
+            if count is None:
+                count = self._heap_row_count(table, anchor)
+                self.heap_served += 1
+            else:
+                self.columnar_served += 1
+            return AnchoredTableStats(table=table, anchor=anchor,
+                                      row_count=count)
+
+        return self._cached(table, None, compute)
+
+    def _columnar_row_count(self, table: str,
+                            anchor: int) -> Optional[int]:
+        store = getattr(self.db, "columnstore", None)
+        if store is None:
+            return None
+        try:
+            return store.committed_rows(self.db, table, anchor)
+        except CatalogError:
+            return None
+
+    def _heap_row_count(self, table: str, anchor: int) -> int:
+        heap = self.db.catalog.heap_of(table)
+        return sum(1 for version in heap.all_versions()
+                   if self._visible_at_anchor(version, anchor))
+
+    def _visible_at_anchor(self, version, anchor: int) -> bool:
+        """The committed-at-anchor predicate, shared with the columnar
+        replica's ``visible_at``: created by a committed transaction at or
+        below the anchor, and not deleted by a committed transaction at
+        or below it."""
+        statuses = self.db.statuses
+        if version.creator_block is None or version.creator_block > anchor:
+            return False
+        if not statuses.is_committed(version.xmin):
+            return False
+        if version.deleter_block is not None \
+                and version.xmax_winner is not None \
+                and statuses.is_committed(version.xmax_winner) \
+                and version.deleter_block <= anchor:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Distinct-key counts
+    # ------------------------------------------------------------------
+
+    def ndv(self, table: str, columns: Tuple[str, ...]) -> int:
+        """Distinct non-NULL ``columns`` tuples among the committed rows
+        visible at the anchor (minimum 1, so it can divide row counts)."""
+        if not columns:
+            return 1
+        self.db.catalog.schema_of(table)
+        anchor = self.anchor
+        columns = tuple(columns)
+
+        def compute() -> int:
+            count = self._columnar_ndv(table, columns, anchor)
+            if count is None:
+                count = self._heap_ndv(table, columns, anchor)
+                self.heap_served += 1
+            else:
+                self.columnar_served += 1
+            return max(1, count)
+
+        return self._cached(table, columns, compute)
+
+    def _columnar_ndv(self, table: str, columns: Tuple[str, ...],
+                      anchor: int) -> Optional[int]:
+        store = getattr(self.db, "columnstore", None)
+        if store is None:
+            return None
+        try:
+            return store.distinct_count(self.db, table, columns, anchor,
+                                        _stats_key)
+        except CatalogError:
+            return None
+
+    def _heap_ndv(self, table: str, columns: Tuple[str, ...],
+                  anchor: int) -> int:
+        heap = self.db.catalog.heap_of(table)
+        seen = set()
+        for version in heap.all_versions():
+            if not self._visible_at_anchor(version, anchor):
+                continue
+            values = tuple(version.values.get(col) for col in columns)
+            if any(v is None for v in values):
+                continue
+            seen.add(_stats_key(values))
+        return len(seen)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "anchor": self.anchor,
+            "cached_entries": len(self._cache),
+            "computations": self.computations,
+            "columnar_served": self.columnar_served,
+            "heap_served": self.heap_served,
+        }

@@ -40,6 +40,14 @@ QUERIES = [
     "SELECT grp, max(v) FROM t WHERE id <= 3 GROUP BY grp "
     "ORDER BY grp DESC AS OF BLOCK $1",
     "SELECT count(*) FROM t WHERE grp = 'g1' AS OF BLOCK $1",
+    # IN-list and LIKE / NOT LIKE vector predicates (aggregate fast
+    # path) must match the row store's three-valued logic exactly.
+    "SELECT count(*), sum(v) FROM t WHERE grp IN ('g1', 'g3') "
+    "AS OF BLOCK $1",
+    "SELECT count(*) FROM t WHERE id IN (0, 2, 4) AS OF BLOCK $1",
+    "SELECT count(*), min(v) FROM t WHERE grp LIKE 'g_' AS OF BLOCK $1",
+    "SELECT count(*) FROM t WHERE grp LIKE 'g1%' AS OF BLOCK $1",
+    "SELECT count(*) FROM t WHERE grp NOT LIKE 'g2%' AS OF BLOCK $1",
 ]
 
 

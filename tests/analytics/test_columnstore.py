@@ -82,6 +82,29 @@ class TestChunk:
         chunk.seal()
         assert chunk.may_match_bounds({"v": {"eq": "not-a-number"}})
 
+    def test_null_counts_computed_at_seal(self):
+        chunk = ColumnChunk(["v"])
+        chunk.append({"v": 1}, 1, 1, 1, creator=1)
+        chunk.append({"v": None}, 2, 2, 1, creator=1)
+        chunk.append({"v": 3}, 3, 3, 1, creator=1)
+        chunk.seal()
+        assert chunk.null_counts == {"v": 1}
+
+    def test_visible_count_from_counters(self):
+        chunk = ColumnChunk(["id"])
+        for i in range(4):
+            chunk.append({"id": i}, i, i, 1, creator=i + 1)
+        # All creators <= 4, no deleters: exact count, fully visible.
+        assert chunk.visible_count_at(4) == 4
+        assert chunk.fully_visible_at(4)
+        assert chunk.visible_count_at(0) == 0          # nothing created
+        assert chunk.visible_count_at(2) is None       # mid-creation
+        chunk.mark_deleted(0, deleter=6, xmax=9)
+        assert not chunk.fully_visible_at(6)
+        # All creators and all deleter stamps <= 6: live_count is exact.
+        assert chunk.visible_count_at(6) == 3
+        assert chunk.visible_count_at(5) is None       # deleter above h
+
 
 class TestTableColumns:
     def test_chunks_seal_at_target(self):
@@ -235,3 +258,89 @@ class TestColumnStore:
             db.columnstore.history(db, "t", "not_a_column", 1)
         with pytest.raises(CatalogError):
             db.columnstore.diff(db, "nope", 0, 1)
+
+
+class TestStatisticsSurface:
+    """committed_rows / distinct_count: the planner's anchored
+    statistics ride the creator/deleter vectors."""
+
+    def test_committed_rows_per_height(self):
+        from repro.sql.stats import stats_key_part
+
+        db = make_db()
+        h1 = commit_block(db, [
+            ("INSERT INTO t (id, v) VALUES ($1, $2)", (i, i * 10))
+            for i in range(6)])
+        h2 = commit_block(db, [("DELETE FROM t WHERE id < 2", ())])
+        assert db.columnstore.committed_rows(db, "t", h1) == 6
+        assert db.columnstore.committed_rows(db, "t", h2) == 4
+        assert db.columnstore.committed_rows(db, "t", 0) == 0
+
+        def key_of(values):
+            return tuple(stats_key_part(v) for v in values)
+
+        assert db.columnstore.distinct_count(
+            db, "t", ("v",), h1, key_of) == 6
+        assert db.columnstore.distinct_count(
+            db, "t", ("v",), h2, key_of) == 4
+
+    def test_disabled_store_returns_none(self):
+        db = make_db()
+        commit_block(db, [("INSERT INTO t (id, v) VALUES (1, 1)", ())])
+        db.columnstore.set_enabled(False)
+        assert db.columnstore.committed_rows(
+            db, "t", db.committed_height) is None
+
+
+class TestZoneOnlyAggregates:
+    """Unfiltered global aggregates over fully-visible sealed chunks are
+    answered from zone maps and counters alone (no row touch)."""
+
+    def test_zone_only_counter_increments(self):
+        db = make_db()
+        commit_block(db, [
+            ("INSERT INTO t (id, v) VALUES ($1, $2)", (i, i))
+            for i in range(10)])
+        height = db.committed_height
+        before = db.columnstore.stats()["zone_only_chunks"]
+        tx = db.begin(allow_nondeterministic=True, read_only=True)
+        try:
+            result = run_sql(
+                db, tx, "SELECT count(*), min(v), max(v) FROM t "
+                        "AS OF BLOCK $1", params=(height,))
+        finally:
+            db.apply_abort(tx, reason="test")
+        assert result.rows == [(10, 0, 9)]
+        assert db.columnstore.stats()["zone_only_chunks"] > before
+
+    def test_deleted_rows_force_row_scan_and_stay_correct(self):
+        db = make_db()
+        commit_block(db, [
+            ("INSERT INTO t (id, v) VALUES ($1, $2)", (i, i))
+            for i in range(10)])
+        commit_block(db, [("DELETE FROM t WHERE id = 9", ())])
+        height = db.committed_height
+        tx = db.begin(allow_nondeterministic=True, read_only=True)
+        try:
+            result = run_sql(
+                db, tx, "SELECT count(*), max(v), sum(v) FROM t "
+                        "AS OF BLOCK $1", params=(height,))
+        finally:
+            db.apply_abort(tx, reason="test")
+        # max comes from a row scan (the zone max 9 is deleted).
+        assert result.rows == [(9, 8, 36)]
+
+    def test_count_col_respects_nulls(self):
+        db = make_db()
+        commit_block(db, [
+            ("INSERT INTO t (id, v) VALUES ($1, $2)",
+             (i, i if i % 2 else None)) for i in range(8)])
+        height = db.committed_height
+        tx = db.begin(allow_nondeterministic=True, read_only=True)
+        try:
+            result = run_sql(
+                db, tx, "SELECT count(v), count(*) FROM t "
+                        "AS OF BLOCK $1", params=(height,))
+        finally:
+            db.apply_abort(tx, reason="test")
+        assert result.rows == [(4, 8)]

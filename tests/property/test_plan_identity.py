@@ -1,0 +1,202 @@
+"""Plan-identity invariant (hypothesis).
+
+The cost-based optimizer is only safe because its every input is a pure
+function of the committed block sequence: N nodes replaying the same
+blocks — under *different* commit interleavings, with different
+in-flight noise transactions burning xids/version ids, with the
+columnar replica enabled on some nodes and disabled on others, warm
+plan caches on some and cold on others — must produce **byte-identical
+EXPLAIN output** for every statement at every anchored height.  A
+divergence here is exactly the SIREAD-set divergence the ROADMAP warned
+about (different plans → different predicate reads → different SSI
+abort decisions → forked replicas).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+
+# The replicated history: each block is a list of statements every node
+# commits in the same order (the consensus output).
+BLOCKS = [
+    [
+        ("INSERT INTO accounts (acc_id, org, balance) "
+         "VALUES ($1, $2, $3)", (i + 1, f"org{i % 3 + 1}", 100.0))
+        for i in range(9)
+    ] + [
+        ("INSERT INTO invoices (invoice_id, acc_id, amount) "
+         "VALUES ($1, $2, $3)", (i + 1, i % 9 + 1, float(10 + i)))
+        for i in range(27)
+    ],
+    [("DELETE FROM invoices WHERE invoice_id > 24", ()),
+     ("INSERT INTO accounts (acc_id, org, balance) "
+      "VALUES (20, 'org1', 5.0)", ())],
+    [("UPDATE accounts SET balance = balance + 1 WHERE org = 'org2'", ()),
+     ("INSERT INTO invoices (invoice_id, acc_id, amount) "
+      "VALUES (40, 2, 7.5)", ())],
+]
+
+# Join/limit statement corpus the plans must agree on.
+CORPUS = [
+    "SELECT sum(i.amount) FROM accounts a "
+    "JOIN invoices i ON i.acc_id = a.acc_id WHERE a.org = $1",
+    "SELECT a.acc_id, i.invoice_id FROM accounts a "
+    "JOIN invoices i ON i.acc_id = a.acc_id ORDER BY a.acc_id",
+    "SELECT a.acc_id, i.invoice_id FROM accounts a "
+    "LEFT JOIN invoices i ON i.acc_id = a.acc_id ORDER BY a.acc_id",
+    "SELECT count(*) FROM invoices i JOIN accounts a "
+    "ON a.balance = i.amount",
+    "SELECT invoice_id FROM invoices ORDER BY invoice_id LIMIT 3",
+    "SELECT invoice_id FROM invoices WHERE invoice_id >= $2 "
+    "ORDER BY invoice_id LIMIT 2 OFFSET 1",
+    "SELECT acc_id FROM accounts WHERE org = $1 "
+    "ORDER BY acc_id DESC LIMIT 4",
+]
+
+SETUP = """
+    CREATE TABLE accounts (
+        acc_id INT PRIMARY KEY,
+        org TEXT NOT NULL,
+        balance FLOAT NOT NULL
+    );
+    CREATE INDEX accounts_org_idx ON accounts(org);
+    CREATE TABLE invoices (
+        invoice_id INT PRIMARY KEY,
+        acc_id INT NOT NULL,
+        amount FLOAT NOT NULL
+    );
+    CREATE INDEX invoices_acc_idx ON invoices(acc_id);
+"""
+
+
+def apply_noise(db, kind):
+    """Interleaving-dependent activity that must not influence plans:
+    in-flight writes (left open), aborted transactions (burn xids and
+    version ids), cache churn."""
+    if kind == "inflight":
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO invoices (invoice_id, acc_id, "
+                        "amount) VALUES (9000, 1, 1.0)")
+        return tx          # stays open across the EXPLAIN
+    if kind == "aborted":
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO accounts (acc_id, org, balance) "
+                        "VALUES (9001, 'zz', 0.0)")
+        run_sql(db, tx, "DELETE FROM invoices WHERE invoice_id <= 5")
+        db.apply_abort(tx, reason="noise")
+        return None
+    if kind == "cache-cleared":
+        db.plan_cache.clear()
+        db.stats.invalidate()
+        return None
+    if kind == "columnar-off":
+        db.columnstore.set_enabled(False)
+        return None
+    return None
+
+
+def explain_all(db, height):
+    """EXPLAIN every corpus statement (minus the cache hit/miss line)."""
+    out = []
+    for sql in CORPUS:
+        tx = db.begin(allow_nondeterministic=True)
+        try:
+            lines = [r[0] for r in run_sql(
+                db, tx, "EXPLAIN " + sql,
+                params=("org1", height)).rows]
+        finally:
+            db.apply_abort(tx, reason="test")
+        out.append((sql, lines[:-1]))
+    return out
+
+
+def build_node(noise_plan):
+    """Replay BLOCKS on a fresh node, interleaving the given noise
+    between blocks.  Returns the node and any still-open transactions."""
+    db = Database()
+    open_txs = []
+    setup = db.begin(allow_nondeterministic=True)
+    run_sql(db, setup, SETUP)
+    db.apply_commit(setup, block_number=0)
+    for height, statements in enumerate(BLOCKS, start=1):
+        for kind in noise_plan.get(height, []):
+            tx = apply_noise(db, kind)
+            if tx is not None:
+                open_txs.append(tx)
+        block_tx = db.begin(allow_nondeterministic=True)
+        for sql, params in statements:
+            run_sql(db, block_tx, sql, params=params)
+        db.apply_commit(block_tx, block_number=height)
+        db.committed_height = height
+        db.columnstore.on_block(db, height)
+    return db, open_txs
+
+
+noise_kinds = st.lists(
+    st.sampled_from(["inflight", "aborted", "cache-cleared",
+                     "columnar-off", "none"]),
+    min_size=0, max_size=2)
+noise_plans = st.fixed_dictionaries({
+    1: noise_kinds, 2: noise_kinds, 3: noise_kinds})
+
+
+class TestPlanIdentity:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(noise_a=noise_plans, noise_b=noise_plans)
+    def test_interleavings_cannot_move_plans(self, noise_a, noise_b):
+        """Two nodes with different interleaving noise agree on every
+        EXPLAIN at the shared committed height — and a warm re-EXPLAIN
+        (cache hit) on each node matches its own cold output."""
+        node_a, open_a = build_node(noise_a)
+        node_b, open_b = build_node(noise_b)
+        try:
+            height = BLOCKS and len(BLOCKS)
+            plans_a = explain_all(node_a, height)
+            plans_b = explain_all(node_b, height)
+            assert plans_a == plans_b
+            # Hit vs miss on the same node: byte-identical.
+            assert explain_all(node_a, height) == plans_a
+        finally:
+            for tx in open_a + open_b:
+                node_a_or_b = node_a if tx in open_a else node_b
+                node_a_or_b.apply_abort(tx, reason="cleanup")
+
+    def test_identity_at_every_anchored_height(self):
+        """Replaying the same blocks, nodes that pause at each height
+        plan identically there — and a node that advanced past a height
+        re-plans identically when it returns to the same anchor via a
+        fresh replica."""
+        reference = {}
+        db, _ = build_node({})
+        # Capture plans at each height on a single node advancing.
+        db2 = Database()
+        setup = db2.begin(allow_nondeterministic=True)
+        run_sql(db2, setup, SETUP)
+        db2.apply_commit(setup, block_number=0)
+        for height, statements in enumerate(BLOCKS, start=1):
+            tx = db2.begin(allow_nondeterministic=True)
+            for sql, params in statements:
+                run_sql(db2, tx, sql, params=params)
+            db2.apply_commit(tx, block_number=height)
+            db2.committed_height = height
+            db2.columnstore.on_block(db2, height)
+            reference[height] = explain_all(db2, height)
+        # A third node replays with noise and checks each height's plans
+        # against the reference as it passes through.
+        db3 = Database()
+        setup = db3.begin(allow_nondeterministic=True)
+        run_sql(db3, setup, SETUP)
+        db3.apply_commit(setup, block_number=0)
+        for height, statements in enumerate(BLOCKS, start=1):
+            apply_noise(db3, "aborted")
+            tx = db3.begin(allow_nondeterministic=True)
+            for sql, params in statements:
+                run_sql(db3, tx, sql, params=params)
+            db3.apply_commit(tx, block_number=height)
+            db3.committed_height = height
+            db3.columnstore.on_block(db3, height)
+            assert explain_all(db3, height) == reference[height], \
+                f"plan divergence at height {height}"

@@ -156,10 +156,12 @@ class TestPlanCacheHits:
 
 
 class TestRowEstimateRefresh:
-    """``rows~N`` EXPLAIN annotations refresh from live catalog stats on
-    every cache hit — committed DML drifts row counts without a
-    catalog-version bump, and templates must not show stale estimates
-    (ROADMAP follow-on from the plan-cache PR)."""
+    """``cost~``/``rows~`` EXPLAIN annotations are snapshot-anchored and
+    refresh on every cache hit: committed-at-anchor drift (an
+    out-of-band commit stamped at or below the current height) shows up
+    without a catalog-version bump, while a height advance re-anchors —
+    the stats anchor is part of the cache key, so the statement simply
+    re-plans at the new height."""
 
     SEQ_SQL = "SELECT status FROM invoices"
     IDX_SQL = "SELECT balance FROM accounts WHERE org = $1"
@@ -171,38 +173,68 @@ class TestRowEstimateRefresh:
                 return int(line.split("rows~")[1].split(")")[0])
         raise AssertionError(f"no {node} line in {lines}")
 
-    def test_seqscan_estimate_tracks_inserts(self, db):
+    @staticmethod
+    def _cost_annotation(lines, node):
+        for line in lines:
+            if node in line:
+                return int(line.split("cost~")[1].split(" ")[0])
+        raise AssertionError(f"no {node} line in {lines}")
+
+    def test_hit_refreshes_rows_and_cost_at_same_anchor(self, db):
         first = explain_lines(db, self.SEQ_SQL)
         assert first[-1] == "Plan Cache: miss"
         assert self._rows_annotation(first, "SeqScan") == 36
+        cost_before = self._cost_annotation(first, "SeqScan")
+        # Commit stamped at the *current* anchor (block 1): same cache
+        # key, but the committed-at-anchor state changed — the validated
+        # hit must refresh both annotations.
         tx = db.begin(allow_nondeterministic=True)
         run_sql(db, tx, "INSERT INTO invoices (invoice_id, acc_id, org, "
                         "amount, status) VALUES (99, 1, 'org1', 5.0, 'new')")
-        db.apply_commit(tx, block_number=2)
+        db.apply_commit(tx, block_number=1)
         hit = explain_lines(db, self.SEQ_SQL)
         assert hit[-1] == "Plan Cache: hit"     # DML does not bump version
         assert self._rows_annotation(hit, "SeqScan") == 37
+        assert self._cost_annotation(hit, "SeqScan") > cost_before
 
-    def test_indexscan_estimate_tracks_deletes(self, db):
+    def test_height_advance_reanchors_estimates(self, db):
         first = explain_lines(db, self.IDX_SQL, params=("org1",))
         baseline = self._rows_annotation(first, "IndexScan")
         tx = db.begin(allow_nondeterministic=True)
         run_sql(db, tx, "DELETE FROM accounts WHERE acc_id > 4")
         db.apply_commit(tx, block_number=2)
-        hit = explain_lines(db, self.IDX_SQL, params=("org1",))
-        assert hit[-1] == "Plan Cache: hit"
-        refreshed = self._rows_annotation(hit, "IndexScan")
-        assert refreshed < baseline
+        db.committed_height = 2
+        # New anchor → new cache key → fresh plan with fresh estimates.
+        fresh = explain_lines(db, self.IDX_SQL, params=("org1",))
+        assert fresh[-1] == "Plan Cache: miss"
+        assert self._rows_annotation(fresh, "IndexScan") < baseline
+
+    def test_uncommitted_writes_never_move_estimates(self, db):
+        """Anchored statistics ignore in-flight transactions — the whole
+        point: estimates (and plans) cannot depend on commit
+        interleavings other nodes do not observe."""
+        first = explain_lines(db, self.SEQ_SQL)
+        tx = db.begin(allow_nondeterministic=True)
+        for i in range(5):
+            run_sql(db, tx, "INSERT INTO invoices (invoice_id, acc_id, "
+                            "org, amount, status) "
+                            "VALUES ($1, 1, 'org1', 5.0, 'new')",
+                    params=(200 + i,))
+        during = explain_lines(db, self.SEQ_SQL)
+        db.apply_abort(tx, reason="test")
+        assert during[:-1] == first[:-1]
+        assert self._rows_annotation(during, "SeqScan") == 36
 
     def test_hit_refresh_matches_fresh_plan(self, db):
         """A cache hit and a cold re-plan must render identical EXPLAIN
-        output even after stats drift."""
+        output even after same-anchor stats drift."""
         explain_lines(db, self.SEQ_SQL)         # prime
         tx = db.begin(allow_nondeterministic=True)
         run_sql(db, tx, "INSERT INTO invoices (invoice_id, acc_id, org, "
                         "amount, status) VALUES (98, 2, 'org2', 6.0, 'new')")
-        db.apply_commit(tx, block_number=2)
+        db.apply_commit(tx, block_number=1)
         hit = explain_lines(db, self.SEQ_SQL)
+        assert hit[-1] == "Plan Cache: hit"
         db.plan_cache.clear()
         cold = explain_lines(db, self.SEQ_SQL)
         assert hit[:-1] == cold[:-1]            # all but hit/miss line

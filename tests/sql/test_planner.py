@@ -72,25 +72,31 @@ FIG7_SQL = ("SELECT sum(amount) FROM invoices WHERE org = $1 "
 
 
 class TestExplainGolden:
-    def test_fig6_join_uses_hash_join(self, db):
+    def test_fig6_skewed_join_uses_index_probes(self, db):
+        """Cost-based choice for the fig6 shape: a 4-row outer probing a
+        36-row inner through its index beats hashing the whole inner
+        side per execution (the anchored NDV estimates make the outer's
+        rows~4 = 12/ndv(org)=3 deterministic across nodes)."""
         assert explain(db, FIG6_SQL, params=("org1",)) == [
-            "HashAggregate (global)",
-            "  -> Filter (a.org = $1)",
-            "    -> HashJoin INNER (i.acc_id = a.acc_id)",
+            "HashAggregate (global) (cost~103 rows~1)",
+            "  -> Filter (a.org = $1) (cost~79 rows~12)",
+            "    -> NestedLoopJoin INNER on (i.acc_id = a.acc_id) "
+            "(cost~67 rows~12)",
             "      -> IndexScan on accounts as a using accounts_org_idx "
-            "(a.org = $1) (rows~3)",
-            "      -> SeqScan on invoices as i (rows~36)",
+            "(a.org = $1) (cost~15 rows~4)",
+            "      -> IndexProbe on invoices as i using invoices_acc_idx "
+            "(i.acc_id = a.acc_id) (per outer row) (cost~12 rows~3)",
             "Plan Cache: miss",
         ]
 
     def test_fig7_group_uses_hash_aggregate(self, db):
         assert explain(db, FIG7_SQL, params=("org1",)) == [
-            "Limit (limit=1)",
-            "  -> Sort (sum(amount) DESC, acc_id ASC)",
-            "    -> HashAggregate (group by acc_id)",
-            "      -> Filter (org = $1)",
+            "Limit (limit=1) (cost~139 rows~12)",
+            "  -> Sort (sum(amount) DESC, acc_id ASC) (cost~139 rows~12)",
+            "    -> HashAggregate (group by acc_id) (cost~96 rows~12)",
+            "      -> Filter (org = $1) (cost~72 rows~12)",
             "        -> IndexScan on invoices using invoices_org_idx "
-            "(org = $1) (rows~9)",
+            "(org = $1) (cost~60 rows~12)",
             "Plan Cache: miss",
         ]
 
@@ -98,23 +104,59 @@ class TestExplainGolden:
         lines = explain(db, "SELECT a.acc_id FROM accounts a "
                             "JOIN invoices i ON i.amount > a.balance")
         assert lines == [
-            "Project (acc_id)",
-            "  -> NestedLoopJoin INNER on (i.amount > a.balance)",
-            "    -> SeqScan on accounts as a (rows~12)",
-            "    -> SeqScan on invoices as i (per outer row)",
+            "Project (acc_id) (cost~3152 rows~432)",
+            "  -> NestedLoopJoin INNER on (i.amount > a.balance) "
+            "(cost~2720 rows~432)",
+            "    -> SeqScan on accounts as a (cost~55 rows~12)",
+            "    -> SeqScan on invoices as i (per outer row) "
+            "(cost~222 rows~36)",
             "Plan Cache: miss",
         ]
+
+    def test_hash_join_chosen_for_unindexed_equi_key(self, db):
+        """Costing hashes when neither ordered-merge nor index probes can
+        serve the key: one build + stream beats per-outer-row sequential
+        rescans."""
+        lines = explain(db, "SELECT count(*) FROM invoices i "
+                            "JOIN accounts a ON a.balance = i.amount")
+        assert any("HashJoin INNER (a.balance = i.amount)" in line
+                   for line in lines)
+
+    def test_sort_merge_join_for_indexed_keys_both_sides(self, db):
+        """Both join columns carry ordering indexes and both sides are
+        large relative to their tables: the merge join (no hash build,
+        no per-row probes, no content sorts) wins, and an ORDER BY on
+        the join key elides the Sort entirely."""
+        sql = ("SELECT a.acc_id, i.invoice_id FROM accounts a "
+               "JOIN invoices i ON i.acc_id = a.acc_id "
+               "ORDER BY a.acc_id")
+        lines = explain(db, sql)
+        assert any("SortMergeJoin INNER (i.acc_id = a.acc_id)" in line
+                   for line in lines)
+        assert not any(line.lstrip("-> ").startswith("Sort ")
+                       for line in lines)
+        rows = q(db, sql).rows
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+        # Byte-identical to the legacy hash+Sort pipeline.
+        db.cost_based_planning = False
+        try:
+            assert q(db, sql).rows == rows
+        finally:
+            db.cost_based_planning = True
 
     def test_eo_flow_keeps_index_backed_nested_loop(self, db):
         """Under require_index a hash build's full scan would abort, so
         the planner keeps per-row index probes (narrow predicate reads)."""
         lines = explain(db, FIG6_SQL, params=("org1",), require_index=True)
-        assert ("    -> NestedLoopJoin INNER on (i.acc_id = a.acc_id)"
-                in lines)
-        assert ("      -> IndexProbe on invoices as i using "
-                "invoices_acc_idx (i.acc_id = a.acc_id) (per outer row)"
-                in lines)
+        assert any(l.startswith(
+            "    -> NestedLoopJoin INNER on (i.acc_id = a.acc_id)")
+            for l in lines)
+        assert any(l.startswith(
+            "      -> IndexProbe on invoices as i using "
+            "invoices_acc_idx (i.acc_id = a.acc_id) (per outer row)")
+            for l in lines)
         assert not any("HashJoin" in line for line in lines)
+        assert not any("SortMergeJoin" in line for line in lines)
 
     def test_point_lookup_join_prefers_index_probes(self, db):
         """A unique-key outer (1 row) probing an indexed inner is cheaper
@@ -130,13 +172,13 @@ class TestExplainGolden:
                            "WHERE acc_id = 3") == [
             "Update on accounts",
             "  -> IndexScan on accounts using accounts_pkey "
-            "(acc_id = 3) (rows~1)",
+            "(acc_id = 3) (cost~5 rows~1)",
             "Plan Cache: miss",
         ]
         assert explain(db, "DELETE FROM invoices WHERE org = 'org2'") == [
             "Delete on invoices",
             "  -> IndexScan on invoices using invoices_org_idx "
-            "(org = 'org2') (rows~9)",
+            "(org = 'org2') (cost~60 rows~12)",
             "Plan Cache: miss",
         ]
 
@@ -166,20 +208,28 @@ class TestJoinStrategies:
         assert hash_rows == nlj_rows
         assert len(hash_rows) == 12
 
-    def test_left_hash_join_emits_null_rows(self, db):
+    def test_left_join_emits_null_rows(self, db):
+        """Both LEFT strategies emit null-extended rows for unmatched
+        outers: the cost-based choice (sort-merge here — both join
+        columns have ordering indexes) and the legacy hash path."""
         tx = db.begin(allow_nondeterministic=True)
         run_sql(db, tx, "INSERT INTO accounts (acc_id, org, balance) "
                         "VALUES (50, 'lonely', 0.0)")
-        lines = [row[0] for row in run_sql(
-            db, tx, "EXPLAIN SELECT a.acc_id, count(i.invoice_id) "
-                    "FROM accounts a LEFT JOIN invoices i "
-                    "ON i.acc_id = a.acc_id GROUP BY a.acc_id").rows]
-        assert any("HashJoin LEFT" in line for line in lines)
-        result = run_sql(
-            db, tx, "SELECT a.acc_id, count(i.invoice_id) FROM accounts a "
-                    "LEFT JOIN invoices i ON i.acc_id = a.acc_id "
-                    "GROUP BY a.acc_id ORDER BY a.acc_id")
+        sql = ("SELECT a.acc_id, count(i.invoice_id) FROM accounts a "
+               "LEFT JOIN invoices i ON i.acc_id = a.acc_id "
+               "GROUP BY a.acc_id ORDER BY a.acc_id")
+        lines = [row[0] for row in run_sql(db, tx, "EXPLAIN " + sql).rows]
+        assert any("SortMergeJoin LEFT" in line for line in lines)
+        result = run_sql(db, tx, sql)
         assert result.rows[-1] == (50, 0)
+        db.cost_based_planning = False
+        try:
+            lines = [row[0] for row in
+                     run_sql(db, tx, "EXPLAIN " + sql).rows]
+            assert any("HashJoin LEFT" in line for line in lines)
+            assert run_sql(db, tx, sql).rows == result.rows
+        finally:
+            db.cost_based_planning = True
         db.apply_abort(tx, reason="test")
 
     def test_eo_flow_unindexed_join_still_aborts(self, db):

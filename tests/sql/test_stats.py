@@ -1,0 +1,157 @@
+"""Snapshot-anchored statistics (sql/stats.py).
+
+The determinism contract: ``row_count`` and ``ndv`` are pure functions
+of (table, committed block sequence, anchor height) — in-flight
+transactions, abort noise, and which store answers (columnar replica vs
+heap fallback) must never move them.
+"""
+
+import pytest
+
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from repro.errors import CatalogError
+
+
+def build_db():
+    db = Database()
+    tx = db.begin(allow_nondeterministic=True)
+    run_sql(db, tx, """
+        CREATE TABLE readings (
+            sensor INT PRIMARY KEY,
+            region TEXT NOT NULL,
+            amount FLOAT
+        );
+        CREATE INDEX readings_region_idx ON readings(region);
+    """)
+    for i in range(30):
+        run_sql(db, tx,
+                "INSERT INTO readings (sensor, region, amount) "
+                "VALUES ($1, $2, $3)",
+                params=(i, f"r{i % 5}", float(i) if i % 10 else None))
+    db.apply_commit(tx, block_number=1)
+    db.committed_height = 1
+    db.columnstore.on_block(db, 1)
+    return db
+
+
+@pytest.fixture
+def db():
+    return build_db()
+
+
+class TestAnchoredRowCounts:
+    def test_counts_committed_rows_at_anchor(self, db):
+        stats = db.stats.table_stats("readings")
+        assert stats.anchor == 1
+        assert stats.row_count == 30
+
+    def test_uncommitted_writes_invisible(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        for i in range(5):
+            run_sql(db, tx, "INSERT INTO readings (sensor, region, "
+                            "amount) VALUES ($1, 'rX', 1.0)",
+                    params=(100 + i,))
+        assert db.stats.table_stats("readings").row_count == 30
+        db.apply_abort(tx, reason="test")
+        assert db.stats.table_stats("readings").row_count == 30
+
+    def test_commits_above_anchor_invisible_until_height_advance(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "DELETE FROM readings WHERE sensor < 10")
+        db.apply_commit(tx, block_number=2)
+        # Anchor still 1: the deletes are stamped above it.
+        assert db.stats.table_stats("readings").row_count == 30
+        db.committed_height = 2
+        stats = db.stats.table_stats("readings")
+        assert stats.anchor == 2
+        assert stats.row_count == 20
+
+    def test_columnar_and_heap_fallback_agree(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "UPDATE readings SET amount = 99.0 "
+                        "WHERE sensor >= 20")
+        db.apply_commit(tx, block_number=2)
+        db.committed_height = 2
+        db.columnstore.on_block(db, 2)
+        columnar = db.stats.table_stats("readings")
+        db.stats.invalidate()
+        db.columnstore.set_enabled(False)
+        try:
+            heap = db.stats.table_stats("readings")
+        finally:
+            db.columnstore.set_enabled(True)
+            db.stats.invalidate()
+        assert columnar == heap
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.stats.table_stats("nope")
+
+
+class TestAnchoredNdv:
+    def test_distinct_counts(self, db):
+        assert db.stats.ndv("readings", ("region",)) == 5
+        assert db.stats.ndv("readings", ("sensor",)) == 30
+        assert db.stats.ndv("readings", ("region", "sensor")) == 30
+
+    def test_null_tuples_excluded(self, db):
+        # sensors 0, 10, 20 have NULL amounts.
+        assert db.stats.ndv("readings", ("amount",)) == 27
+
+    def test_columnar_and_heap_agree(self, db):
+        for cols in [("region",), ("amount",), ("region", "sensor")]:
+            columnar = db.stats.ndv("readings", cols)
+            db.stats.invalidate()
+            db.columnstore.set_enabled(False)
+            try:
+                heap = db.stats.ndv("readings", cols)
+            finally:
+                db.columnstore.set_enabled(True)
+                db.stats.invalidate()
+            assert columnar == heap, cols
+
+    def test_equal_numeric_values_count_once(self, db):
+        """1 and 1.0 compare equal under '=', so they are one key."""
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, """
+            CREATE TABLE mixed (id INT PRIMARY KEY, v FLOAT);
+            INSERT INTO mixed (id, v) VALUES (1, 1.0), (2, 1.0), (3, 2.5);
+        """)
+        db.apply_commit(tx, block_number=1)
+        assert db.stats.ndv("mixed", ("v",)) == 2
+
+    def test_minimum_is_one(self, db):
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE empty_t (id INT PRIMARY KEY)")
+        db.apply_abort(tx, reason="test")
+        # Aborted DDL still registered the table?  Re-create committed.
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "CREATE TABLE IF NOT EXISTS empty_t "
+                        "(id INT PRIMARY KEY)")
+        db.apply_commit(tx, block_number=1)
+        assert db.stats.ndv("empty_t", ("id",)) == 1
+
+
+class TestCaching:
+    def test_cached_until_heap_drift(self, db):
+        db.stats.table_stats("readings")
+        before = db.stats.computations
+        db.stats.table_stats("readings")
+        assert db.stats.computations == before
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO readings (sensor, region, amount) "
+                        "VALUES (200, 'r0', 1.0)")
+        db.stats.table_stats("readings")       # heap drifted: recompute
+        assert db.stats.computations == before + 1
+        db.apply_abort(tx, reason="test")
+
+    def test_same_anchor_commit_recomputes(self, db):
+        """An out-of-band commit stamped at the current anchor changes
+        committed-at-anchor state; the freshness token catches it."""
+        assert db.stats.table_stats("readings").row_count == 30
+        tx = db.begin(allow_nondeterministic=True)
+        run_sql(db, tx, "INSERT INTO readings (sensor, region, amount) "
+                        "VALUES (300, 'r1', 2.0)")
+        db.apply_commit(tx, block_number=1)
+        assert db.stats.table_stats("readings").row_count == 31
