@@ -20,6 +20,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = _REPO_ROOT / "BENCH_statement_fastpath.json"
 ANALYTICS_BASELINE_PATH = _REPO_ROOT / "BENCH_analytics_scan.json"
 JOIN_COSTING_BASELINE_PATH = _REPO_ROOT / "BENCH_join_costing.json"
+BLOCK_COMMIT_BASELINE_PATH = _REPO_ROOT / "BENCH_block_commit.json"
 
 
 def print_banner(title: str) -> None:

@@ -1,0 +1,182 @@
+"""Block-granular commit pipeline: batched vs per-transaction application.
+
+The fig5-style write-path benchmark: identical write-heavy blocks (simple
+insert/update contracts, one row each — the paper's "simple contract"
+shape) run through the execute-order-in-parallel flow, where execution
+happens at submission time; ``process_block`` then performs exactly the
+serial commit pipeline (pgLedger record, serial SSI commit, status
+record, checkpoint) this PR restructures.  Two otherwise identical nodes
+process the same blocks:
+
+* **batched** — the default block-granular pipeline: bulk pgLedger
+  record/status writes (direct versioned heap operations, one system
+  transaction per step), a single batched duplicate probe, per-block
+  creator stamping + columnstore hand-off (``Database.apply_block``),
+  bulk index merges and WAL group commit;
+* **per-transaction** — the legacy pipeline (``db.batched_apply=False``):
+  one SELECT + INSERT, one UPDATE and per-row apply work through the full
+  SQL engine for every transaction of every block.
+
+Both pipelines must produce identical state — checkpoint digests and
+table fingerprints are cross-checked before anything is timed (the full
+equivalence property lives in tests/node/test_commit_pipeline.py).
+
+Acceptance gate: the batched pipeline commits at least 2x the
+transactions per second.  The measured ratio is recorded into
+``BENCH_block_commit.json`` (committed with the PR) and CI fails when the
+live ratio regresses more than 2x against the committed one.
+"""
+
+import time
+
+from benchmarks.conftest import (
+    BLOCK_COMMIT_BASELINE_PATH,
+    print_banner,
+    record_baseline,
+)
+from repro.bench.harness import format_table
+from repro.chain.block import Block
+from repro.chain.transaction import ProcedureCall, Transaction
+from repro.core.network import BlockchainNetwork
+
+SCHEMA = """
+CREATE TABLE readings (
+    sensor INT PRIMARY KEY,
+    region TEXT NOT NULL,
+    amount FLOAT NOT NULL
+);
+CREATE INDEX readings_region_idx ON readings (region);
+CREATE INDEX readings_amount_idx ON readings (amount);
+"""
+
+CONTRACTS = [
+    """CREATE FUNCTION add_reading(id INT, region TEXT, amount FLOAT)
+    RETURNS VOID AS $$
+    BEGIN
+        INSERT INTO readings (sensor, region, amount)
+        VALUES (id, region, amount);
+    END $$ LANGUAGE plpgsql""",
+    """CREATE FUNCTION bump_reading(id INT, delta FLOAT)
+    RETURNS VOID AS $$
+    BEGIN
+        UPDATE readings SET amount = amount + delta WHERE sensor = id;
+    END $$ LANGUAGE plpgsql""",
+]
+
+WARMUP_BLOCKS = 2
+MEASURED_BLOCKS = 10
+TXS_PER_BLOCK = 60
+
+
+def build_node(batched: bool):
+    net = BlockchainNetwork(
+        organizations=["org1"], flow="execute-order",
+        schema_sql=SCHEMA, contracts=CONTRACTS)
+    client = net.register_client("bench", "org1")
+    node = net.primary_node
+    node.db.batched_apply = batched
+    return net, node, client.identity
+
+
+def block_calls(number: int, sensor_base: int):
+    """Deterministic write-heavy block: ~3/4 inserts, ~1/4 updates of rows
+    inserted by earlier blocks (each update hits a distinct row, so every
+    transaction commits in both pipelines)."""
+    calls = []
+    sensor = sensor_base
+    for i in range(TXS_PER_BLOCK):
+        if number > WARMUP_BLOCKS and i % 4 == 3:
+            calls.append(ProcedureCall(
+                "bump_reading", ((number * 7 + i) % sensor_base, 1.5)))
+        else:
+            calls.append(ProcedureCall(
+                "add_reading",
+                (sensor, f"r{sensor % 8}", float(sensor % 97))))
+            sensor += 1
+    return calls, sensor
+
+
+def run_pipeline(batched: bool):
+    """Submit + execute each block's transactions (the EO flow's
+    client-side phase, untimed), then time ``process_block`` — the serial
+    commit pipeline.  Returns (node, committed count, elapsed seconds
+    over the measured blocks)."""
+    net, node, identity = build_node(batched)
+    committed = 0
+    elapsed = 0.0
+    sensor = 0
+    for number in range(1, WARMUP_BLOCKS + MEASURED_BLOCKS + 1):
+        calls, sensor = block_calls(number, sensor)
+        height = node.db.committed_height
+        txs = [Transaction.create(identity, call, snapshot_height=height)
+               for call in calls]
+        for tx in txs:
+            node.submit_transaction(tx)   # executes now, at the snapshot
+        block = Block(number=number, transactions=txs).seal()
+        if number <= WARMUP_BLOCKS:
+            node.processor.process_block(block)
+            continue
+        started = time.perf_counter()
+        metrics = node.processor.process_block(block)
+        elapsed += time.perf_counter() - started
+        committed += metrics.committed
+        assert metrics.missing_txs == 0   # execution stays off the clock
+    return net, node, committed, elapsed
+
+
+def fingerprint(node):
+    from repro.storage.visibility import latest_committed_visible
+    heap = node.db.catalog.heap_of("readings")
+    rows = [tuple(sorted(v.values.items()))
+            for v in heap.all_versions()
+            if latest_committed_visible(v, node.db.statuses)]
+    return sorted(rows)
+
+
+def test_block_commit_speedup(benchmark):
+    def measure():
+        return run_pipeline(True), run_pipeline(False)
+
+    (b_net, b_node, b_committed, b_wall), \
+        (s_net, s_node, s_committed, s_wall) = benchmark.pedantic(
+            measure, rounds=1, iterations=1)
+
+    # Equivalence sanity (the property suite goes much further): same
+    # commits, same state, same checkpoint digests at every height.
+    assert b_committed == s_committed > 0
+    assert fingerprint(b_node) == fingerprint(s_node)
+    for height in range(1, WARMUP_BLOCKS + MEASURED_BLOCKS + 1):
+        assert b_node.checkpoints.local_digest(height) == \
+            s_node.checkpoints.local_digest(height)
+
+    batched_tps = b_committed / max(b_wall, 1e-9)
+    serial_tps = s_committed / max(s_wall, 1e-9)
+    speedup = batched_tps / max(serial_tps, 1e-9)
+
+    print_banner(
+        f"Block commit pipeline — batched vs per-transaction "
+        f"({MEASURED_BLOCKS} measured blocks x {TXS_PER_BLOCK} txs)")
+    print(format_table(
+        ["pipeline", "commit_ms", "committed", "committed_tx_per_s"],
+        [["batched", round(b_wall * 1e3, 1), b_committed,
+          round(batched_tps, 1)],
+         ["per-transaction", round(s_wall * 1e3, 1), s_committed,
+          round(serial_tps, 1)]]))
+    print(f"\nbatched commit speedup: {speedup:.1f}x")
+
+    # Acceptance: the block-granular pipeline commits >=2x the tx/s.
+    assert speedup >= 2.0, \
+        f"batched pipeline only {speedup:.2f}x the per-transaction tx/s"
+
+    canonical = record_baseline("block_commit", {
+        "blocks": MEASURED_BLOCKS,
+        "txs_per_block": TXS_PER_BLOCK,
+        "batched_tps": round(batched_tps, 1),
+        "serial_tps": round(serial_tps, 1),
+        "speedup_x": round(speedup, 1),
+    }, path=BLOCK_COMMIT_BASELINE_PATH)
+    # CI perf gate: >2x regression of the ratio vs the committed baseline
+    # fails the job.
+    assert speedup >= canonical["speedup_x"] / 2, \
+        (f"block-commit speedup {speedup:.1f}x regressed >2x vs committed "
+         f"baseline {canonical['speedup_x']}x")

@@ -405,6 +405,16 @@ class ColumnStore:
             return
         self._pending.append(list(tx.writes))
 
+    def note_block(self, committed) -> None:
+        """Block-granular twin of :meth:`note_commit`: queue a whole
+        block's committed write sets in commit order with one pass.  The
+        resulting pending queue is identical to per-transaction
+        ``note_commit`` calls, so both pipelines ingest the same chunks."""
+        if not self.enabled or self._stale:
+            return
+        self._pending.extend(list(tx.writes) for tx in committed
+                             if tx.writes)
+
     def ensure_synced(self, db) -> None:
         """Bring the store up to date with the heap's committed state:
         full rebuild when stale, otherwise drain the pending delta

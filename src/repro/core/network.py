@@ -29,6 +29,7 @@ from repro.errors import ReproError
 from repro.net.transport import LAN, LatencyModel, SimNetwork
 from repro.node.backend import FLOW_EXECUTE_ORDER, FLOW_ORDER_EXECUTE
 from repro.node.peer import DatabaseNode
+from repro.sql.plancache import PlanCache
 
 
 class BlockchainNetwork:
@@ -46,6 +47,7 @@ class BlockchainNetwork:
                  contracts: Sequence[str] = (),
                  checkpoint_interval: int = 1,
                  min_block_signatures: int = 1,
+                 share_plan_templates: bool = True,
                  seed: int = 7):
         if not organizations:
             raise ReproError("need at least one organization")
@@ -91,13 +93,20 @@ class BlockchainNetwork:
             [admin.certificate for admin in self.admins.values()]
             + [ident.certificate for ident in self.peer_identities]
             + [ident.certificate for ident in self.orderer_identities])
+        # All peers of one process replay the same DDL history, so they
+        # can share one plan-template cache (keyed on the catalog's
+        # structural version token): N nodes hold one template set
+        # instead of N copies.  Opt out with share_plan_templates=False.
+        self.shared_plan_cache = PlanCache() if share_plan_templates \
+            else None
         self.nodes: List[DatabaseNode] = []
         for identity in self.peer_identities:
             node = DatabaseNode(
                 identity, self.scheduler, self.network, flow=flow,
                 organizations=self.organizations, ordering=self.ordering,
                 min_block_signatures=min_block_signatures,
-                checkpoint_interval=checkpoint_interval)
+                checkpoint_interval=checkpoint_interval,
+                plan_cache=self.shared_plan_cache)
             node.register_certificates(bootstrap_certs)
             self.nodes.append(node)
         self.ordering.start()

@@ -11,7 +11,8 @@ block processor drives the serial commit order.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from repro.analytics.columnstore import ColumnStore
 from repro.errors import SerializationFailure
@@ -33,17 +34,42 @@ from repro.storage.wal import (
 )
 
 
+@dataclass
+class BlockApplyBatch:
+    """Deferred per-row apply work for one block (see ``apply_block``).
+
+    Per-transaction commit keeps only the work later *validations* observe
+    (CLOG flip, commit sequence, xmax-winner resolution — validate_ww and
+    the SSI validators read those between commits); everything else —
+    creator-height stamping, live-row accounting, columnstore delta
+    hand-off, bulk index merges — lands here and is applied in single
+    per-block passes."""
+
+    block_number: int
+    committed: List["TransactionContext"] = field(default_factory=list)
+    applied: bool = False
+
+
 class Database:
     """MVCC database instance for a single node."""
 
-    def __init__(self, wal: Optional[WriteAheadLog] = None):
+    def __init__(self, wal: Optional[WriteAheadLog] = None,
+                 plan_cache: Optional[PlanCache] = None):
         self.catalog = Catalog()
         # Statement fast path: physical plan templates keyed by
         # (fingerprint, shape, catalog version); DDL/stats-drift bumps
-        # purge stale entries eagerly.
-        self.plan_cache = PlanCache()
-        self.catalog.add_version_listener(
-            self.plan_cache.invalidate_for_version)
+        # purge stale entries eagerly.  A *shared* cache (one per process
+        # serving several nodes with identical catalogs, see
+        # core/network.py) skips the eager purge listener: other nodes at
+        # an older-but-live catalog token still use their entries, and the
+        # token in the key plus LRU eviction retire stale ones safely.
+        if plan_cache is None:
+            self.plan_cache = PlanCache()
+            self.catalog.add_version_listener(
+                lambda _v: self.plan_cache.invalidate_for_version(
+                    self.catalog.version_token))
+        else:
+            self.plan_cache = plan_cache
         self.statuses = TxStatusTable()
         self.wal = wal or WriteAheadLog()
         self._xid_counter = itertools.count(1)
@@ -68,6 +94,12 @@ class Database:
         # (the flag participates in the plan-cache key).
         self.stats = StatisticsManager(self)
         self.cost_based_planning = True
+        # Block-granular commit pipeline: when True the block processor
+        # batches per-row apply work, ledger writes and index maintenance
+        # into per-block passes (see apply_block); False keeps the legacy
+        # per-transaction pipeline — both produce byte-identical state,
+        # WAL sequences and checkpoint digests (property-tested).
+        self.batched_apply = True
         # all transactions ever started on this node, by xid
         self.transactions: Dict[int, TransactionContext] = {}
         # still-interesting transactions for SSI conflict checks
@@ -104,29 +136,84 @@ class Database:
     # ------------------------------------------------------------------
 
     def apply_commit(self, tx: TransactionContext,
-                     block_number: Optional[int] = None) -> None:
+                     block_number: Optional[int] = None,
+                     batch: Optional[BlockApplyBatch] = None) -> None:
         """Make ``tx``'s writes durable and visible: resolve ww winners,
-        stamp creator/deleter block numbers, flip CLOG status."""
+        stamp creator/deleter block numbers, flip CLOG status.
+
+        With ``batch`` (block-granular pipeline) only the work that later
+        same-block *validations* observe happens here: the CLOG flip and
+        commit sequence (``validate_ww`` / the SSI validators test
+        ``is_committed`` between commits) and xmax-winner resolution on
+        replaced versions (``validate_ww`` reads ``xmax_winner``).  The
+        rest — creator-height stamping, live-row accounting, the
+        columnstore delta — defers to :meth:`apply_block`, which runs it
+        in single per-block passes.  The WAL record is appended here
+        either way so the record sequence stays byte-identical to the
+        per-transaction pipeline's."""
         if tx.state is TxState.ABORTED:
             raise SerializationFailure(
                 f"cannot commit aborted transaction {tx.tx_id or tx.xid}",
                 reason=tx.abort_reason)
         stamp = block_number if block_number is not None \
             else self.committed_height
-        for entry in tx.writes:
-            if entry.new_version is not None:
-                entry.new_version.creator_block = stamp
-            if entry.old_version is not None:
-                entry.old_version.set_delete_winner(tx.xid, stamp)
-            if entry.kind == "delete" and self.catalog.has_table(entry.table):
-                self.catalog.heap_of(entry.table).note_committed_delete()
+        if batch is None:
+            for entry in tx.writes:
+                if entry.new_version is not None:
+                    entry.new_version.creator_block = stamp
+                if entry.old_version is not None:
+                    entry.old_version.set_delete_winner(tx.xid, stamp)
+                if entry.kind == "delete" and \
+                        self.catalog.has_table(entry.table):
+                    self.catalog.heap_of(entry.table).note_committed_delete()
+            self.columnstore.note_commit(tx)
+        else:
+            for entry in tx.writes:
+                if entry.old_version is not None:
+                    entry.old_version.set_delete_winner(tx.xid, stamp)
+            batch.committed.append(tx)
         self.statuses.commit(tx.xid, block_number=stamp)
         tx.state = TxState.COMMITTED
         tx.block_number = stamp
         self._active.pop(tx.xid, None)
         self._recently_committed.append(tx)
-        self.columnstore.note_commit(tx)
         self.wal.append(WAL_COMMIT, xid=tx.xid, tx_id=tx.tx_id, block=stamp)
+
+    def begin_block_apply(self, block_number: int) -> BlockApplyBatch:
+        """Open a block-granular apply batch for ``apply_commit(batch=)``."""
+        return BlockApplyBatch(block_number=block_number)
+
+    def apply_block(self, batch: BlockApplyBatch) -> None:
+        """Finish the block's deferred apply work in single per-block
+        passes: stamp creator heights on every committed new version,
+        account committed deletes per table (one call per table), hand
+        the columnstore the whole block's deltas in commit order, and
+        bulk-merge the pending index tails of every touched table.
+
+        Idempotent: the block processor invokes it in a ``finally`` so a
+        mid-block crash leaves the already-committed transactions exactly
+        as the per-transaction pipeline would (fully stamped), which the
+        recovery protocol's rollback path relies on."""
+        if batch.applied:
+            return
+        batch.applied = True
+        stamp = batch.block_number
+        deletes: Dict[str, int] = {}
+        tables: Set[str] = set()
+        for tx in batch.committed:
+            for entry in tx.writes:
+                if entry.new_version is not None:
+                    entry.new_version.creator_block = stamp
+                if entry.kind == "delete":
+                    deletes[entry.table] = deletes.get(entry.table, 0) + 1
+            tables.update(tx.tables_written)
+        for table, count in deletes.items():
+            if self.catalog.has_table(table):
+                self.catalog.heap_of(table).note_committed_deletes(count)
+        self.columnstore.note_block(batch.committed)
+        for table in tables:
+            if self.catalog.has_table(table):
+                self.catalog.heap_of(table).merge_pending_indexes()
 
     def apply_abort(self, tx: TransactionContext, reason: str = "") -> None:
         """Discard ``tx``'s writes and mark it aborted."""

@@ -12,7 +12,20 @@ For each block, in block-number order:
    notifications, compute the checkpoint write-set hash.
 
 ``crash_point`` lets tests kill the node between any two stages to
-exercise the section 3.6 recovery protocol.
+exercise the section 3.6 recovery protocol; ``mid_commit:<k>`` crashes
+immediately before committing block position ``k``, so a test can stop
+the pipeline at *every* WAL commit-record boundary.
+
+Block-granular pipeline (``db.batched_apply``, the default): the ledger
+steps run as bulk heap writes, the per-transaction duplicate probe
+becomes one batched lookup, and the commit loop defers the per-row apply
+work into a :class:`~repro.mvcc.database.BlockApplyBatch` finalized in a
+single per-block pass (``Database.apply_block``) — inside a ``finally``
+so any mid-block crash leaves exactly the state the per-transaction
+pipeline would have.  Only the work later validations observe (CLOG
+flips, xmax-winner resolution) stays inside the loop, which keeps commit
+and abort decisions — and therefore WAL sequences, checkpoint digests
+and ledger contents — byte-identical between the two pipelines.
 """
 
 from __future__ import annotations
@@ -117,6 +130,10 @@ class BlockProcessor:
         node = self.node
         outcomes: Dict[str, ExecutionOutcome] = {}
         seen_in_block = set()
+        # One batched ledger probe replaces a per-transaction SQL lookup:
+        # which of the block's tx ids were recorded by an *earlier* block.
+        prior_blocks = node.ledger.prior_block_numbers(
+            [tx.tx_id for tx in block.transactions])
         for tx in block.transactions:
             if tx.tx_id in seen_in_block:
                 outcomes[tx.tx_id] = ExecutionOutcome(
@@ -141,7 +158,8 @@ class BlockProcessor:
             # Duplicates against the ledger were already recorded by
             # record_block for this block, so only check prior history.
             outcome = node.backend.execute(tx, check_duplicate=False)
-            if outcome.prepared and self._is_prior_duplicate(tx, block):
+            if outcome.prepared and \
+                    prior_blocks.get(tx.tx_id, block.number) != block.number:
                 node.db.apply_abort(outcome.context,
                                     reason="duplicate transaction id")
                 outcome = ExecutionOutcome(
@@ -152,11 +170,6 @@ class BlockProcessor:
                 time.perf_counter() - tx_started)
             outcomes[tx.tx_id] = outcome
         return outcomes
-
-    def _is_prior_duplicate(self, tx, block: Block) -> bool:
-        """Was this tx id already recorded by an *earlier* block?"""
-        entry = self.node.ledger.entry(tx.tx_id)
-        return bool(entry and entry["blocknumber"] != block.number)
 
     # ------------------------------------------------------------------
 
@@ -181,45 +194,72 @@ class BlockProcessor:
                 outcome.context.block_position = position
                 block_members.append(outcome.context)
 
-        for position, tx in enumerate(block.transactions):
-            if crash_point == "mid_commit" and \
-                    position == len(block.transactions) // 2 and position:
-                raise SimulatedCrash("crashed mid-block commit")
-            outcome = outcomes[tx.tx_id]
-            context = outcome.context
-            if not outcome.prepared or context is None:
-                statuses[tx.tx_id] = (
-                    STATUS_ABORTED, outcome.error or "execution failed",
-                    context.xid if context else None)
-                metrics.aborted += 1
-                continue
-            if context.is_aborted:
-                statuses[tx.tx_id] = (
-                    STATUS_ABORTED,
-                    context.abort_reason or "aborted by SSI",
-                    context.xid)
-                metrics.aborted += 1
-                continue
-            try:
-                # A replaced/dropped contract aborts in-flight transactions
-                # that executed the old version (section 3.7).
-                node.contracts.validate_versions(context.contract_versions)
-                if node.flow == FLOW_ORDER_EXECUTE:
-                    self.oe_validator.validate(context)
-                else:
-                    self.eo_validator.validate(context, block.number)
-            except (SerializationFailure, DeploymentError,
-                    ContractError) as exc:
-                node.db.apply_abort(context, reason=str(exc))
-                statuses[tx.tx_id] = (STATUS_ABORTED, str(exc), context.xid)
-                metrics.aborted += 1
-                continue
-            node.db.apply_commit(context, block_number=block.number)
-            for action in context.on_commit_actions:
-                action()
-            statuses[tx.tx_id] = (STATUS_COMMITTED, "", context.xid)
-            metrics.committed += 1
+        crash_at = self._crash_position(crash_point, len(block.transactions))
+        # Block-granular pipeline: per-row apply work defers into the
+        # batch and lands in one per-block pass.  Finalizing in a
+        # ``finally`` keeps every crash boundary identical to the
+        # per-transaction pipeline: transactions committed before the
+        # crash are fully applied either way.
+        batch = node.db.begin_block_apply(block.number) \
+            if node.db.batched_apply else None
+        try:
+            for position, tx in enumerate(block.transactions):
+                if position == crash_at:
+                    raise SimulatedCrash("crashed mid-block commit")
+                outcome = outcomes[tx.tx_id]
+                context = outcome.context
+                if not outcome.prepared or context is None:
+                    statuses[tx.tx_id] = (
+                        STATUS_ABORTED, outcome.error or "execution failed",
+                        context.xid if context else None)
+                    metrics.aborted += 1
+                    continue
+                if context.is_aborted:
+                    statuses[tx.tx_id] = (
+                        STATUS_ABORTED,
+                        context.abort_reason or "aborted by SSI",
+                        context.xid)
+                    metrics.aborted += 1
+                    continue
+                try:
+                    # A replaced/dropped contract aborts in-flight
+                    # transactions that executed the old version
+                    # (section 3.7).
+                    node.contracts.validate_versions(
+                        context.contract_versions)
+                    if node.flow == FLOW_ORDER_EXECUTE:
+                        self.oe_validator.validate(context)
+                    else:
+                        self.eo_validator.validate(context, block.number)
+                except (SerializationFailure, DeploymentError,
+                        ContractError) as exc:
+                    node.db.apply_abort(context, reason=str(exc))
+                    statuses[tx.tx_id] = (STATUS_ABORTED, str(exc),
+                                          context.xid)
+                    metrics.aborted += 1
+                    continue
+                node.db.apply_commit(context, block_number=block.number,
+                                     batch=batch)
+                for action in context.on_commit_actions:
+                    action()
+                statuses[tx.tx_id] = (STATUS_COMMITTED, "", context.xid)
+                metrics.committed += 1
+        finally:
+            if batch is not None:
+                node.db.apply_block(batch)
         return statuses
+
+    @staticmethod
+    def _crash_position(crash_point: Optional[str],
+                        tx_count: int) -> Optional[int]:
+        """Block position to crash before: ``mid_commit`` keeps the legacy
+        halfway point; ``mid_commit:<k>`` pins an exact position so tests
+        can crash at every WAL commit-record boundary."""
+        if crash_point == "mid_commit":
+            return tx_count // 2 if tx_count // 2 else None
+        if crash_point and crash_point.startswith("mid_commit:"):
+            return int(crash_point.split(":", 1)[1])
+        return None
 
     # ------------------------------------------------------------------
 

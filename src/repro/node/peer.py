@@ -52,7 +52,7 @@ class DatabaseNode:
                  flow: str = FLOW_ORDER_EXECUTE,
                  organizations: Sequence[str] = (),
                  ordering=None, min_block_signatures: int = 1,
-                 checkpoint_interval: int = 1):
+                 checkpoint_interval: int = 1, plan_cache=None):
         if flow not in (FLOW_ORDER_EXECUTE, FLOW_EXECUTE_ORDER):
             raise ValueError(f"unknown flow {flow!r}")
         self.identity = identity
@@ -64,7 +64,10 @@ class DatabaseNode:
         self.ordering = ordering
         self.min_block_signatures = min_block_signatures
 
-        self.db = Database()
+        # ``plan_cache``: optionally a process-shared plan-template cache
+        # (nodes with identical catalogs share templates; see
+        # sql/plancache.py for the safety argument).
+        self.db = Database(plan_cache=plan_cache)
         self.certs = CertificateRegistry()
         self.contracts = ContractRegistry()
         create_system_tables(self.db.catalog)

@@ -156,6 +156,7 @@ class Catalog:
         self._schemas: Dict[str, TableSchema] = {}
         self._heaps: Dict[str, HeapTable] = {}
         self._version = 0
+        self._fingerprint: Optional[int] = None
         self._version_listeners: List[Any] = []
         self._drop_listeners: List[Any] = []
 
@@ -165,9 +166,41 @@ class Catalog:
     def version(self) -> int:
         return self._version
 
+    @property
+    def version_token(self) -> tuple:
+        """``(version, structure fingerprint)`` — the plan-cache key
+        component.  The fingerprint hashes the full structural catalog
+        (tables, columns, types, constraints, indexes), so two *different*
+        catalogs that happen to share a version count (nodes whose private
+        schemas diverged) can never serve each other's templates from a
+        process-shared plan cache, while nodes that applied the identical
+        DDL sequence converge on the same token and share."""
+        if self._fingerprint is None:
+            self._fingerprint = self._structure_fingerprint()
+        return (self._version, self._fingerprint)
+
+    def _structure_fingerprint(self) -> int:
+        parts = []
+        for name in sorted(self._schemas):
+            schema = self._schemas[name]
+            heap = self._heaps[name]
+            parts.append((
+                name, schema.schema, schema.system,
+                tuple((c.name, c.type_name.upper(), c.not_null,
+                       repr(c.default), repr(c.check))
+                      for c in schema.columns),
+                tuple(schema.primary_key),
+                tuple(tuple(cols) for cols in schema.unique_constraints),
+                tuple(repr(check) for check in schema.checks),
+                tuple(sorted((i.name, i.columns, i.unique)
+                             for i in heap.indexes.values())),
+            ))
+        return hash(tuple(parts))
+
     def bump_version(self) -> int:
         """Advance the catalog version (DDL or stats drift occurred)."""
         self._version += 1
+        self._fingerprint = None
         for listener in self._version_listeners:
             listener(self._version)
         return self._version

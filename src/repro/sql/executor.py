@@ -324,7 +324,7 @@ class Executor:
         (plan, hit, bounds-by-scan-node from guard validation)."""
         self._apply_as_of(stmt, ctx)
         cache = self.db.plan_cache
-        version = self.db.catalog.version
+        version = self.db.catalog.version_token
         key = PlanCache.key_for(
             stmt, ctx, self.tx, version, self.db.columnstore.enabled,
             stats_anchor=self.db.stats.anchor,
@@ -501,7 +501,7 @@ class Executor:
         schema = self.db.catalog.schema_of(table)
         alias_columns = {table: schema.column_names()}
         cache = self.db.plan_cache
-        version = self.db.catalog.version
+        version = self.db.catalog.version_token
         key = PlanCache.key_for(
             stmt, ctx, self.tx, version,
             stats_anchor=self.db.stats.anchor,

@@ -1350,8 +1350,8 @@ class IndexOrderScan(SeqScan):
             candidate_ids = index.scan_all()
             predicate = PredicateRead(table=self.table, columns=())
         else:
-            candidate_ids = index._scan(low_key, high_key, low_incl,
-                                        high_incl, 1)
+            candidate_ids = index.ordered_scan(low_key, high_key, low_incl,
+                                               high_incl)
             predicate = PredicateRead(
                 table=self.table, columns=index.columns[:1],
                 low_key=low_key, high_key=high_key,
@@ -1448,6 +1448,14 @@ class SortMergeJoin(PlanNode):
     collisions behave like hash-bucket collisions).  Predicate reads are
     the two scans' own — whole-range, conservative for SSI, exactly like
     a hash join's build scan.
+
+    Both inputs *stream*: the scans' SSI side effects run eagerly in
+    ``prepare`` (outer first, matching the old materializing order), and
+    the merge then pulls rows incrementally, buffering only the current
+    equal-key group on each side — never the whole candidate lists.
+    Both streams are non-decreasing in normalized key, so a single
+    forward pass suffices; inner rows with NULL/unmatchable keys are
+    dropped as they are encountered (they can never satisfy ``=``).
     """
 
     def __init__(self, outer_scan: IndexOrderScan, join: Join,
@@ -1481,32 +1489,46 @@ class SortMergeJoin(PlanNode):
             except TypeMismatchError:
                 return None   # unindexable values never match '='
 
-        outer_rows = self.outer.scan_rows(rt)
-        okeys = [merge_key(r.values, self.outer_key) for r in outer_rows]
-        # NULL/unmatchable inner keys can never join; dropping them keeps
-        # the remaining keys contiguous and non-decreasing for the merge.
-        inner_pairs = [(merge_key(r.values, self.inner_key), r)
-                       for r in self.inner.scan_rows(rt)]
-        inner_pairs = [(k, r) for k, r in inner_pairs if k is not None]
+        # SSI side effects (predicate reads, window checks, EO aborts)
+        # happen before the first row streams, in the order the old
+        # materializing implementation performed them.
+        self.outer.prepare(rt)
+        self.inner.prepare(rt)
 
-        n_outer = len(outer_rows)
-        n_inner = len(inner_pairs)
-        i = j = 0
-        while i < n_outer:
-            okey = okeys[i]
-            group_start = i
-            while i < n_outer and okeys[i] == okey:
-                i += 1
-            group = outer_rows[group_start:i]
+        outer_stream = self.outer.stream_rows(rt)
+        inner_stream = self.inner.stream_rows(rt)
+
+        def next_inner() -> Optional[Tuple[Any, ScanRow]]:
+            """Next inner (key, row) pair; NULL/unmatchable keys can
+            never join and are dropped as encountered."""
+            for row in inner_stream:
+                key = merge_key(row.values, self.inner_key)
+                if key is not None:
+                    return (key, row)
+            return None
+
+        inner_next = next_inner()   # one-row lookahead
+
+        def inner_group_for(okey) -> List[ScanRow]:
+            """Advance the inner cursor to ``okey`` and collect its
+            equal-key group (buffered: one outer group joins every row
+            of it)."""
+            nonlocal inner_next
             matches: List[ScanRow] = []
-            if okey is not None:
-                while j < n_inner and inner_pairs[j][0] < okey:
-                    j += 1
-                k = j
-                while k < n_inner and inner_pairs[k][0] == okey:
-                    matches.append(inner_pairs[k][1])
-                    k += 1
-            for outer_row in group:
+            while inner_next is not None and inner_next[0] < okey:
+                inner_next = next_inner()
+            while inner_next is not None and inner_next[0] == okey:
+                matches.append(inner_next[1])
+                inner_next = next_inner()
+            return matches
+
+        # Outer side: buffer one equal-key group at a time.
+        group: List[ScanRow] = []
+        group_key: Any = None
+
+        def emit(okey, rows: List[ScanRow]) -> Iterator[Env]:
+            matches = inner_group_for(okey) if okey is not None else []
+            for outer_row in rows:
                 env = {outer_alias: outer_row.values}
                 matched = False
                 for inner_row in matches:
@@ -1516,6 +1538,16 @@ class SortMergeJoin(PlanNode):
                         yield candidate
                 if left and not matched:
                     yield {**env, inner_alias: dict(null_row)}
+
+        for outer_row in outer_stream:
+            okey = merge_key(outer_row.values, self.outer_key)
+            if group and okey != group_key:
+                yield from emit(group_key, group)
+                group = []
+            group_key = okey
+            group.append(outer_row)
+        if group:
+            yield from emit(group_key, group)
 
     def sorted_columns(self) -> List[Tuple[str, str]]:
         """(alias, column) pairs the output is ascending-ordered by.

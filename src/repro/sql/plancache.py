@@ -15,9 +15,18 @@ keyed by::
 * **context shape** — which parameters / PL variables / outer-row columns
   are NULL.  Bound extraction drops NULL comparisons, so nullness (not
   values) is what can change a plan's structure;
-* **catalog version** — a monotonic counter the catalog bumps on DDL and
-  on vacuum-driven stats drift; a bump makes every older entry
-  unreachable (and a registered listener purges them eagerly);
+* **catalog version** — the catalog's ``version_token``: a monotonic
+  counter the catalog bumps on DDL and on vacuum-driven stats drift,
+  paired with a structural fingerprint of the whole catalog.  A bump
+  makes every older entry unreachable (a private cache's registered
+  listener purges them eagerly).  The fingerprint is what makes
+  **process-shared caches** safe: several nodes of one process with
+  identical catalogs (same DDL history → same token) share one cache
+  and each other's templates — cutting N-node memory to one template
+  set — while a node whose catalog diverged (private-schema DDL) can
+  never be served another catalog's plans.  Shared caches skip the
+  eager purge (another node may still legitimately sit at the purged
+  token); the token keying plus LRU eviction retire stale entries;
 * **stats anchor** — the committed block height the planner's anchored
   statistics were pinned to.  Cost-based strategy choice is a pure
   function of (statement, anchored stats), so a template planned at one
@@ -191,7 +200,7 @@ class PlanEntry:
 
     plan: Any                       # SelectPlan, or a scan node for DML
     guards: List[ScanGuard] = field(default_factory=list)
-    catalog_version: int = 0
+    catalog_version: Any = 0        # the catalog's version_token
     # Stats freshness token of the last recost: hits skip the estimate
     # refresh entirely while every referenced table's token is unmoved.
     recost_token: Optional[Tuple] = None
@@ -214,7 +223,7 @@ class PlanCache:
 
     @staticmethod
     def key_for(stmt: Statement, ctx: EvalContext, tx,
-                catalog_version: int,
+                catalog_version: Any,
                 columnar_enabled: bool = False,
                 stats_anchor: int = 0,
                 cost_based: bool = True) -> Tuple:
@@ -276,10 +285,12 @@ class PlanCache:
 
     # -- invalidation ------------------------------------------------------
 
-    def invalidate_for_version(self, current_version: int) -> int:
-        """Purge entries planned under an older catalog version (they are
-        unreachable anyway — the version is part of the key — but eager
-        purging keeps the LRU from carrying dead weight)."""
+    def invalidate_for_version(self, current_version: Any) -> int:
+        """Purge entries planned under an older catalog version token
+        (they are unreachable anyway — the token is part of the key — but
+        eager purging keeps the LRU from carrying dead weight).  Only
+        wired for *private* caches: a process-shared cache must not purge
+        on one node's bump while siblings still sit at the older token."""
         with self._lock:
             stale = [key for key, entry in self._entries.items()
                      if entry.catalog_version != current_version]

@@ -8,6 +8,24 @@ versions are filtered by visibility at scan time).
 
 Keys are normalized so heterogeneous values order deterministically across
 nodes (None < booleans < numbers < strings).
+
+Storage layout: two parallel sorted arrays (``_keys`` / ``_ids``) hold the
+settled entries, plus a small sorted *pending* tail absorbing new inserts.
+Point inserts go to the pending arrays (cheap: the tail stays small), and
+the block processor merges a block's worth of pending entries into the
+settled arrays in **one pass** at block end (:meth:`merge_pending`) — bulk
+index maintenance instead of one O(n) ``list.insert`` memmove per row.
+
+Scans come in two flavours.  Unordered scans (:meth:`scan_eq`,
+:meth:`scan_range` — existence probes, predicate reads, plan scans that
+content-sort their output anyway) bisect both regions and concatenate the
+slices, so they never pay for merging.  Ordered scans
+(:meth:`ordered_scan`, :meth:`scan_all` — ``ORDER BY`` pipelines,
+provenance) fold the pending tail into the settled arrays first
+(merge-on-demand), after which they are pure bisect + slice.  Entries are
+visible the instant they are inserted either way: a transaction's own
+reads and the EO phantom window checks see uncommitted entries exactly as
+before.
 """
 
 from __future__ import annotations
@@ -25,6 +43,10 @@ _RANK_STR = 3
 
 _NEG_INF = (-1,)
 _POS_INF = (4,)
+
+#: Pending entries auto-merge past this size so the tail stays cheap to
+#: bisect even on paths that never reach a block boundary.
+AUTO_MERGE_THRESHOLD = 1024
 
 
 def normalize_key_part(value: Any) -> Tuple:
@@ -58,25 +80,95 @@ class Index:
         self.table_name = table_name
         self.columns = tuple(columns)
         self.unique = unique
+        # Settled region: parallel sorted arrays.
         self._keys: List[Tuple] = []
-        self._entries: List[Tuple[Tuple, int]] = []
+        self._ids: List[int] = []
+        # Pending region: sorted tail absorbing point inserts until the
+        # next bulk merge (block end, an ordered scan, or the threshold).
+        self._pending_keys: List[Tuple] = []
+        self._pending_ids: List[int] = []
+        # Observability: bulk-maintenance counters.
+        self.bulk_merges = 0
+        self.merged_entries = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._ids) + len(self._pending_ids)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending_ids)
 
     def key_for(self, values: dict) -> Tuple:
         """Extract this index's normalized key from a row's values."""
         return normalize_key([values.get(col) for col in self.columns])
 
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
     def insert(self, values: dict, version_id: int) -> None:
         key = self.key_for(values)
-        pos = bisect.bisect_right(self._keys, key)
-        self._keys.insert(pos, key)
-        self._entries.insert(pos, (key, version_id))
+        pos = bisect.bisect_right(self._pending_keys, key)
+        self._pending_keys.insert(pos, key)
+        self._pending_ids.insert(pos, version_id)
+        if len(self._pending_ids) >= AUTO_MERGE_THRESHOLD:
+            self.merge_pending()
+
+    def merge_pending(self) -> int:
+        """Bulk maintenance: fold the sorted pending tail into the settled
+        arrays; returns the number of entries merged.
+
+        Three regimes: an append-only tail (monotone keys — ids,
+        timestamps) extends the arrays; a tail small relative to the
+        settled region uses per-entry ``list.insert`` (C memmove — the
+        pre-batching cost, so merge-on-demand never regresses alternating
+        insert/ordered-read patterns); a large tail does one linear
+        two-way merge."""
+        pending = len(self._pending_ids)
+        if not pending:
+            return 0
+        keys, ids = self._keys, self._ids
+        pkeys, pids = self._pending_keys, self._pending_ids
+        if not keys or pkeys[0] >= keys[-1]:
+            keys.extend(pkeys)
+            ids.extend(pids)
+        elif pending * 16 < len(keys):
+            for key, version_id in zip(pkeys, pids):
+                pos = bisect.bisect_right(keys, key)
+                keys.insert(pos, key)
+                ids.insert(pos, version_id)
+        else:
+            merged_keys: List[Tuple] = []
+            merged_ids: List[int] = []
+            i = j = 0
+            n, m = len(keys), pending
+            while i < n and j < m:
+                # `<=` keeps settled entries ahead of pending ones on key
+                # ties — the order per-row bisect_right inserts produced.
+                if keys[i] <= pkeys[j]:
+                    merged_keys.append(keys[i])
+                    merged_ids.append(ids[i])
+                    i += 1
+                else:
+                    merged_keys.append(pkeys[j])
+                    merged_ids.append(pids[j])
+                    j += 1
+            merged_keys.extend(keys[i:] or pkeys[j:])
+            merged_ids.extend(ids[i:] or pids[j:])
+            self._keys, self._ids = merged_keys, merged_ids
+        self._pending_keys, self._pending_ids = [], []
+        self.bulk_merges += 1
+        self.merged_entries += pending
+        return pending
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
 
     def scan_eq(self, key_values: Sequence[Any]) -> List[int]:
         """All version ids whose key equals ``key_values`` (full key or
-        prefix of the index columns)."""
+        prefix of the index columns).  Unordered across storage regions —
+        entries still in the pending tail follow settled entries."""
         prefix = normalize_key(key_values)
         return self._scan(prefix, prefix, True, True, len(prefix))
 
@@ -84,7 +176,8 @@ class Index:
                    high: Optional[Sequence[Any]],
                    low_inclusive: bool = True,
                    high_inclusive: bool = True) -> List[int]:
-        """Version ids with low <= key <= high on the first index column."""
+        """Version ids with low <= key <= high on the first index column.
+        Unordered across storage regions (see :meth:`scan_eq`)."""
         low_key = normalize_key(low) if low is not None else None
         high_key = normalize_key(high) if high is not None else None
         depth = max(len(low_key) if low_key else 0,
@@ -92,33 +185,63 @@ class Index:
         return self._scan(low_key, high_key, low_inclusive, high_inclusive,
                           depth)
 
+    @staticmethod
+    def _probes(low_key: Optional[Tuple], high_key: Optional[Tuple],
+                low_inclusive: bool, high_inclusive: bool
+                ) -> Tuple[Optional[Tuple], Optional[Tuple]]:
+        """Bisect probes implementing prefix-bound semantics: real key
+        parts never contain the ``_POS_INF`` sentinel, so appending it
+        turns an inclusive prefix bound into a plain tuple comparison."""
+        low_probe = None
+        if low_key is not None:
+            low_probe = low_key if low_inclusive else low_key + (_POS_INF,)
+        high_probe = None
+        if high_key is not None:
+            high_probe = high_key + (_POS_INF,) if high_inclusive \
+                else high_key
+        return low_probe, high_probe
+
+    @staticmethod
+    def _bounds(keys: List[Tuple], low_probe: Optional[Tuple],
+                high_probe: Optional[Tuple]) -> Tuple[int, int]:
+        lo = 0 if low_probe is None else bisect.bisect_left(keys, low_probe)
+        hi = len(keys) if high_probe is None \
+            else bisect.bisect_left(keys, high_probe, lo)
+        return lo, max(lo, hi)
+
     def _scan(self, low_key: Optional[Tuple], high_key: Optional[Tuple],
               low_inclusive: bool, high_inclusive: bool,
               depth: int) -> List[int]:
-        if low_key is None:
-            start = 0
-        else:
-            probe = low_key if low_inclusive else low_key + (_POS_INF,)
-            start = bisect.bisect_left(self._keys, probe)
-        results: List[int] = []
-        for i in range(start, len(self._entries)):
-            key, version_id = self._entries[i]
-            prefix = key[:depth]
-            if high_key is not None:
-                cmp_key = prefix[:len(high_key)]
-                if cmp_key > high_key or (cmp_key == high_key
-                                          and not high_inclusive):
-                    break
-            if low_key is not None and not low_inclusive:
-                if prefix[:len(low_key)] == low_key:
-                    continue
-            results.append(version_id)
-        return results
+        """Range scan: two bisects per region, no per-entry comparisons
+        (``depth`` is implied by the probe construction)."""
+        low_probe, high_probe = self._probes(low_key, high_key,
+                                             low_inclusive, high_inclusive)
+        lo, hi = self._bounds(self._keys, low_probe, high_probe)
+        if not self._pending_keys:
+            return self._ids[lo:hi]
+        plo, phi = self._bounds(self._pending_keys, low_probe, high_probe)
+        if plo == phi:
+            return self._ids[lo:hi]
+        return self._ids[lo:hi] + self._pending_ids[plo:phi]
+
+    def ordered_scan(self, low_key: Optional[Tuple],
+                     high_key: Optional[Tuple],
+                     low_inclusive: bool = True,
+                     high_inclusive: bool = True) -> List[int]:
+        """Range scan in full key order (``ORDER BY`` pipelines): folds
+        any pending tail in first, then returns one contiguous slice."""
+        self.merge_pending()
+        low_probe, high_probe = self._probes(low_key, high_key,
+                                             low_inclusive, high_inclusive)
+        lo, hi = self._bounds(self._keys, low_probe, high_probe)
+        return self._ids[lo:hi]
 
     def scan_all(self) -> List[int]:
         """Every entry in key order (used for ORDER BY optimizations and
-        provenance)."""
-        return [version_id for _, version_id in self._entries]
+        provenance).  Returns the internal id array — callers must treat
+        it as read-only."""
+        self.merge_pending()
+        return self._ids
 
     def covers_columns(self, columns: Iterable[str]) -> bool:
         """True when ``columns`` form a prefix of the index columns — the

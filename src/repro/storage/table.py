@@ -47,6 +47,16 @@ class HeapTable:
         if backfill:
             for version in self._versions.values():
                 index.insert(version.values, version.version_id)
+            index.merge_pending()
+
+    def merge_pending_indexes(self) -> int:
+        """Bulk index maintenance (block boundary): fold every index's
+        pending tail into its settled arrays in one linear pass each.
+        Returns the number of entries merged across all indexes."""
+        merged = 0
+        for index in self._indexes.values():
+            merged += index.merge_pending()
+        return merged
 
     def drop_index(self, name: str) -> None:
         self._indexes.pop(name, None)
@@ -121,7 +131,12 @@ class HeapTable:
 
     def note_committed_delete(self) -> None:
         """A DELETE write-set entry committed: one logical row fewer."""
-        self.live_rows = max(0, self.live_rows - 1)
+        self.note_committed_deletes(1)
+
+    def note_committed_deletes(self, count: int) -> None:
+        """Batched form: a block committed ``count`` DELETE entries against
+        this table (one call per table per block instead of one per row)."""
+        self.live_rows = max(0, self.live_rows - count)
 
     def note_insert_discarded(self) -> None:
         """A fresh insert was aborted or rolled back."""

@@ -169,9 +169,9 @@ class TestSecurityProperties:
         # The malicious node silently drops every write at commit time.
         original_commit = evil.db.apply_commit
 
-        def skip_writes(tx, block_number=None):
+        def skip_writes(tx, block_number=None, **kwargs):
             tx.writes = []
-            return original_commit(tx, block_number)
+            return original_commit(tx, block_number, **kwargs)
 
         evil.db.apply_commit = skip_writes
         client.invoke("set_kv", "cp2", 2)

@@ -1,0 +1,228 @@
+"""Block-granular commit pipeline: equivalence and crash-recovery suite.
+
+Two properties pin the batched pipeline to the per-transaction one:
+
+1. **Cross-pipeline equivalence** — identical blocks driven through a
+   batched node and a per-transaction node (both flows) must produce
+   byte-identical WAL record sequences (lsn, kind, payload — xid
+   allocation included), pgLedger contents (``committime`` pinned via an
+   injected clock), checkpoint write-set digests at every height,
+   columnstore chunk contents, query results and EXPLAIN output.
+
+2. **Crash at every commit boundary** — the WAL flush horizons are the
+   pipeline's stage boundaries (after the ledger record, after the
+   serial commit, after the status record), and records between flushes
+   are lost atomically on crash; crashing at each stage boundary plus
+   *before every commit position* (``mid_commit:<k>``) therefore covers
+   every durable WAL prefix the pipeline can leave behind.  After
+   section 3.6 recovery the node must converge with the rest of the
+   network in both pipelines.
+"""
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.transaction import ProcedureCall, Transaction
+from repro.core.network import BlockchainNetwork
+from repro.node.block_processor import SimulatedCrash
+from repro.node.recovery import RecoveryManager
+from repro.storage.visibility import latest_committed_visible
+from tests.conftest import KV_CONTRACTS, KV_SCHEMA, make_kv_network
+
+N_BLOCKS = 3
+
+
+# ----------------------------------------------------------------------
+# Workload: blocks exercising inserts, updates, deletes, intra-block
+# ww conflicts, duplicate tx ids (within a block and across blocks) and,
+# in the EO flow, a missing transaction executed at process time.
+# ----------------------------------------------------------------------
+
+def build_blocks(node, identity, flow):
+    """Drive N_BLOCKS identical blocks through ``node``; returns the
+    blocks for reuse/verification."""
+    nonce = [0]
+
+    def make_tx(call):
+        if flow == "execute-order":
+            return Transaction.create(
+                identity, call, snapshot_height=node.db.committed_height)
+        tx_id = Transaction.derive_tx_id(f"alice#{nonce[0]}", call, None)
+        nonce[0] += 1
+        return Transaction.create(identity, call, tx_id=tx_id)
+
+    blocks = []
+    dup_across = None
+    for number in range(1, N_BLOCKS + 1):
+        if number == 1:
+            txs = [make_tx(ProcedureCall("set_kv", (f"k{i}", i)))
+                   for i in range(6)]
+            dup_across = txs[0]
+        elif number == 2:
+            txs = [make_tx(ProcedureCall("bump_kv", (f"k{i}", 10)))
+                   for i in range(3)]
+            txs.append(make_tx(ProcedureCall("del_kv", ("k5",))))
+            txs.append(make_tx(ProcedureCall("set_kv", ("k6", 6))))
+            # Same tx id twice within one block: second occurrence aborts.
+            txs.append(txs[-1])
+        else:
+            # Two transactions updating the same key: the later one must
+            # abort (ww first-committer-wins) — identically in both
+            # pipelines, which is exactly the order-sensitive part of
+            # apply_commit that may not batch.
+            txs = [make_tx(ProcedureCall("bump_kv", ("k0", 1))),
+                   make_tx(ProcedureCall("bump_kv", ("k0", 2))),
+                   make_tx(ProcedureCall("set_kv", ("k7", 7))),
+                   dup_across]   # recorded by block 1: prior duplicate
+        if flow == "execute-order":
+            skip = txs[-1].tx_id if number == 1 else None
+            seen = set()
+            for tx in txs:
+                # One tx stays "missing" (malicious peer never forwarded
+                # it): the block processor executes it during step 2.
+                if tx.tx_id == skip or tx.tx_id in seen:
+                    continue
+                seen.add(tx.tx_id)
+                node.submit_transaction(tx)
+        block = Block(number=number, transactions=txs).seal()
+        node.processor.process_block(block)
+        blocks.append(block)
+    return blocks
+
+
+def drive(flow, batched):
+    net = BlockchainNetwork(
+        organizations=["org1"], flow=flow,
+        schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS)
+    node = net.primary_node
+    node.db.batched_apply = batched
+    node.ledger._clock = lambda: 1000.0   # pin committime across runs
+    client = net.register_client("alice", "org1")
+    build_blocks(node, client.identity, flow)
+    return net, node
+
+
+# ----------------------------------------------------------------------
+# Dumps compared byte-for-byte between pipelines
+# ----------------------------------------------------------------------
+
+def wal_dump(db):
+    return [(r.lsn, r.kind, r.payload) for r in db.wal._records]
+
+
+def ledger_dump(node):
+    heap = node.db.catalog.heap_of("pgledger")
+    rows = [dict(v.values) for v in heap.all_versions()
+            if latest_committed_visible(v, node.db.statuses)]
+    rows.sort(key=lambda r: (r["blocknumber"], r["blockposition"]))
+    return rows
+
+
+def table_dump(node, table):
+    heap = node.db.catalog.heap_of(table)
+    return [(v.version_id, v.row_id, v.xmin, v.xmax_winner,
+             v.creator_block, v.deleter_block, dict(v.values))
+            for v in heap.all_versions()]
+
+
+def chunk_dump(db):
+    db.columnstore.ensure_synced(db)
+    out = {}
+    for name, tcols in sorted(db.columnstore.tables.items()):
+        out[name] = [(chunk.data, chunk.creators, chunk.deleters,
+                      chunk.row_ids, chunk.version_ids, chunk.xmins,
+                      chunk.xmaxs, chunk.sealed, chunk.zones)
+                     for chunk in tcols.chunks]
+    return out
+
+
+def digests(node):
+    return [node.checkpoints.local_digest(h)
+            for h in range(1, N_BLOCKS + 1)]
+
+
+@pytest.mark.parametrize("flow", ["order-execute", "execute-order"])
+def test_batched_and_serial_pipelines_are_byte_identical(flow):
+    _, batched = drive(flow, batched=True)
+    _, serial = drive(flow, batched=False)
+
+    assert wal_dump(batched.db) == wal_dump(serial.db)
+    assert ledger_dump(batched) == ledger_dump(serial)
+    assert digests(batched) == digests(serial)
+    assert table_dump(batched, "kv") == table_dump(serial, "kv")
+    assert chunk_dump(batched.db) == chunk_dump(serial.db)
+    assert batched.db.committed_height == serial.db.committed_height \
+        == N_BLOCKS
+
+    query = "SELECT k, v FROM kv ORDER BY k"
+    assert batched.query(query).rows == serial.query(query).rows
+    # Plan identity, EXPLAIN included (cache temperature may differ).
+    explain = "EXPLAIN SELECT v FROM kv WHERE k = 'k0'"
+    strip = lambda res: [r for r in res.rows
+                         if not r[0].startswith("Plan Cache:")]
+    assert strip(batched.query(explain)) == strip(serial.query(explain))
+    # Time travel over the batched pipeline's ingested chunks.
+    for height in range(1, N_BLOCKS + 1):
+        assert batched.query_as_of(query, height).rows == \
+            serial.query_as_of(query, height).rows
+
+
+def test_batched_pipeline_defers_and_applies_per_block_work():
+    """The batching actually happens: ledger writes bypass the SQL
+    engine, indexes bulk-merge, and the WAL group-flushes multi-record
+    batches."""
+    _, node = drive("order-execute", batched=True)
+    kv_pk = node.db.catalog.heap_of("kv").indexes["kv_pkey"]
+    assert kv_pk.bulk_merges > 0 and kv_pk.merged_entries > 0
+    assert kv_pk.pending_count == 0   # block end folded the tail
+    assert node.db.wal.flush_count > 0
+    assert node.db.wal.records_flushed > node.db.wal.flush_count
+
+
+# ----------------------------------------------------------------------
+# Crash-at-every-boundary recovery property
+# ----------------------------------------------------------------------
+
+CRASH_TXS = 4
+CRASH_POINTS = (["after_ledger_record"]
+                + [f"mid_commit:{k}" for k in range(CRASH_TXS)]
+                + ["before_status_record"])
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_recovery_at_every_commit_boundary(batched):
+    for crash_point in CRASH_POINTS:
+        net = make_kv_network("order-execute", orgs=["org1", "org2"])
+        for peer in net.nodes:
+            peer.db.batched_apply = batched
+        client = net.register_client("alice", "org1")
+        client.invoke_and_wait("set_kv", "base", 1)
+
+        victim = net.nodes[1]
+        original = victim.processor.process_block
+        victim.processor.process_block = (
+            lambda block: original(block, crash_point=crash_point))
+        ids = [client.invoke("set_kv", f"{crash_point}-{i}", i)
+               for i in range(CRASH_TXS)]
+        with pytest.raises(SimulatedCrash):
+            net.settle(timeout=30.0)
+        victim.processor.process_block = original
+        victim.crash()
+        net.settle(timeout=30.0)
+
+        victim.restart()
+        RecoveryManager(victim).recover()
+        RecoveryManager(victim).catch_up(list(net.ordering.blocks_cut))
+        net.settle(timeout=30.0)
+        net.assert_consistent()
+        for tx_id in ids:
+            entry = victim.ledger.entry(tx_id)
+            assert entry is not None and entry["status"] == "committed", \
+                f"{crash_point}: {tx_id} not recovered"
+        # Post-recovery checkpoint digests match the healthy replica.
+        healthy = net.nodes[0]
+        for height in range(1, victim.db.committed_height + 1):
+            ours = victim.checkpoints.local_digest(height)
+            theirs = healthy.checkpoints.local_digest(height)
+            if ours is not None and theirs is not None:
+                assert ours == theirs, f"{crash_point}: digest @{height}"

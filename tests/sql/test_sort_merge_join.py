@@ -172,6 +172,33 @@ class TestSortMergeJoin:
         assert {"orgs", "events"} <= tables
         db.apply_abort(tx, reason="test")
 
+    def test_inputs_stream_without_materializing(self, db, monkeypatch):
+        """Both merge inputs feed through ``stream_rows`` — the join never
+        materializes a side's candidate list via ``scan_rows``."""
+        from repro.sql.plan import IndexOrderScan
+
+        def boom(self, rt):
+            raise AssertionError(
+                f"SortMergeJoin materialized {self.table} via scan_rows")
+        monkeypatch.setattr(IndexOrderScan, "scan_rows", boom)
+        lines = explain(db, JOIN_SQL)
+        assert any("SortMergeJoin" in line for line in lines)
+        rows = q(db, JOIN_SQL).rows
+        monkeypatch.undo()
+        assert rows == legacy_rows(db, JOIN_SQL)
+
+    def test_streaming_left_join_matches_legacy(self, db, monkeypatch):
+        from repro.sql.plan import IndexOrderScan
+        sql = ("SELECT o.org_id, e.event_id FROM orgs o "
+               "LEFT JOIN events e ON e.org_id = o.org_id "
+               "ORDER BY o.org_id")
+        monkeypatch.setattr(
+            IndexOrderScan, "scan_rows",
+            lambda self, rt: pytest.fail("materialized candidate list"))
+        rows = q(db, sql).rows
+        monkeypatch.undo()
+        assert rows == legacy_rows(db, sql)
+
     def test_sees_own_uncommitted_writes(self, db):
         tx = db.begin(allow_nondeterministic=True)
         run_sql(db, tx, "INSERT INTO events (event_id, org_id, weight, "
