@@ -36,7 +36,7 @@ the executor enforces.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import AnalyticsDisabledError, CatalogError
 from repro.sql.expressions import compare_values
@@ -365,6 +365,10 @@ class ColumnStore:
         self._pending: List[list] = []
         self._stale = True  # rebuilt from the heap on first access
         self.synced_height = 0
+        # Pipelining fence (set by the owning Database): observability
+        # reads wait out any in-flight background block finalization, so
+        # stats never show a half-ingested block.
+        self.fence: Optional[Callable[[], None]] = None
         # Observability counters.
         self.ingested_versions = 0
         self.deleter_updates = 0
@@ -424,7 +428,21 @@ class ColumnStore:
         if self._stale:
             self.rebuild(db)
             return
-        self._drain(db)
+        self._ingest(db, self._cut_pending())
+
+    def _cut_pending(self):
+        """Atomically take the current pending queue."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def cut_pending(self):
+        """Foreground hand-off point for the pipelined scheduler: snapshot
+        the block's queued deltas *at submit time*, so the background
+        ingest can never absorb a later block's entries (pending order is
+        what makes chunk contents deterministic)."""
+        if not self.enabled or self._stale:
+            return []
+        return self._cut_pending()
 
     def on_block(self, db, height: int) -> None:
         """Block processor post-commit hook: ingest the block's committed
@@ -433,6 +451,19 @@ class ColumnStore:
         if not self.enabled:
             return
         self.ensure_synced(db)
+        self._seal_block(height)
+
+    def ingest_block(self, db, height: int, cut) -> None:
+        """Pipelined twin of :meth:`on_block`, fed a foreground
+        :meth:`cut_pending` snapshot.  Skips entirely when the store went
+        stale after the cut (a rebuild reads live heaps — that must
+        happen on the foreground, under the barrier, at next access)."""
+        if not self.enabled or self._stale:
+            return
+        self._ingest(db, cut)
+        self._seal_block(height)
+
+    def _seal_block(self, height: int) -> None:
         self.synced_height = max(self.synced_height, height)
         for tcols in self.tables.values():
             tcols.seal_open()
@@ -449,8 +480,7 @@ class ColumnStore:
             self.tables[name] = tcols
         return tcols
 
-    def _drain(self, db) -> None:
-        pending, self._pending = self._pending, []
+    def _ingest(self, db, pending) -> None:
         for writes in pending:
             for entry in writes:
                 tcols = self._table_for(db, entry.table)
@@ -674,6 +704,8 @@ class ColumnStore:
     # -- observability -----------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        if self.fence is not None:
+            self.fence()   # land any pipelined ingest before reporting
         return {
             "enabled": self.enabled,
             "stale": self._stale,

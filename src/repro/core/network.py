@@ -162,8 +162,19 @@ class BlockchainNetwork:
     def settle(self, timeout: float = 30.0) -> None:
         """Run the event loop until the queue drains or ``timeout``
         simulated seconds elapse (consensus protocols with periodic
-        heartbeats never fully drain the queue)."""
-        self.scheduler.run(until=self.scheduler.now + timeout)
+        heartbeats never fully drain the queue).  Also waits out every
+        live node's pipelined block finalization, so "settled" means
+        fully applied — tests can read heaps/digests directly after."""
+        deadline = self.scheduler.now + timeout
+        self.scheduler.run(until=deadline)
+        for _ in range(2):
+            # Draining may submit checkpoint digests the background stage
+            # parked (foreground-only ordering-service calls), which
+            # enqueues new events — run the loop once more so they land.
+            for node in self.nodes:
+                if not node.crashed:
+                    node.db.drain_commits()
+            self.scheduler.run(until=deadline)
 
     def advance(self, seconds: float) -> None:
         """Run the event loop for a bounded amount of simulated time."""
@@ -179,6 +190,8 @@ class BlockchainNetwork:
         live = [n for n in self.nodes if not n.crashed]
         if len(live) < 2:
             return
+        for node in live:   # fingerprints read heaps outside transactions
+            node.db.drain_commits()
         reference = live[0]
         table_names = list(tables) if tables else [
             t for t in reference.db.catalog.table_names()

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from repro.errors import SerializationFailure
-from repro.mvcc.conflicts import near_conflicts, out_conflicts
+from repro.mvcc.conflicts import ConflictIndex, near_conflicts, out_conflicts
 from repro.mvcc.database import Database
 from repro.mvcc.ssi import validate_ww
 from repro.mvcc.transaction import TransactionContext
@@ -56,12 +56,15 @@ class BlockAwareSSI:
         return a if a.block_position > b.block_position else b
 
     def validate(self, tx: TransactionContext, block_number: int,
-                 candidates: Optional[Iterable[TransactionContext]] = None
+                 candidates: Optional[Iterable[TransactionContext]] = None,
+                 index: Optional[ConflictIndex] = None
                  ) -> List[TransactionContext]:
         """Apply Table 2 as ``tx`` (at ``tx.block_position`` of block
         ``block_number``) enters its serial commit.
 
-        Returns the other transactions aborted by this step; raises
+        ``index`` supplies memoized rw-edge verdicts (the parallel
+        scheduler's warmed cache); decisions are unchanged.  Returns the
+        other transactions aborted by this step; raises
         :class:`SerializationFailure` when ``tx`` itself must abort.
         """
         if candidates is None:
@@ -70,8 +73,8 @@ class BlockAwareSSI:
 
         validate_ww(self.db, tx)
 
-        nears = near_conflicts(tx, candidates)
-        outs = out_conflicts(tx, candidates)
+        nears = near_conflicts(tx, candidates, index)
+        outs = out_conflicts(tx, candidates, index)
 
         # Section 3.4.3 scenario 3: an rw-dependency whose out-conflict has
         # already committed is treated as an anomaly structure (the wr edge
@@ -113,7 +116,7 @@ class BlockAwareSSI:
 
             far_candidates = [c for c in candidates if c.xid != near.xid]
             far_candidates.append(tx)
-            fars = [f for f in near_conflicts(near, far_candidates)
+            fars = [f for f in near_conflicts(near, far_candidates, index)
                     if f.xid != near.xid]
             if not fars:
                 # nearConflict in the same block, no dangerous structure.

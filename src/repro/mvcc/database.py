@@ -11,6 +11,7 @@ block processor drives the serial commit order.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -48,6 +49,10 @@ class BlockApplyBatch:
     block_number: int
     committed: List["TransactionContext"] = field(default_factory=list)
     applied: bool = False
+    # Columnstore deltas handed off (kept separate from ``applied`` so the
+    # pipelined scheduler can queue the deltas in foreground commit order
+    # while the heavier apply passes run on the background stage).
+    noted: bool = False
 
 
 class Database:
@@ -79,6 +84,7 @@ class Database:
         # the block processor's post-commit hook and analytical reads
         # drain the queue into column chunks.
         self.columnstore = ColumnStore()
+        self.columnstore.fence = self.drain_commits
         # A dropped table's chunks must never serve a later re-creation
         # under the same name — rebuild from the heap instead.
         self.catalog.add_drop_listener(
@@ -100,6 +106,21 @@ class Database:
         # per-transaction pipeline — both produce byte-identical state,
         # WAL sequences and checkpoint digests (property-tested).
         self.batched_apply = True
+        # Parallel commit scheduler (node/scheduler.py): conflict-group
+        # edge derivation on a thread pool plus cross-block pipelining of
+        # block finalization.  Off reproduces the serial scheduler's bytes
+        # and timings exactly; on is byte-identical by construction
+        # (property-tested).  parallel_min_txs keeps tiny blocks on the
+        # serial path where pool hand-off costs more than it saves.
+        self.parallel_commit = os.environ.get(
+            "REPRO_PARALLEL_COMMIT", "1") not in ("0", "false", "off")
+        self.parallel_min_txs = int(os.environ.get(
+            "REPRO_PARALLEL_MIN_TXS", "8"))
+        # Pipelining fence, set by the block processor's scheduler: called
+        # before a new transaction begins so it never observes a partially
+        # applied block (ledger system transactions opt out — the
+        # background stage never touches pgLedger).
+        self.commit_barrier = None
         # all transactions ever started on this node, by xid
         self.transactions: Dict[int, TransactionContext] = {}
         # still-interesting transactions for SSI conflict checks
@@ -110,10 +131,17 @@ class Database:
     # Transaction lifecycle
     # ------------------------------------------------------------------
 
-    def begin(self, snapshot: Optional[Snapshot] = None,
-              **kwargs) -> TransactionContext:
+    def begin(self, snapshot: Optional[Snapshot] = None, *,
+              _barrier: bool = True, **kwargs) -> TransactionContext:
         """Start a transaction.  Default snapshot: latest committed state
-        (sequence snapshot)."""
+        (sequence snapshot).
+
+        ``_barrier=False`` (ledger system transactions only) skips the
+        pipelining fence: those transactions touch only pgLedger, which
+        the background finalize stage never mutates, and their reads use
+        sequence snapshots that never consult creator-block stamps."""
+        if _barrier and self.commit_barrier is not None:
+            self.commit_barrier()
         xid = next(self._xid_counter)
         if snapshot is None:
             snapshot = SeqSnapshot(self.statuses.current_commit_seq)
@@ -183,6 +211,25 @@ class Database:
         """Open a block-granular apply batch for ``apply_commit(batch=)``."""
         return BlockApplyBatch(block_number=block_number)
 
+    def drain_commits(self) -> None:
+        """Wait for any pipelined block finalization to fully apply.  A
+        no-op without the parallel scheduler.  Call before reading heap,
+        index, columnstore or checkpoint state outside a transaction."""
+        if self.commit_barrier is not None:
+            self.commit_barrier()
+
+    def note_block_deltas(self, batch: BlockApplyBatch) -> None:
+        """Hand the block's committed write sets to the columnstore's
+        pending queue, in commit order.  Split out of :meth:`apply_block`
+        (and made idempotent) because the pipelined scheduler must queue
+        the deltas on the *foreground* thread — the following ledger
+        status record feeds the same queue, and pending order is what
+        makes chunk contents deterministic."""
+        if batch.noted:
+            return
+        batch.noted = True
+        self.columnstore.note_block(batch.committed)
+
     def apply_block(self, batch: BlockApplyBatch) -> None:
         """Finish the block's deferred apply work in single per-block
         passes: stamp creator heights on every committed new version,
@@ -210,7 +257,7 @@ class Database:
         for table, count in deletes.items():
             if self.catalog.has_table(table):
                 self.catalog.heap_of(table).note_committed_deletes(count)
-        self.columnstore.note_block(batch.committed)
+        self.note_block_deltas(batch)
         for table in tables:
             if self.catalog.has_table(table):
                 self.catalog.heap_of(table).merge_pending_indexes()
@@ -275,11 +322,23 @@ class Database:
         for other in self._active.values():
             if other.xid != tx.xid:
                 out.append(other)
-        for other in self._recently_committed:
-            if other.xid == tx.xid:
-                continue
-            commit_seq = self.statuses.commit_seq(other.xid)
-            if commit_seq is not None and commit_seq > tx.begin_seq:
+        # ``_recently_committed`` is appended at commit time and pruned
+        # from the front only, so commit_seq is monotone in list position:
+        # the entries committed after ``tx`` began are exactly a tail
+        # slice, found by binary search instead of a full scan.
+        recent = self._recently_committed
+        commit_seq = self.statuses.commit_seq
+        begin_seq = tx.begin_seq
+        lo, hi = 0, len(recent)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            seq = commit_seq(recent[mid].xid)
+            if seq is not None and seq > begin_seq:
+                hi = mid
+            else:
+                lo = mid + 1
+        for other in recent[lo:]:
+            if other.xid != tx.xid:
                 out.append(other)
         return out
 

@@ -23,7 +23,12 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from repro.errors import SerializationFailure
-from repro.mvcc.conflicts import has_rw_edge, near_conflicts, out_conflicts
+from repro.mvcc.conflicts import (
+    ConflictIndex,
+    has_rw_edge,
+    near_conflicts,
+    out_conflicts,
+)
 from repro.mvcc.database import Database
 from repro.mvcc.transaction import TransactionContext, TxState
 
@@ -54,14 +59,17 @@ class AbortDuringCommitSSI:
         self.db = db
 
     def validate(self, tx: TransactionContext,
-                 candidates: Optional[Iterable[TransactionContext]] = None
+                 candidates: Optional[Iterable[TransactionContext]] = None,
+                 index: Optional[ConflictIndex] = None
                  ) -> List[TransactionContext]:
         """Run the abort-during-commit checks as ``tx`` commits.
 
         ``candidates`` is the set of transactions to consider for conflicts
-        (defaults to everything concurrent with ``tx``).  Returns the list
-        of *other* transactions this step aborted.  Raises
-        :class:`SerializationFailure` if ``tx`` itself must abort.
+        (defaults to everything concurrent with ``tx``).  ``index`` supplies
+        memoized rw-edge verdicts (the parallel scheduler's warmed cache) —
+        decisions are unchanged.  Returns the list of *other* transactions
+        this step aborted.  Raises :class:`SerializationFailure` if ``tx``
+        itself must abort.
         """
         if candidates is None:
             candidates = self.db.concurrent_with(tx)
@@ -69,8 +77,8 @@ class AbortDuringCommitSSI:
 
         validate_ww(self.db, tx)
 
-        nears = near_conflicts(tx, candidates)
-        outs = out_conflicts(tx, candidates)
+        nears = near_conflicts(tx, candidates, index)
+        outs = out_conflicts(tx, candidates, index)
 
         # Rule 2 (wr-style, Figure 2(c)): T is itself a pivot whose
         # out-conflict already committed -> abort T.
@@ -87,7 +95,7 @@ class AbortDuringCommitSSI:
                 continue
             far_candidates = [c for c in candidates if c.xid != near.xid]
             far_candidates.append(tx)
-            for far in near_conflicts(near, far_candidates):
+            for far in near_conflicts(near, far_candidates, index):
                 if far.xid == near.xid:
                     continue
                 if far.is_aborted:

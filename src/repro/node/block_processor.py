@@ -26,6 +26,16 @@ pipeline would have.  Only the work later validations observe (CLOG
 flips, xmax-winner resolution) stays inside the loop, which keeps commit
 and abort decisions — and therefore WAL sequences, checkpoint digests
 and ledger contents — byte-identical between the two pipelines.
+
+Parallel commit scheduler (``db.parallel_commit``, on top of the
+batched pipeline — see node/scheduler.py and docs/parallel_commit.md):
+the block partitions into independent conflict groups whose rw-edge
+structure is derived concurrently on a thread pool, the serial merge
+loop consumes the warmed edge cache (decisions stay in block order —
+bytes identical by construction), and the block's finalization
+(``apply_block``, columnstore ingest, checkpoint digest, WAL flush)
+pipelines onto a background stage overlapping the next block's
+execution, fenced by a barrier in ``Database.begin``.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ from repro.node.ledger import (
     STATUS_COMMITTED,
 )
 from repro.node.notifications import CHANNEL_BLOCKS, CHANNEL_TX_STATUS
+from repro.node.scheduler import CommitScheduler
 
 
 class SimulatedCrash(ReproError):
@@ -84,6 +95,11 @@ class BlockProcessor:
         self.oe_validator = AbortDuringCommitSSI(node.db)
         self.eo_validator = BlockAwareSSI(node.db)
         self.metrics: List[BlockMetrics] = []
+        self.scheduler = CommitScheduler(node)
+        # Pipelining fence: transactions beginning on this node wait out
+        # any in-flight background block finalization, so reads at height
+        # N never observe a partially applied block N.
+        node.db.commit_barrier = self.scheduler.barrier
 
     # ------------------------------------------------------------------
 
@@ -107,16 +123,30 @@ class BlockProcessor:
 
         # Step 3: serial commit in block order.
         commit_started = time.perf_counter()
-        statuses = self._serial_commit(block, outcomes, metrics, crash_point)
+        statuses, deferred = self._serial_commit(
+            block, outcomes, metrics, crash_point)
         metrics.block_commit_time = time.perf_counter() - commit_started
-        node.db.wal.flush()
-        if crash_point == "before_status_record":
-            raise SimulatedCrash("crashed before recording statuses")
+        # With a deferred batch the commit-boundary flush moves to the
+        # background stage (bounded to this block's lsn horizon); the
+        # exception path below restores exactly the serial pipeline's
+        # durable prefix before propagating.
+        commit_mark = node.db.wal.mark()
+        try:
+            if deferred is None:
+                node.db.wal.flush()
+            if crash_point == "before_status_record":
+                raise SimulatedCrash("crashed before recording statuses")
 
-        # Step 4: statuses, notifications, checkpoint.
-        node.ledger.record_statuses(block, statuses)
-        node.db.wal.flush()
-        self._after_commit(block, outcomes, statuses)
+            # Step 4: statuses, notifications, checkpoint.
+            node.ledger.record_statuses(block, statuses)
+            if deferred is None:
+                node.db.wal.flush()
+        except BaseException:
+            if deferred is not None:
+                node.db.apply_block(deferred)
+                node.db.wal.flush(upto_lsn=commit_mark)
+            raise
+        self._after_commit(block, outcomes, statuses, deferred)
         metrics.block_processing_time = time.perf_counter() - started
         self.metrics.append(metrics)
         return metrics
@@ -177,12 +207,27 @@ class BlockProcessor:
                        outcomes: Dict[str, ExecutionOutcome],
                        metrics: BlockMetrics,
                        crash_point: Optional[str] = None
-                       ) -> Dict[str, Tuple[str, str, Optional[int]]]:
+                       ) -> Tuple[Dict[str, Tuple[str, str, Optional[int]]],
+                                  Optional[object]]:
         """Commit/abort each transaction serially, in block order — 'the
         order in which the transactions get committed is the order in which
-        the transactions appear in the block' (section 3.3.3)."""
+        the transactions appear in the block' (section 3.3.3).
+
+        Returns ``(statuses, deferred_batch)``.  ``deferred_batch`` is
+        non-None only on the parallel scheduler's happy path: the block's
+        heavy apply passes are still pending and must be handed to the
+        background finalize stage (``_after_commit``) or applied
+        synchronously if step 4 fails."""
         node = self.node
         statuses: Dict[str, Tuple[str, str, Optional[int]]] = {}
+
+        # Fence: the loop below mutates heaps, CLOG state and (via
+        # apply_abort) indexes that a still-running background
+        # finalization of the previous block may also touch.  Waiting
+        # here — unconditionally, whatever path this block takes — also
+        # keeps checkpoint-digest folds ordered across blocks that take
+        # different paths.
+        self.scheduler.barrier()
 
         # Stamp block positions first: the block-aware SSI needs to know
         # which conflicts are in this block and their relative order.
@@ -194,14 +239,26 @@ class BlockProcessor:
                 outcome.context.block_position = position
                 block_members.append(outcome.context)
 
+        use_parallel = (node.db.parallel_commit and node.db.batched_apply
+                        and len(block_members) >= node.db.parallel_min_txs)
+        index = None
+        if use_parallel:
+            # Stage A: derive the block's rw-edge structure concurrently,
+            # one task per independent conflict group.  Pure cache
+            # warming — every decision still happens in the loop below.
+            index, _groups = self.scheduler.prepare_block(block_members)
+
         crash_at = self._crash_position(crash_point, len(block.transactions))
         # Block-granular pipeline: per-row apply work defers into the
         # batch and lands in one per-block pass.  Finalizing in a
         # ``finally`` keeps every crash boundary identical to the
         # per-transaction pipeline: transactions committed before the
-        # crash are fully applied either way.
+        # crash are fully applied either way.  On the parallel happy path
+        # only the columnstore delta hand-off happens here (it must be
+        # queued in foreground commit order); the heavy passes pipeline.
         batch = node.db.begin_block_apply(block.number) \
             if node.db.batched_apply else None
+        completed = False
         try:
             for position, tx in enumerate(block.transactions):
                 if position == crash_at:
@@ -228,9 +285,10 @@ class BlockProcessor:
                     node.contracts.validate_versions(
                         context.contract_versions)
                     if node.flow == FLOW_ORDER_EXECUTE:
-                        self.oe_validator.validate(context)
+                        self.oe_validator.validate(context, index=index)
                     else:
-                        self.eo_validator.validate(context, block.number)
+                        self.eo_validator.validate(context, block.number,
+                                                   index=index)
                 except (SerializationFailure, DeploymentError,
                         ContractError) as exc:
                     node.db.apply_abort(context, reason=str(exc))
@@ -244,10 +302,16 @@ class BlockProcessor:
                     action()
                 statuses[tx.tx_id] = (STATUS_COMMITTED, "", context.xid)
                 metrics.committed += 1
+            completed = True
         finally:
             if batch is not None:
-                node.db.apply_block(batch)
-        return statuses
+                if completed and use_parallel:
+                    node.db.note_block_deltas(batch)
+                else:
+                    node.db.apply_block(batch)
+        if completed and use_parallel:
+            return statuses, batch
+        return statuses, None
 
     @staticmethod
     def _crash_position(crash_point: Optional[str],
@@ -265,8 +329,8 @@ class BlockProcessor:
 
     def _after_commit(self, block: Block,
                       outcomes: Dict[str, ExecutionOutcome],
-                      statuses: Dict[str, Tuple[str, str, Optional[int]]]
-                      ) -> None:
+                      statuses: Dict[str, Tuple[str, str, Optional[int]]],
+                      deferred=None) -> None:
         node = self.node
         node.db.committed_height = block.number
         committed_contexts = [
@@ -278,11 +342,19 @@ class BlockProcessor:
             node.executing.pop(tx.tx_id, None)
             node.pending_outcomes.pop(tx.tx_id, None)
 
-        # Checkpointing phase.
-        digest = node.checkpoints.record_local(block.number,
-                                               committed_contexts)
-        if digest is not None and node.ordering is not None:
-            node.ordering.submit_checkpoint(node.name, block.number, digest)
+        # Checkpointing phase.  Digests parked by earlier pipelined
+        # blocks submit first so the ordering service sees heights in
+        # order; this block's own digest either computes here (serial) or
+        # on the background stage (pipelined, reusing the fold).
+        self.scheduler.flush_checkpoints()
+        if deferred is not None:
+            self._submit_finalize(block, deferred)
+        else:
+            digest = node.checkpoints.record_local(block.number,
+                                                   committed_contexts)
+            if digest is not None and node.ordering is not None:
+                node.ordering.submit_checkpoint(
+                    node.name, block.number, digest)
         remote = block.metadata.get("checkpoints")
         if remote:
             node.checkpoints.verify_remote(remote)
@@ -297,7 +369,58 @@ class BlockProcessor:
                                   txs=len(block.transactions))
         node.db.prune_committed()
 
-        # Columnar replica ingest: append this block's committed version
-        # deltas into the per-table column chunks (and compact
-        # periodically) so AS OF analytics never touch the row store.
-        node.db.columnstore.on_block(node.db, block.number)
+        if deferred is None:
+            # Columnar replica ingest: append this block's committed
+            # version deltas into the per-table column chunks (and
+            # compact periodically) so AS OF analytics never touch the
+            # row store.  (Pipelined blocks ingest on the background
+            # stage instead.)
+            node.db.columnstore.on_block(node.db, block.number)
+
+    def _submit_finalize(self, block: Block, batch) -> None:
+        """Stage C hand-off: everything ordered is cut on the foreground
+        *now* — the WAL lsn horizon (so the background flush can never
+        persist a later block's records) and the columnstore pending
+        queue (so ingestion can never absorb a later block's deltas) —
+        then the heavy finalization runs on the FIFO background stage,
+        overlapping the next block's execution."""
+        node = self.node
+        db = node.db
+        height = block.number
+        upto = db.wal.mark()
+        if db.columnstore.enabled and db.columnstore.stale:
+            # A stale column store rebuilds from the live heaps on next
+            # access — that must happen in the foreground, with this
+            # block fully applied, to seal the same per-block chunk
+            # boundaries as the serial path.  Finalize synchronously
+            # this once; pipelining resumes from the next block (the
+            # rebuild clears the stale flag).
+            db.apply_block(batch)
+            db.columnstore.on_block(db, height)
+            digest = write_set_digest(batch.committed)
+            checkpoint = node.checkpoints.record_local(
+                height, batch.committed, digest=digest)
+            if checkpoint is not None and node.ordering is not None:
+                node.ordering.submit_checkpoint(node.name, height,
+                                                checkpoint)
+            db.wal.flush(upto_lsn=upto)
+            return
+        cut = db.columnstore.cut_pending()
+        scheduler = self.scheduler
+
+        def finalize():
+            # Same order as the serial path: apply (stamp creator
+            # heights, account deletes, bulk-merge indexes), then ingest
+            # the cut into column chunks (reads the stamps set above),
+            # then fold the checkpoint digest, then make the block's WAL
+            # records durable.
+            db.apply_block(batch)
+            db.columnstore.ingest_block(db, height, cut)
+            digest = write_set_digest(batch.committed)
+            checkpoint = node.checkpoints.record_local(
+                height, batch.committed, digest=digest)
+            if checkpoint is not None:
+                scheduler.queue_checkpoint(height, checkpoint)
+            db.wal.flush(upto_lsn=upto)
+
+        scheduler.submit_finalize(finalize)

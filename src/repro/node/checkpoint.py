@@ -13,9 +13,10 @@ preconfigured number of blocks").
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.serialization import canonical_hash_hex
+from repro.common.serialization import canonical_bytes, canonical_hash_hex
 from repro.errors import CheckpointMismatchError
 from repro.mvcc.transaction import TransactionContext
 
@@ -24,13 +25,22 @@ LEDGER_EXCLUDED_TABLES = {"pgledger"}
 
 def write_set_digest(committed: List[TransactionContext]) -> str:
     """Canonical hash of the block's write-set union, in commit order.
-    pgLedger rows are excluded (their commit_time is node-local)."""
-    payload = []
+    pgLedger rows are excluded (their commit_time is node-local).
+
+    One streaming fold per block: each transaction's canonical bytes feed
+    a single running SHA-256 (length-prefixed, so chunk boundaries are
+    unambiguous) instead of materializing the whole block's payload and
+    serializing it a second time.  Deterministic across nodes — the
+    digest depends only on tx order and canonical write-set bytes."""
+    hasher = hashlib.sha256()
     for tx in committed:
-        entries = [entry.to_canonical() for entry in tx.writes
-                   if entry.table not in LEDGER_EXCLUDED_TABLES]
-        payload.append({"tx": tx.tx_id, "writes": entries})
-    return canonical_hash_hex(payload)
+        chunk = canonical_bytes(
+            {"tx": tx.tx_id,
+             "writes": [entry.to_canonical() for entry in tx.writes
+                        if entry.table not in LEDGER_EXCLUDED_TABLES]})
+        hasher.update(len(chunk).to_bytes(8, "big"))
+        hasher.update(chunk)
+    return hasher.hexdigest()
 
 
 class CheckpointManager:
@@ -44,12 +54,22 @@ class CheckpointManager:
         self.mismatches: List[Tuple[int, str, str, str]] = []
         # (height, other_node, ours, theirs)
         self.verified_heights: List[int] = []
+        # Pipelining fence (set by the owning node): digest reads wait
+        # out a background block finalization that may still be folding
+        # (``record_local`` runs on the finalize stage when pipelined).
+        self.fence = None
 
     def record_local(self, height: int,
-                     committed: List[TransactionContext]) -> Optional[str]:
+                     committed: List[TransactionContext],
+                     digest: Optional[str] = None) -> Optional[str]:
         """Fold this block's digest in; returns a checkpoint digest every
-        ``interval`` blocks (to be submitted to the ordering service)."""
-        self._pending_digests.append(write_set_digest(committed))
+        ``interval`` blocks (to be submitted to the ordering service).
+
+        ``digest`` lets the pipelined finalize stage reuse the
+        block digest it already computed instead of re-folding the write
+        sets here."""
+        self._pending_digests.append(
+            digest if digest is not None else write_set_digest(committed))
         if height % self.interval == 0:
             digest = canonical_hash_hex(self._pending_digests)
             self._pending_digests = []
@@ -58,6 +78,8 @@ class CheckpointManager:
         return None
 
     def local_digest(self, height: int) -> Optional[str]:
+        if self.fence is not None:
+            self.fence()
         return self._local.get(height)
 
     def verify_remote(self, checkpoints: Dict[str, Dict[str, str]]) -> None:

@@ -82,9 +82,17 @@ class Ledger:
 
     # -- system transaction helpers -----------------------------------------
 
+    # Ledger system transactions skip the parallel scheduler's pipelining
+    # fence (``_barrier=False``): they touch only pgLedger, which the
+    # background finalize stage never mutates, and their reads use
+    # sequence snapshots that never consult creator-block stamps — this
+    # is what lets block N+1's ledger record overlap block N's pipelined
+    # finalization.
+
     def _run(self, fn) -> None:
         """Run ``fn(executor)`` in one system transaction (SQL path)."""
-        tx = self.db.begin(allow_nondeterministic=True, username="@system")
+        tx = self.db.begin(allow_nondeterministic=True, username="@system",
+                           _barrier=False)
         executor = Executor(self.db, tx)
         try:
             fn(executor)
@@ -95,7 +103,8 @@ class Ledger:
 
     def _run_bulk(self, fn) -> None:
         """Run ``fn(tx)`` in one system transaction (direct heap path)."""
-        tx = self.db.begin(allow_nondeterministic=True, username="@system")
+        tx = self.db.begin(allow_nondeterministic=True, username="@system",
+                           _barrier=False)
         try:
             fn(tx)
         except BaseException:
@@ -214,21 +223,42 @@ class Ledger:
     def _record_statuses_bulk(self, block: Block, outcomes: Dict[str, Any],
                               now: float) -> None:
         """Bulk step 2: one system transaction, one point lookup + one
-        versioned update per transaction of the block."""
+        versioned update per transaction of the block.
+
+        Delta-encoded: the changed columns coerce once per distinct
+        ``(status, reason)`` pair — for the common all-committed block
+        that is a single shared delta dict reused by every row, with only
+        ``txid`` coerced per row — and the unchanged columns copy
+        straight from the old version, whose values were already coerced
+        when written (coercion is idempotent, so the resulting rows are
+        byte-identical to the full per-column re-coercion)."""
+        schema = self.db.catalog.schema_of(LEDGER_TABLE)
+        types = {col.name: col.type_name for col in schema.columns}
+
+        def _coerce_one(value: Any, column: str) -> Any:
+            return None if value is None else \
+                coerce_value(value, types[column], column)
+
+        committime = _coerce_one(now, "committime")
+        deltas: Dict[Any, Dict[str, Any]] = {}
+
         def _write(tx) -> None:
             heap = self._heap()
             for btx in block.transactions:
                 status, reason, local_xid = outcomes[btx.tx_id]
+                delta = deltas.get((status, reason))
+                if delta is None:
+                    delta = {"status": _coerce_one(status, "status"),
+                             "reason": _coerce_one(reason, "reason"),
+                             "committime": committime}
+                    deltas[(status, reason)] = delta
                 old = self._visible_by_pk(btx.tx_id, own_xid=tx.xid)
                 if old is None:
                     continue  # matches the SQL UPDATE's 0-row no-op
                 new_values = dict(old.values)
-                new_values.update({
-                    "status": status, "reason": reason,
-                    "txid": local_xid, "committime": now,
-                })
-                new_version = heap.update_version(
-                    old, self._coerced(new_values), tx.xid)
+                new_values.update(delta)
+                new_values["txid"] = _coerce_one(local_xid, "txid")
+                new_version = heap.update_version(old, new_values, tx.xid)
                 tx.record_write(WriteSetEntry(
                     table=LEDGER_TABLE, kind="update",
                     old_version=old, new_version=new_version))

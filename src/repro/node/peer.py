@@ -81,6 +81,8 @@ class DatabaseNode:
         self.blockstore = BlockStore()
         self.checkpoints = CheckpointManager(
             self.name, interval=checkpoint_interval)
+        # Digest reads wait out any pipelined finalize still folding.
+        self.checkpoints.fence = self.db.drain_commits
         self.notifications = NotificationHub()
 
         # tx_id -> in-flight TransactionContext / ExecutionOutcome
@@ -203,6 +205,7 @@ class DatabaseNode:
         if self.crashed:
             raise ReproError(f"node {self.name} is down")
         self.acl.check_read(username, table)
+        self.db.drain_commits()   # columnstore reads bypass begin()'s fence
         return self.db.columnstore.history(self.db, table, key_column,
                                            key_value)
 
@@ -213,6 +216,7 @@ class DatabaseNode:
         if self.crashed:
             raise ReproError(f"node {self.name} is down")
         self.acl.check_read(username, table)
+        self.db.drain_commits()   # columnstore reads bypass begin()'s fence
         return self.db.columnstore.diff(self.db, table, low_height,
                                         high_height)
 
@@ -370,6 +374,9 @@ class DatabaseNode:
         (see ``storage/vacuum.py``)."""
         from repro.storage.vacuum import vacuum_database
 
+        # Vacuum walks heaps directly; wait out any in-flight pipelined
+        # block finalization first.
+        self.db.drain_commits()
         horizon = self.db.committed_height - keep_blocks
         if horizon < 0:
             from repro.storage.vacuum import VacuumReport
@@ -387,6 +394,11 @@ class DatabaseNode:
         rebuilds from the heap once the node serves analytics again."""
         self.crashed = True
         self.network.take_down(self.name)
+        # Let any in-flight pipelined finalization settle before freezing
+        # the WAL: the crash semantics (which records are durable) are
+        # defined by the flush horizon, and a finalize racing wal.crash()
+        # would make that horizon nondeterministic.
+        self.db.drain_commits()
         self.db.wal.crash()
         self.db.columnstore.mark_stale()
 

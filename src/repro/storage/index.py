@@ -123,7 +123,16 @@ class Index:
         settled region uses per-entry ``list.insert`` (C memmove — the
         pre-batching cost, so merge-on-demand never regresses alternating
         insert/ordered-read patterns); a large tail does one linear
-        two-way merge."""
+        two-way merge.
+
+        Thread note: the pipelined commit scheduler runs this from its
+        background finalize stage; the block processor's barrier fences
+        every transactional reader away from that window.  As
+        belt-and-braces the non-append regimes still build fresh arrays
+        and publish them with single tuple assignments (a stray reader
+        sees the old arrays or the new — never a half-shifted one); the
+        append regime extends in place, which only ever grows a valid
+        prefix."""
         pending = len(self._pending_ids)
         if not pending:
             return 0
@@ -133,10 +142,12 @@ class Index:
             keys.extend(pkeys)
             ids.extend(pids)
         elif pending * 16 < len(keys):
+            keys, ids = list(keys), list(ids)
             for key, version_id in zip(pkeys, pids):
                 pos = bisect.bisect_right(keys, key)
                 keys.insert(pos, key)
                 ids.insert(pos, version_id)
+            self._keys, self._ids = keys, ids
         else:
             merged_keys: List[Tuple] = []
             merged_ids: List[int] = []

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -81,6 +83,14 @@ class WriteAheadLog:
         # Observability: group-commit batch sizes.
         self.flush_count = 0
         self.records_flushed = 0
+        # Pipelined commit: the background finalize stage flushes block
+        # N's records while the foreground appends block N+1's.  The lock
+        # covers flush bookkeeping; appends stay foreground-only (the
+        # block processor's barrier orders them against background work).
+        self._flush_lock = threading.Lock()
+        # Recovery group commit (``group()``): >0 suppresses file appends
+        # so a whole replay batch serializes/writes once at group exit.
+        self._group_depth = 0
         if path and os.path.exists(path):
             self._load(path)
 
@@ -101,19 +111,62 @@ class WriteAheadLog:
         self._next_lsn += 1
         return record
 
-    def flush(self) -> None:
-        """Durably persist everything appended so far (group commit: one
-        serialization pass, one file append per batch)."""
-        self._flushed_lsn = self._next_lsn - 1
-        batch = self._records[self._persisted_count:]
-        if batch:
-            self.flush_count += 1
-            self.records_flushed += len(batch)
-        if self._path and batch:
+    def flush(self, upto_lsn: Optional[int] = None) -> None:
+        """Durably persist appended records (group commit: one
+        serialization pass, one file append per batch).
+
+        ``upto_lsn`` bounds the fsync horizon: the pipelined scheduler
+        marks block N's last lsn at hand-off and flushes *only up to it*
+        from the background stage, so block N+1's foreground appends are
+        never made durable early (that would change which records a crash
+        loses).  The horizon only advances — a bounded flush behind the
+        current horizon is a no-op."""
+        with self._flush_lock:
+            target = self._next_lsn - 1
+            if upto_lsn is not None:
+                target = min(target, upto_lsn)
+            if target > self._flushed_lsn:
+                self._flushed_lsn = target
+            if self._group_depth:
+                return
+            self._flush_file()
+
+    def _flush_file(self) -> None:
+        """Serialize + append the durable-but-unpersisted prefix (callers
+        hold ``_flush_lock``).  ``_records[i].lsn == i + 1`` — true from
+        birth through crash/load — so the prefix is a plain slice."""
+        end = self._flushed_lsn
+        batch = self._records[self._persisted_count:end]
+        if not batch:
+            return
+        self.flush_count += 1
+        self.records_flushed += len(batch)
+        if self._path:
             with open(self._path, "a", encoding="utf-8") as handle:
                 handle.write("".join(record.to_json() + "\n"
                                      for record in batch))
-        self._persisted_count = len(self._records)
+        self._persisted_count = end
+
+    def mark(self) -> int:
+        """Last allocated lsn — the bound a pipelined ``flush`` must not
+        exceed, captured on the foreground thread at hand-off."""
+        return self._next_lsn - 1
+
+    @contextmanager
+    def group(self):
+        """Recovery/catch-up group commit: flushes inside the block only
+        advance the durability horizon; serialization and the file append
+        happen once, at group exit.  Re-entrant (nested groups fold into
+        the outermost)."""
+        with self._flush_lock:
+            self._group_depth += 1
+        try:
+            yield self
+        finally:
+            with self._flush_lock:
+                self._group_depth -= 1
+                if self._group_depth == 0:
+                    self._flush_file()
 
     @property
     def flushed_lsn(self) -> int:

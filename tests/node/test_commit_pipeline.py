@@ -90,15 +90,18 @@ def build_blocks(node, identity, flow):
     return blocks
 
 
-def drive(flow, batched):
+def drive(flow, batched, parallel=False):
     net = BlockchainNetwork(
         organizations=["org1"], flow=flow,
         schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS)
     node = net.primary_node
     node.db.batched_apply = batched
+    node.db.parallel_commit = parallel
+    node.db.parallel_min_txs = 0   # engage on these tiny blocks too
     node.ledger._clock = lambda: 1000.0   # pin committime across runs
     client = net.register_client("alice", "org1")
     build_blocks(node, client.identity, flow)
+    node.db.drain_commits()   # pipelined finalize must land before dumps
     return net, node
 
 
@@ -143,8 +146,11 @@ def digests(node):
 
 @pytest.mark.parametrize("flow", ["order-execute", "execute-order"])
 def test_batched_and_serial_pipelines_are_byte_identical(flow):
+    """Three-way: per-transaction, batched, and batched+parallel (conflict
+    groups + cross-block pipelining) must leave byte-identical artifacts."""
     _, batched = drive(flow, batched=True)
     _, serial = drive(flow, batched=False)
+    _, parallel = drive(flow, batched=True, parallel=True)
 
     assert wal_dump(batched.db) == wal_dump(serial.db)
     assert ledger_dump(batched) == ledger_dump(serial)
@@ -154,16 +160,32 @@ def test_batched_and_serial_pipelines_are_byte_identical(flow):
     assert batched.db.committed_height == serial.db.committed_height \
         == N_BLOCKS
 
+    # The parallel scheduler is a scheduling change only: every artifact
+    # matches the serial batched pipeline byte for byte (and the blocks
+    # are big enough that it actually engaged).
+    assert parallel.processor.scheduler.parallel_blocks > 0
+    assert parallel.processor.scheduler.pipelined_blocks > 0
+    assert wal_dump(parallel.db) == wal_dump(batched.db)
+    assert ledger_dump(parallel) == ledger_dump(batched)
+    assert digests(parallel) == digests(batched)
+    assert table_dump(parallel, "kv") == table_dump(batched, "kv")
+    assert chunk_dump(parallel.db) == chunk_dump(batched.db)
+    assert parallel.db.committed_height == N_BLOCKS
+
     query = "SELECT k, v FROM kv ORDER BY k"
     assert batched.query(query).rows == serial.query(query).rows
+    assert parallel.query(query).rows == serial.query(query).rows
     # Plan identity, EXPLAIN included (cache temperature may differ).
     explain = "EXPLAIN SELECT v FROM kv WHERE k = 'k0'"
     strip = lambda res: [r for r in res.rows
                          if not r[0].startswith("Plan Cache:")]
     assert strip(batched.query(explain)) == strip(serial.query(explain))
+    assert strip(parallel.query(explain)) == strip(serial.query(explain))
     # Time travel over the batched pipeline's ingested chunks.
     for height in range(1, N_BLOCKS + 1):
         assert batched.query_as_of(query, height).rows == \
+            serial.query_as_of(query, height).rows
+        assert parallel.query_as_of(query, height).rows == \
             serial.query_as_of(query, height).rows
 
 
@@ -189,12 +211,15 @@ CRASH_POINTS = (["after_ledger_record"]
                 + ["before_status_record"])
 
 
-@pytest.mark.parametrize("batched", [True, False])
-def test_recovery_at_every_commit_boundary(batched):
+@pytest.mark.parametrize("batched,parallel", [
+    (True, False), (False, False), (True, True)])
+def test_recovery_at_every_commit_boundary(batched, parallel):
     for crash_point in CRASH_POINTS:
         net = make_kv_network("order-execute", orgs=["org1", "org2"])
         for peer in net.nodes:
             peer.db.batched_apply = batched
+            peer.db.parallel_commit = parallel
+            peer.db.parallel_min_txs = 0
         client = net.register_client("alice", "org1")
         client.invoke_and_wait("set_kv", "base", 1)
 

@@ -1,0 +1,261 @@
+"""Parallel intra-block commit: partition validity, memoized-edge
+equivalence, and serial-vs-parallel byte-identity on randomized workloads.
+
+Three properties underwrite the scheduler's determinism argument
+(docs/parallel_commit.md):
+
+1. ``partition_block`` is a valid coloring of ``build_conflict_graph`` —
+   no rw-antidependency and no ww overlap ever crosses two groups, so
+   groups are independent by construction.
+2. ``ConflictIndex.has_edge`` returns exactly ``has_rw_edge`` (first
+   computation and memoized hit alike) — the warmed cache can never
+   change a validator's verdict.
+3. Whole-pipeline runs over randomized conflicting workloads leave
+   byte-identical WAL sequences, pgLedger rows, checkpoint digests,
+   heap versions and column chunks with the scheduler on or off.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import Block
+from repro.chain.transaction import ProcedureCall, Transaction
+from repro.core.network import BlockchainNetwork
+from repro.mvcc.conflicts import (
+    ConflictIndex,
+    build_conflict_graph,
+    has_rw_edge,
+    partition_block,
+)
+from repro.mvcc.database import Database
+from repro.sql.executor import run_sql
+from tests.conftest import KV_CONTRACTS, KV_SCHEMA
+from tests.node.test_commit_pipeline import (
+    chunk_dump,
+    ledger_dump,
+    table_dump,
+    wal_dump,
+)
+
+# ----------------------------------------------------------------------
+# Synthetic in-block workloads with real read/write sets: each op is
+# (range_read?, read key, write key) over a 5-row table — point and
+# predicate reads, overlapping updates (rw edges + ww overlaps).
+# ----------------------------------------------------------------------
+
+ops_strategy = st.lists(
+    st.tuples(st.booleans(),
+              st.integers(min_value=1, max_value=5),
+              st.integers(min_value=1, max_value=5)),
+    min_size=1, max_size=8)
+
+
+def _executed_block(ops):
+    """Execute ``ops`` as concurrent transactions; returns the active
+    contexts in block order (frozen read/write sets, nothing decided)."""
+    db = Database()
+    setup = db.begin(allow_nondeterministic=True)
+    run_sql(db, setup, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    for key in range(1, 6):
+        run_sql(db, setup, "INSERT INTO t (id, v) VALUES ($1, 0)",
+                params=(key,))
+    db.apply_commit(setup, block_number=1)
+
+    txs = []
+    for range_read, read_key, write_key in ops:
+        tx = db.begin(allow_nondeterministic=True)
+        if range_read:
+            run_sql(db, tx, "SELECT v FROM t WHERE id >= $1",
+                    params=(read_key,))
+        else:
+            run_sql(db, tx, "SELECT v FROM t WHERE id = $1",
+                    params=(read_key,))
+        run_sql(db, tx, "UPDATE t SET v = v + 1 WHERE id = $1",
+                params=(write_key,))
+        txs.append(tx)
+    return txs
+
+
+class TestPartitionProperties:
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_valid_coloring(self, ops):
+        txs = _executed_block(ops)
+        groups = partition_block(txs, ConflictIndex())
+
+        # Exact cover, block order preserved inside every group.
+        assert sorted(tx.xid for g in groups for tx in g) == \
+            sorted(tx.xid for tx in txs)
+        position = {tx.xid: i for i, tx in enumerate(txs)}
+        for group in groups:
+            spots = [position[tx.xid] for tx in group]
+            assert spots == sorted(spots)
+        # Groups come out ordered by their earliest member.
+        firsts = [position[group[0].xid] for group in groups]
+        assert firsts == sorted(firsts)
+
+        # No rw edge of the full conflict graph crosses two groups.
+        group_of = {tx.xid: gi
+                    for gi, group in enumerate(groups) for tx in group}
+        graph = build_conflict_graph(txs)
+        for reader_xid, writer_xids in graph.items():
+            for writer_xid in writer_xids:
+                assert group_of[reader_xid] == group_of[writer_xid], \
+                    f"rw edge {reader_xid}->{writer_xid} crosses groups"
+        # No ww overlap (shared replaced version) crosses two groups.
+        for a in txs:
+            for b in txs:
+                if a.xid < b.xid and \
+                        a.wrote_version_ids() & b.wrote_version_ids():
+                    assert group_of[a.xid] == group_of[b.xid], \
+                        f"ww overlap {a.xid}/{b.xid} crosses groups"
+
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_index_matches_has_rw_edge(self, ops):
+        txs = _executed_block(ops)
+        index = ConflictIndex()
+        for a in txs:
+            for b in txs:
+                expect = has_rw_edge(a, b)
+                assert index.has_edge(a, b) == expect   # first computation
+                assert index.has_edge(a, b) == expect   # memoized hit
+                assert index.ww_overlap(a, b) == bool(
+                    a.wrote_version_ids() & b.wrote_version_ids())
+
+    @given(ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_warm_block_verdicts_match_has_rw_edge(self, ops):
+        """The bulk inverted-map derivation (``warm_block``) fills the
+        edge cache with exactly the verdicts lazy per-pair computation
+        would produce — point *and* range predicates."""
+        txs = _executed_block(ops)
+        index = ConflictIndex()
+        true_pairs = set(index.warm_block(txs))
+        for a in txs:
+            for b in txs:
+                expect = has_rw_edge(a, b)
+                assert index.has_edge(a, b) == expect   # cached by warm
+                if a.xid != b.xid:
+                    assert ((a.xid, b.xid) in true_pairs) == expect
+
+
+# ----------------------------------------------------------------------
+# End-to-end: randomized conflicting workloads, scheduler on vs off
+# ----------------------------------------------------------------------
+
+N_BLOCKS = 4
+TXS_PER_BLOCK = 12
+HOT_KEYS = [f"h{i}" for i in range(4)]
+
+
+def _random_plan(rng):
+    """Per-block contract calls: unique-key inserts (low conflict),
+    hot-key bumps (ww conflicts), occasional deletes."""
+    plan = []
+    cold = 0
+    live_cold = []
+    seed_calls = [ProcedureCall("set_kv", (k, 0)) for k in HOT_KEYS]
+    plan.append(seed_calls)
+    for _ in range(N_BLOCKS - 1):
+        calls = []
+        for _ in range(TXS_PER_BLOCK):
+            roll = rng.random()
+            if roll < 0.45:
+                calls.append(ProcedureCall("set_kv", (f"c{cold}", cold)))
+                live_cold.append(f"c{cold}")
+                cold += 1
+            elif roll < 0.8:
+                calls.append(ProcedureCall(
+                    "bump_kv", (rng.choice(HOT_KEYS), rng.randrange(9))))
+            elif live_cold:
+                calls.append(ProcedureCall(
+                    "del_kv", (live_cold.pop(rng.randrange(len(live_cold))),)))
+            else:
+                calls.append(ProcedureCall(
+                    "bump_kv", (rng.choice(HOT_KEYS), 1)))
+        plan.append(calls)
+    return plan
+
+
+def _drive(plan, parallel):
+    net = BlockchainNetwork(
+        organizations=["org1"], flow="execute-order",
+        schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS)
+    node = net.primary_node
+    node.db.batched_apply = True
+    node.db.parallel_commit = parallel
+    node.db.parallel_min_txs = 0
+    node.ledger._clock = lambda: 1000.0
+    client = net.register_client("alice", "org1")
+    for number, calls in enumerate(plan, start=1):
+        height = node.db.committed_height
+        txs = [Transaction.create(client.identity, call,
+                                  snapshot_height=height)
+               for call in calls]
+        for tx in txs:
+            node.submit_transaction(tx)
+        node.processor.process_block(
+            Block(number=number, transactions=txs).seal())
+    node.db.drain_commits()
+    return node
+
+
+def _artifacts(node):
+    return (wal_dump(node.db),
+            ledger_dump(node),
+            [node.checkpoints.local_digest(h)
+             for h in range(1, len(_random_plan(random.Random(0))) + 1)],
+            table_dump(node, "kv"),
+            chunk_dump(node.db),
+            node.db.committed_height)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_randomized_workload_byte_identity(seed):
+    plan = _random_plan(random.Random(seed))
+    serial = _drive(plan, parallel=False)
+    parallel = _drive(plan, parallel=True)
+
+    # The scheduler actually engaged: every block partitioned, at least
+    # one block's finalization pipelined, and the hot keys forced
+    # multi-member conflict groups alongside singletons.
+    sched = parallel.processor.scheduler
+    assert sched.parallel_blocks >= N_BLOCKS
+    assert sched.pipelined_blocks > 0
+    assert sched.groups_seen > sched.parallel_blocks
+
+    assert _artifacts(parallel) == _artifacts(serial)
+
+
+def test_serial_default_below_min_txs():
+    """Blocks smaller than ``parallel_min_txs`` take the serial path —
+    bytes are identical either way, and nothing is pipelined."""
+    plan = _random_plan(random.Random(3))
+    net = BlockchainNetwork(
+        organizations=["org1"], flow="execute-order",
+        schema_sql=KV_SCHEMA, contracts=KV_CONTRACTS)
+    node = net.primary_node
+    node.db.batched_apply = True
+    node.db.parallel_commit = True
+    node.db.parallel_min_txs = 10_000   # never reached
+    node.ledger._clock = lambda: 1000.0
+    client = net.register_client("alice", "org1")
+    for number, calls in enumerate(plan, start=1):
+        height = node.db.committed_height
+        txs = [Transaction.create(client.identity, call,
+                                  snapshot_height=height)
+               for call in calls]
+        for tx in txs:
+            node.submit_transaction(tx)
+        node.processor.process_block(
+            Block(number=number, transactions=txs).seal())
+    node.db.drain_commits()
+
+    sched = node.processor.scheduler
+    assert sched.parallel_blocks == 0 and sched.pipelined_blocks == 0
+    reference = _drive(plan, parallel=False)
+    assert _artifacts(node) == _artifacts(reference)

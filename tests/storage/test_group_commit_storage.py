@@ -1,5 +1,7 @@
 """WAL group commit and bulk index maintenance unit tests."""
 
+import os
+
 import pytest
 
 from repro.storage.index import AUTO_MERGE_THRESHOLD, Index, normalize_key
@@ -47,6 +49,85 @@ class TestWALGroupCommit:
         wal = WriteAheadLog()
         wal.flush()
         assert wal.flush_count == 0
+
+    def test_bounded_flush_stops_at_mark(self, tmp_path):
+        """``flush(upto_lsn=mark())`` persists exactly the records that
+        existed at the mark — the pipelined finalizer's guarantee that a
+        background flush never makes a later block's records durable."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(WAL_COMMIT, xid=1)
+        wal.append(WAL_COMMIT, xid=2)
+        mark = wal.mark()
+        wal.append(WAL_COMMIT, xid=3)   # next block's record
+        wal.flush(upto_lsn=mark)
+        assert wal.records_flushed == 2
+        assert [r.payload["xid"] for r in WriteAheadLog(path).records()] \
+            == [1, 2]
+        wal.flush()                      # unbounded: catches up
+        assert [r.payload["xid"] for r in WriteAheadLog(path).records()] \
+            == [1, 2, 3]
+
+    def test_bounded_flush_horizon_never_regresses(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(WAL_COMMIT, xid=1)
+        early = wal.mark()
+        wal.append(WAL_COMMIT, xid=2)
+        wal.flush()
+        wal.flush(upto_lsn=early)   # older bound: no-op, nothing rewinds
+        assert wal.records_flushed == 2
+        assert len(list(WriteAheadLog(path).records())) == 2
+
+    def test_group_batches_file_appends(self, tmp_path):
+        """Inside ``group()`` the durability horizon advances at every
+        flush call, but serialization + the file append happen once, at
+        group exit (recovery/catch-up replay's group commit)."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        with wal.group():
+            for xid in (1, 2, 3):
+                wal.append(WAL_COMMIT, xid=xid)
+                wal.flush()
+            # Horizon is advanced, file is not yet written.
+            assert wal.flushed_lsn == 3
+            assert wal.records_flushed == 0
+            assert not os.path.exists(path)
+        assert wal.flush_count == 1 and wal.records_flushed == 3
+        assert [r.payload["xid"] for r in WriteAheadLog(path).records()] \
+            == [1, 2, 3]
+
+    def test_group_is_reentrant(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        with wal.group():
+            wal.append(WAL_COMMIT, xid=1)
+            wal.flush()
+            with wal.group():
+                wal.append(WAL_COMMIT, xid=2)
+                wal.flush()
+            assert not os.path.exists(path)   # inner exit stays deferred
+        assert len(list(WriteAheadLog(path).records())) == 2
+
+    def test_group_exit_persists_even_on_exception(self, tmp_path):
+        """An exception escaping the group still writes the deferred
+        batch at exit: records whose horizon advanced inside the group
+        are durable, exactly as if each flush had hit the file."""
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(WAL_COMMIT, xid=1)
+        wal.flush()
+        try:
+            with wal.group():
+                wal.append(WAL_COMMIT, xid=2)
+                wal.flush()
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        wal.crash()   # drops nothing: the horizon covered both records
+        assert [r.payload["xid"] for r in wal.records()] == [1, 2]
+        assert [r.payload["xid"] for r in WriteAheadLog(path).records()] \
+            == [1, 2]
 
 
 def make_index(**kwargs):
