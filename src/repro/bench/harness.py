@@ -266,6 +266,10 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
     avg_exec_ms = (1e3 * sum(exec_samples) / len(exec_samples)
                    if exec_samples else 0.0)
     sql_timings = QUERY_TIMINGS.snapshot()
+    sync_totals: Dict[str, float] = {}
+    for peer in net.nodes:
+        for key, value in peer.sync.stats().items():
+            sync_totals[key] = sync_totals.get(key, 0) + value
     return {
         "flow": flow, "kind": kind, "count": count,
         "committed": committed, "aborted": aborted,
@@ -282,4 +286,15 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
         "sql_plan_cache_misses": sql_timings["plan_cache_misses"],
         "sql_compile_ms_total": sql_timings["compile_ms_total"],
         "sql_compiled_exprs": sql_timings["compiled_exprs"],
+        # Anti-entropy sync activity summed across the replica set: on a
+        # healthy run requests/retries stay ~0 while announces tick — a
+        # nonzero blocks_requested here means the workload outran
+        # delivery somewhere and the sync layer healed it.
+        "sync_blocks_requested": int(sync_totals.get(
+            "blocks_requested", 0)),
+        "sync_blocks_served": int(sync_totals.get("blocks_served", 0)),
+        "sync_retries": int(sync_totals.get("retries", 0)),
+        "sync_backoff_ms_total": round(sync_totals.get(
+            "backoff_ms_total", 0.0), 3),
+        "sync_announces_sent": int(sync_totals.get("announces_sent", 0)),
     }

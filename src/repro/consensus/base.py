@@ -168,15 +168,28 @@ class OrderingService:
         """Sign ``block`` as ``orderer_name`` and send to every peer."""
         identity = self.identities[orderer_name]
         block.sign(orderer_name, identity.sign(block.block_hash))
+        self._deliver_block(block, orderer_name)
+
+    def _deliver_block(self, block: Block, src: str) -> None:
+        """Ship ``block`` to every registered peer.
+
+        Peers registered on the :class:`SimNetwork` receive it as a
+        ``("block", ...)`` message through the transport, so block
+        delivery is subject to partitions, crashes and the installed
+        fault plan like any other traffic (the anti-entropy sync layer
+        re-fetches what gets lost).  Bare test callbacks not known to
+        the network keep the legacy direct-scheduled hop with an
+        identical latency draw."""
         size = sum(tx.size_bytes() for tx in block.transactions) + 512
         for peer_name in sorted(self._peers):
+            if self.network.is_registered(peer_name):
+                self.network.send(src, peer_name, ("block", block), size)
+                continue
             callback = self._peers[peer_name]
-            # Model the network hop for timing, then invoke the callback.
-            def _deliver(cb=callback, blk=block, src=orderer_name):
-                cb(blk, src)
+            delay = self.network.default_latency.delay_for(
+                size, self.network._rng)
             self.scheduler.schedule(
-                self.network.default_latency.delay_for(
-                    size, self.network._rng), _deliver)
+                delay, lambda cb=callback, blk=block, s=src: cb(blk, s))
 
     # -- interface -------------------------------------------------------------
 

@@ -125,14 +125,7 @@ class KafkaOrderingService(OrderingService):
                 block.sign(name, self.identities[name].sign(
                     block.block_hash))
         self.blocks_cut.append(block)
-        size = sum(tx.size_bytes() for tx in block.transactions) + 512
-        src = self._first_live_orderer()
-        for peer_name in sorted(self._peers):
-            callback = self._peers[peer_name]
-            delay = self.network.default_latency.delay_for(
-                size, self.network._rng)
-            self.scheduler.schedule(
-                delay, lambda cb=callback, b=block, s=src: cb(b, s))
+        self._deliver_block(block, self._first_live_orderer())
 
     def _first_live_orderer(self) -> str:
         for name in self.orderer_names:

@@ -28,6 +28,12 @@ from repro.consensus.base import (
 
 REQUEST_TIMEOUT = 2.0
 
+#: Period of each replica's repair loop: unexecuted instances get their
+#: pre-prepare/prepare/commit messages re-broadcast so message loss can
+#: stall an instance only until the next round, never wedge it.  Every
+#: phase is idempotent (vote *sets*), so repeats are harmless.
+RETRANSMIT_INTERVAL = 0.75
+
 
 def _entry_digest(entry: LogEntry) -> str:
     if entry.kind == LogEntry.TX:
@@ -46,17 +52,22 @@ class _PBFTReplica:
         self.view = 0
         self.next_seq = 1           # primary's sequence counter
         self.executed_upto = 0      # highest contiguously executed seq
-        # seq -> entry / digest / vote sets
-        self.pre_prepares: Dict[int, Tuple[str, LogEntry]] = {}
-        self.prepares: Dict[int, Set[str]] = {}
-        self.commits: Dict[int, Set[str]] = {}
+        # seq -> (digest, entry, view it was assigned in).  Votes are
+        # keyed by (seq, digest) so prepares/commits for conflicting
+        # assignments of the same instance can never pool together —
+        # quorum intersection then guarantees at most one digest can
+        # commit per seq even across view changes.
+        self.pre_prepares: Dict[int, Tuple[str, LogEntry, int]] = {}
+        self.prepares: Dict[Tuple[int, str], Set[str]] = {}
+        self.commits: Dict[Tuple[int, str], Set[str]] = {}
         self.prepared: Set[int] = set()
         self.committed: Set[int] = set()
         self.view_change_votes: Dict[int, Set[str]] = {}
         self._pending_requests: List[LogEntry] = []
         self._request_timer: Optional[int] = None
+        self._retransmit_timer: Optional[int] = None
         self.assembler = BlockAssembler(
-            service.config, metadata_fn=service._block_metadata)
+            service.config, metadata_fn=self._block_metadata)
         self.assembler.start_with_genesis(service.genesis)
         self._cut_timer: Optional[int] = None
         self._seen_digests: Set[str] = set()
@@ -78,6 +89,13 @@ class _PBFTReplica:
     def is_primary(self) -> bool:
         return self.primary_of(self.view) == self.name
 
+    def _block_metadata(self) -> Dict:
+        # Every replica cuts its own copy of each block, but the copies
+        # must be byte-identical (peers merge signatures by block hash).
+        # drain_checkpoints() is destructive service-level state, so the
+        # first replica to cut a number fixes the metadata for all.
+        return self.service._metadata_for(self.assembler.next_block_number)
+
     def broadcast(self, message) -> None:
         for peer in self.service.orderer_names:
             if peer != self.name:
@@ -96,8 +114,8 @@ class _PBFTReplica:
             self._seen_digests.add(digest)
             seq = self.next_seq
             self.next_seq += 1
-            self.pre_prepares[seq] = (digest, entry)
-            self.prepares.setdefault(seq, set()).add(self.name)
+            self.pre_prepares[seq] = (digest, entry, self.view)
+            self.prepares.setdefault((seq, digest), set()).add(self.name)
             self.broadcast(("pre_prepare", {
                 "view": self.view, "seq": seq, "digest": digest,
                 "entry": entry}))
@@ -142,53 +160,60 @@ class _PBFTReplica:
     # ------------------------------------------------------------------
 
     def on_pre_prepare(self, sender: str, data) -> None:
-        if data["view"] != self.view or \
-                sender != self.primary_of(self.view):
-            return
-        seq, digest = data["seq"], data["digest"]
-        if seq in self.pre_prepares and self.pre_prepares[seq][0] != digest:
-            return  # conflicting pre-prepare: ignore (byzantine primary)
-        self.pre_prepares[seq] = (digest, data["entry"])
-        self.prepares.setdefault(seq, set()).update({self.name, sender})
+        view, seq, digest = data["view"], data["seq"], data["digest"]
+        if sender != self.primary_of(view):
+            return  # only the primary of the *claimed* view may assign
+        stored = self.pre_prepares.get(seq)
+        if stored is not None and stored[0] != digest:
+            # Conflicting assignment for this instance.  Adopt it only
+            # when it comes from a strictly newer view AND this replica
+            # has not prepared the old one — a prepared instance may be
+            # committed elsewhere, so its digest is frozen here.  (With
+            # 2f+1 replicas frozen on any committable digest, a rival
+            # can never reach a prepare quorum: no fork.)
+            if view <= stored[2] or seq in self.prepared:
+                return
+        self.pre_prepares[seq] = (digest, data["entry"], view)
+        self.prepares.setdefault((seq, digest), set()).update(
+            {self.name, sender})
         self.broadcast(("prepare", {
-            "view": self.view, "seq": seq, "digest": digest}))
+            "view": view, "seq": seq, "digest": digest}))
         self._check_prepared(seq)
 
     def on_prepare(self, sender: str, data) -> None:
-        if data["view"] != self.view:
-            return
-        seq = data["seq"]
-        self.prepares.setdefault(seq, set()).add(sender)
+        seq, digest = data["seq"], data["digest"]
+        self.prepares.setdefault((seq, digest), set()).add(sender)
         self._check_prepared(seq)
 
     def _check_prepared(self, seq: int) -> None:
         if seq in self.prepared or seq not in self.pre_prepares:
             return
-        # prepared: pre-prepare + 2f prepares (own counts)
-        if len(self.prepares.get(seq, ())) >= 2 * self.f + 1:
+        digest = self.pre_prepares[seq][0]
+        # prepared: pre-prepare + 2f matching prepares (own counts)
+        if len(self.prepares.get((seq, digest), ())) >= 2 * self.f + 1:
             self.prepared.add(seq)
-            self.commits.setdefault(seq, set()).add(self.name)
+            self.commits.setdefault((seq, digest), set()).add(self.name)
             self.broadcast(("commit", {
-                "view": self.view, "seq": seq,
-                "digest": self.pre_prepares[seq][0]}))
+                "view": self.view, "seq": seq, "digest": digest}))
             self._check_committed(seq)
 
     def on_commit(self, sender: str, data) -> None:
-        seq = data["seq"]
-        self.commits.setdefault(seq, set()).add(sender)
+        seq, digest = data["seq"], data["digest"]
+        self.commits.setdefault((seq, digest), set()).add(sender)
         self._check_committed(seq)
 
     def _check_committed(self, seq: int) -> None:
         if seq in self.committed or seq not in self.prepared:
             return
-        if len(self.commits.get(seq, ())) >= 2 * self.f + 1:
+        digest = self.pre_prepares[seq][0]
+        if len(self.commits.get((seq, digest), ())) >= 2 * self.f + 1:
             self.committed.add(seq)
             self._execute_ready()
 
     def _execute_ready(self) -> None:
         while (self.executed_upto + 1) in self.committed:
             self.executed_upto += 1
-            digest, entry = self.pre_prepares[self.executed_upto]
+            digest, entry, _ = self.pre_prepares[self.executed_upto]
             self._seen_digests.add(digest)
             self._pending_requests = [
                 e for e in self._pending_requests
@@ -227,6 +252,53 @@ class _PBFTReplica:
 
         self._cut_timer = self.service.scheduler.schedule(
             self.service.config.block_timeout, _expire)
+
+    # ------------------------------------------------------------------
+    # Loss repair (anti-entropy for the protocol messages themselves)
+    # ------------------------------------------------------------------
+
+    def start_retransmit(self) -> None:
+        """Arm the periodic repair loop (idempotent)."""
+        if self._retransmit_timer is None:
+            self._retransmit_timer = self.service.scheduler.schedule(
+                RETRANSMIT_INTERVAL, self._retransmit)
+
+    def _retransmit(self) -> None:
+        self._retransmit_timer = self.service.scheduler.schedule(
+            RETRANSMIT_INTERVAL, self._retransmit)
+        if self.service.network.is_down(self.name):
+            return
+        # Re-send this replica's current phase message for every instance
+        # that has not executed yet.  Execution is sequential, so one
+        # instance whose messages were all lost would otherwise wedge
+        # every later one on this replica forever.
+        for seq in sorted(self.pre_prepares):
+            if seq <= self.executed_upto:
+                continue
+            digest, entry, view = self.pre_prepares[seq]
+            if self.name == self.primary_of(view):
+                # Rebroadcast under the view the instance was assigned
+                # in: even after a view change demotes this replica, it
+                # stays the only authority for holes it created.
+                self.broadcast(("pre_prepare", {
+                    "view": view, "seq": seq, "digest": digest,
+                    "entry": entry}))
+            if seq in self.prepared:    # includes committed-but-waiting
+                self.broadcast(("commit", {
+                    "view": view, "seq": seq, "digest": digest}))
+            else:
+                self.broadcast(("prepare", {
+                    "view": view, "seq": seq, "digest": digest}))
+        # Client work the primary may never have received.
+        if not self.is_primary:
+            for entry in self._pending_requests:
+                self.service.network.send(
+                    self.name, self.primary_of(self.view),
+                    ("request", entry), size_bytes=256)
+        # View gossip: a replica whose view-change quorum messages were
+        # lost accumulates the votes from these repeats and catches up.
+        if self.view > 0:
+            self.broadcast(("view_change", {"new_view": self.view}))
 
     # ------------------------------------------------------------------
     # View change (simplified)
@@ -293,9 +365,21 @@ class PBFTOrderingService(OrderingService):
             self.replicas[name] = replica
             network.register(name, replica.on_message)
         self._delivered_blocks: Dict[int, Any] = {}
+        self._metadata_by_number: Dict[int, Dict] = {}
+
+    def _metadata_for(self, number: int) -> Dict:
+        """Block metadata, frozen by whichever replica cuts first."""
+        cached = self._metadata_by_number.get(number)
+        if cached is None:
+            cached = self._metadata_by_number[number] = \
+                self._block_metadata()
+        return dict(cached)
 
     def start(self) -> None:
-        """PBFT is reactive; nothing to arm until requests arrive."""
+        """PBFT ordering is reactive, but each replica runs a periodic
+        repair loop so lost protocol messages never wedge an instance."""
+        for replica in self.replicas.values():
+            replica.start_retransmit()
 
     def submit(self, tx: Transaction,
                orderer_name: Optional[str] = None) -> None:
@@ -314,11 +398,4 @@ class PBFTOrderingService(OrderingService):
         if block.number not in self._delivered_blocks:
             self._delivered_blocks[block.number] = block
             self.blocks_cut.append(block)
-        size = sum(tx.size_bytes() for tx in block.transactions) + 512
-        for peer_name in sorted(self._peers):
-            callback = self._peers[peer_name]
-            delay = self.network.default_latency.delay_for(
-                size, self.network._rng)
-            self.scheduler.schedule(
-                delay,
-                lambda cb=callback, b=block, s=replica_name: cb(b, s))
+        self._deliver_block(block, replica_name)

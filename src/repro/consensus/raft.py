@@ -330,11 +330,4 @@ class RaftOrderingService(OrderingService):
         if orderer_name == self.orderer_names[0] or \
                 self.nodes[orderer_name].state == LEADER:
             self.blocks_cut.append(block)
-        size = sum(tx.size_bytes() for tx in block.transactions) + 512
-        for peer_name in sorted(self._peers):
-            callback = self._peers[peer_name]
-            delay = self.network.default_latency.delay_for(
-                size, self.network._rng)
-            self.scheduler.schedule(
-                delay,
-                lambda cb=callback, b=block, s=orderer_name: cb(b, s))
+        self._deliver_block(block, orderer_name)

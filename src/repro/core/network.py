@@ -11,6 +11,7 @@ example drives the whole network deterministically with
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.chain.block import make_genesis
@@ -25,8 +26,9 @@ from repro.common.identity import (
 )
 from repro.consensus import OrderingConfig, make_ordering_service
 from repro.core.client import BlockchainClient
-from repro.errors import ReproError
-from repro.net.transport import LAN, LatencyModel, SimNetwork
+from repro.errors import BlockValidationError, ReproError, StuckNodeError
+from repro.net.transport import LAN, LatencyModel, SimNetwork, \
+    make_chaos_plan
 from repro.node.backend import FLOW_EXECUTE_ORDER, FLOW_ORDER_EXECUTE
 from repro.node.peer import DatabaseNode
 from repro.sql.plancache import PlanCache
@@ -56,6 +58,13 @@ class BlockchainNetwork:
         self.scheduler = EventScheduler()
         self.network = SimNetwork(self.scheduler, default_latency=latency,
                                   seed=seed)
+        # CI soak hook: REPRO_CHAOS_PLAN=<profile> installs a seeded
+        # low-grade fault plan under the whole suite (see net/transport's
+        # CHAOS_PROFILES); the anti-entropy sync layer must absorb it.
+        chaos_profile = os.environ.get("REPRO_CHAOS_PLAN", "")
+        if chaos_profile:
+            self.network.set_fault_plan(
+                make_chaos_plan(chaos_profile, seed=seed))
 
         # -- identities ----------------------------------------------------
         self.admins: Dict[str, Identity] = {}
@@ -159,12 +168,20 @@ class BlockchainNetwork:
     # Simulation control
     # ------------------------------------------------------------------
 
-    def settle(self, timeout: float = 30.0) -> None:
+    def settle(self, timeout: float = 30.0,
+               expect_progress: bool = True) -> None:
         """Run the event loop until the queue drains or ``timeout``
         simulated seconds elapse (consensus protocols with periodic
         heartbeats never fully drain the queue).  Also waits out every
         live node's pipelined block finalization, so "settled" means
-        fully applied — tests can read heaps/digests directly after."""
+        fully applied — tests can read heaps/digests directly after.
+
+        With ``expect_progress`` (the default), a live node whose block
+        store stopped advancing while its block buffer still holds work
+        raises :class:`StuckNodeError` naming the gap, instead of
+        returning silently with a wedged node.  Pass
+        ``expect_progress=False`` while faults (partitions, crashes, an
+        aggressive fault plan) are deliberately still active."""
         deadline = self.scheduler.now + timeout
         self.scheduler.run(until=deadline)
         for _ in range(2):
@@ -175,6 +192,37 @@ class BlockchainNetwork:
                 if not node.crashed:
                     node.db.drain_commits()
             self.scheduler.run(until=deadline)
+        if expect_progress:
+            for node in self.nodes:
+                diagnosis = self._stuck_diagnosis(node)
+                if diagnosis is not None:
+                    raise StuckNodeError(diagnosis)
+
+    def _stuck_diagnosis(self, node: DatabaseNode) -> Optional[str]:
+        """Explain why ``node`` cannot drain its block buffer, if so."""
+        if node.crashed or not node._block_buffer:
+            return None
+        height = node.blockstore.height
+        buffered = sorted(node._block_buffer)
+        head = node._block_buffer.get(height + 1)
+        peer_heights = dict(sorted(node.sync._peer_heights.items()))
+        if head is None:
+            return (f"node {node.name} stuck at height {height}: "
+                    f"waiting for block {height + 1}, buffered "
+                    f"{buffered}, peer heights {peer_heights}, sync "
+                    f"{node.sync.stats()}")
+        try:
+            min_sigs = 0 if head.number == 0 else node.min_block_signatures
+            tip = node.blockstore.tip()
+            head.verify(node.certs,
+                        expected_prev_hash=(tip.block_hash if tip
+                                            else None),
+                        min_signatures=min_sigs)
+        except BlockValidationError as exc:
+            return (f"node {node.name} stuck at height {height}: block "
+                    f"{height + 1} buffered but unverifiable ({exc}); "
+                    f"buffered {buffered}")
+        return None  # head verifies: processing is merely in flight
 
     def advance(self, seconds: float) -> None:
         """Run the event loop for a bounded amount of simulated time."""

@@ -180,6 +180,12 @@ class RecoveryError(NodeError):
     """Failure during the section 3.6 recovery procedure."""
 
 
+class StuckNodeError(NodeError):
+    """A live node stopped making progress: its block buffer holds blocks
+    it cannot process (a delivery gap the sync layer could not heal, or a
+    head block that fails verification) past a settle deadline."""
+
+
 # ---------------------------------------------------------------------------
 # Analytics (columnar replica)
 # ---------------------------------------------------------------------------

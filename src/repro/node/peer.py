@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.block import Block
 from repro.chain.transaction import Transaction
+from repro.common.crypto import Signature
 from repro.common.identity import Certificate, CertificateRegistry, Identity
 from repro.contracts.procedure import Procedure, ProcedureRuntime
 from repro.contracts.registry import ContractRegistry
@@ -39,6 +40,12 @@ from repro.node.block_processor import BlockProcessor
 from repro.node.checkpoint import CheckpointManager
 from repro.node.ledger import Ledger
 from repro.node.notifications import NotificationHub
+from repro.node.sync import (
+    BlockSyncManager,
+    KIND_ANNOUNCE,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+)
 from repro.sql.ast_nodes import CreateFunction
 from repro.sql.executor import Executor, Result
 from repro.sql.parser import parse_one, parse_sql
@@ -98,6 +105,10 @@ class DatabaseNode:
         network.register(self.name, self.on_message)
         if ordering is not None:
             ordering.register_peer(self.name, self.on_block)
+        # Anti-entropy block sync: heartbeat height announcements, gap
+        # detection, and peer-to-peer block retrieval (see node/sync.py).
+        self.sync = BlockSyncManager(self)
+        self.sync.start()
 
     # ------------------------------------------------------------------
     # Bootstrap (section 3.7)
@@ -224,6 +235,18 @@ class DatabaseNode:
         """Latest committed block height (clients pin EO snapshots here)."""
         return self.db.committed_height
 
+    def observability(self) -> Dict[str, Any]:
+        """One bundle of this node's operational counters: WAL flushing,
+        columnar-replica maintenance, and anti-entropy sync activity."""
+        return {
+            "wal": {
+                "flush_count": self.db.wal.flush_count,
+                "records_flushed": self.db.wal.records_flushed,
+            },
+            "columnstore": self.db.columnstore.stats(),
+            "sync": self.sync.stats(),
+        }
+
     # ------------------------------------------------------------------
     # Network message handling (middleware)
     # ------------------------------------------------------------------
@@ -236,6 +259,12 @@ class DatabaseNode:
             self._on_forwarded_tx(payload)
         elif kind == "block":
             self.on_block(payload, sender)
+        elif kind == KIND_ANNOUNCE:
+            self.sync.on_announce(sender, payload)
+        elif kind == KIND_REQUEST:
+            self.sync.on_request(sender, payload)
+        elif kind == KIND_RESPONSE:
+            self.sync.on_response(sender, payload)
 
     def _on_forwarded_tx(self, tx: Transaction) -> None:
         if self.flow != FLOW_EXECUTE_ORDER:
@@ -289,9 +318,36 @@ class DatabaseNode:
         if buffered is not None and \
                 buffered.block_hash == block.block_hash:
             buffered.orderer_signatures.update(block.orderer_signatures)
-        else:
+        elif buffered is None or \
+                self._buffer_score(block) > self._buffer_score(buffered):
+            # A same-number block with a *different* hash only replaces
+            # the buffered copy when it is verifiably better (hash
+            # integrity, chaining, more valid orderer signatures) — an
+            # injected duplicate or corrupt copy can never evict a valid
+            # block awaiting quorum; first-seen wins ties.
             self._block_buffer[block.number] = block
         self._try_process_buffered()
+
+    def _buffer_score(self, block: Block) -> Tuple[int, int, int]:
+        """Rank a buffered-block candidate: (hash integrity, prev-hash
+        chaining when checkable, count of valid orderer signatures)."""
+        intact = int(block.block_hash == block.compute_hash())
+        chains = 1
+        tip = self.blockstore.tip()
+        if block.number == self.blockstore.height + 1 and tip is not None:
+            chains = int(block.prev_hash == tip.block_hash)
+        valid_sigs = 0
+        if intact:
+            for orderer, sig_bytes in block.orderer_signatures.items():
+                if orderer not in self.certs:
+                    continue
+                try:
+                    self.certs.verify(orderer, block.block_hash,
+                                      Signature.from_bytes(sig_bytes))
+                    valid_sigs += 1
+                except (ReproError, ValueError):
+                    continue
+        return (intact, chains, valid_sigs)
 
     def _try_process_buffered(self) -> None:
         while True:
@@ -402,8 +458,19 @@ class DatabaseNode:
         self.db.wal.crash()
         self.db.columnstore.mark_stale()
 
-    def restart(self) -> None:
-        """Bring the node back; the caller should then run
-        :class:`repro.node.recovery.RecoveryManager`."""
+    def restart(self, recover: bool = True) -> Optional[Dict[str, int]]:
+        """Bring the node back and rejoin the network with no external
+        choreography: run the section 3.6 recovery protocol over local
+        state, then kick the anti-entropy sync loop so any blocks the
+        network produced while we were down are fetched from peers and
+        replayed in order.  Returns the recovery report (or ``None``
+        with ``recover=False``, which restores the legacy bring-up-only
+        behaviour)."""
         self.crashed = False
         self.network.bring_up(self.name)
+        report = None
+        if recover:
+            from repro.node.recovery import RecoveryManager
+            report = RecoveryManager(self).recover()
+        self.sync.on_restart()
+        return report

@@ -75,6 +75,22 @@ class TestFunctionalHarness:
 
         assert tip_hash() == tip_hash()
 
+    def test_workload_reports_sync_observability(self):
+        """The harness surfaces anti-entropy counters next to the SQL
+        timings, and every node bundles them via observability()."""
+        result = run_functional_workload("order-execute", "simple",
+                                         count=8)
+        assert result["sync_announces_sent"] > 0
+        assert result["sync_retries"] == 0       # healthy run: no loss
+        assert result["sync_blocks_requested"] == 0
+        net, _ = build_functional_network("order-execute",
+                                          organizations=("org1", "org2"))
+        bundle = net.primary_node.observability()
+        assert bundle["wal"]["flush_count"] > 0
+        assert set(bundle["sync"]) >= {"blocks_requested", "blocks_served",
+                                       "retries", "backoff_ms_total"}
+        assert "columnstore" in bundle
+
     def test_functional_workload_chain_hash_reproducible(self):
         def run():
             net, clients = build_functional_network(

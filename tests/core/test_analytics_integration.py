@@ -4,7 +4,6 @@ import pytest
 
 from repro import ProvenanceAuditor
 from repro.node.block_processor import SimulatedCrash
-from repro.node.recovery import RecoveryManager
 from tests.conftest import make_kv_network
 
 
@@ -156,10 +155,8 @@ class TestRecoveryRebuild:
         victim.crash()
         net.settle(timeout=30.0)
 
-        victim.restart()
-        report = RecoveryManager(victim).recover()
+        report = victim.restart()
         assert report["reexecuted_blocks"] == 1
-        RecoveryManager(victim).catch_up(list(net.ordering.blocks_cut))
         net.settle(timeout=30.0)
         net.assert_consistent()
 
@@ -189,10 +186,8 @@ class TestRecoveryRebuild:
         victim.crash()
         net.settle(timeout=30.0)
 
-        victim.restart()
-        report = RecoveryManager(victim).recover()
+        report = victim.restart()
         assert report["finalized_blocks"] == 1
-        RecoveryManager(victim).catch_up(list(net.ordering.blocks_cut))
         net.settle(timeout=30.0)
 
         height = victim.db.committed_height

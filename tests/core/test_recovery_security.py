@@ -39,13 +39,12 @@ class TestRecovery:
         victim.crash()
         net.settle(timeout=30.0)
 
-        victim.restart()
-        report = RecoveryManager(victim).recover()
+        report = victim.restart()
         assert report["finalized_blocks"] == 1
         entry = victim.ledger.entry(tx_id)
         assert entry["status"] == "committed"
-        # Victim catches up on anything it missed while down.
-        RecoveryManager(victim).catch_up(list(net.ordering.blocks_cut))
+        # The anti-entropy sync layer catches the victim up on anything
+        # it missed while down — no out-of-band block hand-off.
         net.settle(timeout=30.0)
         net.assert_consistent()
 
@@ -64,12 +63,10 @@ class TestRecovery:
         victim.crash()
         net.settle(timeout=30.0)
 
-        victim.restart()
-        report = RecoveryManager(victim).recover()
+        report = victim.restart()
         assert report["reexecuted_blocks"] == 1
         for tx_id in ids:
             assert victim.ledger.entry(tx_id)["status"] == "committed"
-        RecoveryManager(victim).catch_up(list(net.ordering.blocks_cut))
         net.settle(timeout=30.0)
         net.assert_consistent()
 
@@ -89,21 +86,38 @@ class TestRecovery:
         victim.crash()
         net.settle(timeout=30.0)
         victim.restart()
-        RecoveryManager(victim).recover()
         assert victim.ledger.entry(tx_id)["status"] == "committed"
         net.settle(timeout=30.0)
         net.assert_consistent()
 
     def test_downed_node_catches_up_missing_blocks(self):
         """Section 3.6: 'the node then retrieves any missing blocks,
-        processes and commits them one by one.'"""
+        processes and commits them one by one' — retrieval now runs
+        through the anti-entropy sync protocol, no choreography."""
         net, client = self._network_with_data()
         victim = net.nodes[1]
         victim.crash()
         for i in range(5):
             client.invoke("set_kv", f"gap-{i}", i)
         net.settle(timeout=60.0)
+        behind = net.nodes[0].blockstore.height - victim.blockstore.height
+        assert behind >= 1
         victim.restart()
+        net.settle(timeout=30.0)
+        assert victim.sync.blocks_requested >= behind
+        assert victim.blockstore.height == net.nodes[0].blockstore.height
+        net.assert_consistent()
+
+    def test_explicit_catch_up_still_supported(self):
+        """The out-of-band catch_up API keeps working (and is what the
+        sync layer itself drives block application through)."""
+        net, client = self._network_with_data()
+        victim = net.nodes[1]
+        victim.crash()
+        for i in range(3):
+            client.invoke("set_kv", f"explicit-{i}", i)
+        net.settle(timeout=60.0)
+        victim.restart(recover=False)
         RecoveryManager(victim).recover()
         caught_up = RecoveryManager(victim).catch_up(
             list(net.ordering.blocks_cut))

@@ -25,7 +25,6 @@ from repro.chain.block import Block
 from repro.chain.transaction import ProcedureCall, Transaction
 from repro.core.network import BlockchainNetwork
 from repro.node.block_processor import SimulatedCrash
-from repro.node.recovery import RecoveryManager
 from repro.storage.visibility import latest_committed_visible
 from tests.conftest import KV_CONTRACTS, KV_SCHEMA, make_kv_network
 
@@ -236,8 +235,6 @@ def test_recovery_at_every_commit_boundary(batched, parallel):
         net.settle(timeout=30.0)
 
         victim.restart()
-        RecoveryManager(victim).recover()
-        RecoveryManager(victim).catch_up(list(net.ordering.blocks_cut))
         net.settle(timeout=30.0)
         net.assert_consistent()
         for tx_id in ids:
