@@ -37,12 +37,28 @@ def load_baseline(path: Path = BASELINE_PATH) -> dict:
 
 
 def record_baseline(section: str, data: dict,
-                    path: Path = BASELINE_PATH) -> dict:
+                    path: Path = BASELINE_PATH,
+                    registry: dict = None) -> dict:
     """Bootstrap ``section`` of the committed baseline file if absent;
-    return the canonical (committed) values for regression checks."""
+    return the canonical (committed) values for regression checks.
+
+    ``registry`` is the run's engine-counter snapshot (see
+    ``repro.bench.harness.registry_counter_snapshot``).  It is embedded
+    under the section's ``"registry"`` key so perf gates can also diff
+    workload-determined counters (plan-cache misses, WAL flushes, sync
+    retries) across commits.  Sections committed before the metrics
+    registry existed adopt it once — a backfill write, committed with
+    the PR that introduced it — never overwriting a recorded snapshot.
+    """
     baseline = load_baseline(path)
+    if registry is not None:
+        data = dict(data, registry=registry)
     if section not in baseline:
         baseline[section] = data
-        path.write_text(
-            json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    elif registry is not None and "registry" not in baseline[section]:
+        baseline[section]["registry"] = registry
+    else:
+        return baseline[section]
+    path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n")
     return baseline[section]

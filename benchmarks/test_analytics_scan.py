@@ -25,7 +25,7 @@ from benchmarks.conftest import (
     print_banner,
     record_baseline,
 )
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, registry_counter_snapshot
 from repro.mvcc.database import Database
 from repro.sql.executor import run_sql
 
@@ -163,7 +163,8 @@ def test_analytics_scan_speedup(benchmark):
         "columnar_stmt_ms": round(columnar_wall * 1e3 / statements, 3),
         "rowstore_stmt_ms": round(rowstore_wall * 1e3 / statements, 3),
         "speedup_x": round(speedup, 1),
-    }, path=ANALYTICS_BASELINE_PATH)
+    }, path=ANALYTICS_BASELINE_PATH,
+        registry=registry_counter_snapshot(db.metrics))
     # CI perf gate: >2x regression of the ratio vs the committed baseline
     # fails the job.
     assert speedup >= canonical["speedup_x"] / 2, \

@@ -35,7 +35,7 @@ from benchmarks.conftest import (
     print_banner,
     record_baseline,
 )
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, registry_counter_snapshot
 from repro.chain.block import Block
 from repro.chain.transaction import ProcedureCall, Transaction
 from repro.core.network import BlockchainNetwork
@@ -197,7 +197,8 @@ def test_block_commit_speedup(benchmark):
         "batched_tps": round(batched_tps, 1),
         "serial_tps": round(serial_tps, 1),
         "speedup_x": round(speedup, 1),
-    }, path=BLOCK_COMMIT_BASELINE_PATH)
+    }, path=BLOCK_COMMIT_BASELINE_PATH,
+        registry=registry_counter_snapshot(b_net.metrics))
     # CI perf gate: >2x regression of the ratio vs the committed baseline
     # fails the job.
     assert speedup >= canonical["speedup_x"] / 2, \
@@ -254,7 +255,8 @@ def test_parallel_commit_speedup(benchmark):
         "parallel_tps": round(parallel_tps, 1),
         "serial_tps": round(serial_tps, 1),
         "speedup_x": round(speedup, 1),
-    }, path=BLOCK_COMMIT_BASELINE_PATH)
+    }, path=BLOCK_COMMIT_BASELINE_PATH,
+        registry=registry_counter_snapshot(p_net.metrics))
     assert speedup >= canonical["speedup_x"] / 2, \
         (f"parallel-commit speedup {speedup:.1f}x regressed >2x vs "
          f"committed baseline {canonical['speedup_x']}x")

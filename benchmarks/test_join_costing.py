@@ -30,7 +30,7 @@ from benchmarks.conftest import (
     print_banner,
     record_baseline,
 )
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, registry_counter_snapshot
 from repro.mvcc.database import Database
 from repro.sql.executor import run_sql
 
@@ -178,7 +178,8 @@ def test_join_costing_speedup(benchmark):
         "limit_structural_stmt_ms":
             round(limit_legacy * 1e3 / ITERATIONS, 4),
         "limit_speedup_x": round(limit_speedup, 1),
-    }, path=JOIN_COSTING_BASELINE_PATH)
+    }, path=JOIN_COSTING_BASELINE_PATH,
+        registry=registry_counter_snapshot(db.metrics))
     # CI regression gate: >2x ratio regression vs committed baseline.
     assert join_speedup >= canonical["join_speedup_x"] / 2, \
         (f"skewed-join speedup {join_speedup:.1f}x regressed >2x vs "

@@ -17,7 +17,7 @@ future PRs inherit a perf trajectory.
 import time
 
 from benchmarks.conftest import print_banner, record_baseline
-from repro.bench.harness import format_table
+from repro.bench.harness import format_table, registry_counter_snapshot
 from repro.mvcc.database import Database
 from repro.sql.executor import run_sql
 from repro.sql.lexer import _tokenize_cached
@@ -149,7 +149,19 @@ def test_statement_fastpath_speedup(benchmark):
         "warm_plan_ms_total": warm["plan_ms_total"],
         "plan_speedup_x": round(plan_speedup, 1),
         "wall_speedup_x": round(wall_speedup, 2),
-    })
+    }, registry=registry_counter_snapshot(db.metrics))
+    # Counter gate: the statement mix is fixed, so plan-cache misses are
+    # workload-determined (cold legs miss every statement by design); a
+    # spike vs the committed snapshot means the warm path stopped
+    # hitting the cache even though the ratio gate might still pass.
+    committed_misses = canonical.get("registry", {}).get(
+        "plancache.misses")
+    if committed_misses is not None:
+        live_misses = registry_counter_snapshot(
+            db.metrics)["plancache.misses"]
+        assert live_misses <= committed_misses * 1.5 + len(STATEMENTS), \
+            (f"plan-cache misses spiked: {live_misses} vs committed "
+             f"baseline {committed_misses}")
     # Regression gate against the committed baseline.  Speedup is a
     # cold/warm *ratio* on the same machine, so unlike absolute ms it is
     # portable to CI runners: a halved ratio means the fast path itself

@@ -356,7 +356,8 @@ class ColumnStore:
     """The per-database columnar replica."""
 
     def __init__(self, target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
-                 compact_every: int = DEFAULT_COMPACT_EVERY):
+                 compact_every: int = DEFAULT_COMPACT_EVERY,
+                 metrics=None):
         self.enabled = True
         self.target_chunk_rows = target_chunk_rows
         self.compact_every = max(1, compact_every)
@@ -369,16 +370,59 @@ class ColumnStore:
         # reads wait out any in-flight background block finalization, so
         # stats never show a half-ingested block.
         self.fence: Optional[Callable[[], None]] = None
-        # Observability counters.
-        self.ingested_versions = 0
-        self.deleter_updates = 0
-        self.rebuilds = 0
-        self.compactions = 0
-        self.chunks_pruned = 0
-        self.chunks_scanned = 0
+        # Observability counters on the unified registry (legacy
+        # attribute names below are read-only views).
+        if metrics is None:
+            from repro.obs.metrics import private_scope
+            metrics = private_scope()
+        self.metrics = metrics
+        self._ingested_versions = metrics.counter(
+            "columnstore.ingested_versions")
+        self._deleter_updates = metrics.counter(
+            "columnstore.deleter_updates")
+        self._rebuilds = metrics.counter("columnstore.rebuilds")
+        self._compactions = metrics.counter("columnstore.compactions")
+        self._chunks_pruned = metrics.counter("columnstore.chunks_pruned")
+        self._chunks_scanned = metrics.counter(
+            "columnstore.chunks_scanned")
         # Chunks whose aggregate contribution was answered from zone maps
         # and counters alone (no row touch) — see ColumnarAggregate.
-        self.zone_only_chunks = 0
+        self._zone_only_chunks = metrics.counter(
+            "columnstore.zone_only_chunks")
+
+    # Legacy counter attributes — views over the registry objects.
+    @property
+    def ingested_versions(self) -> int:
+        return int(self._ingested_versions.value)
+
+    @property
+    def deleter_updates(self) -> int:
+        return int(self._deleter_updates.value)
+
+    @property
+    def rebuilds(self) -> int:
+        return int(self._rebuilds.value)
+
+    @property
+    def compactions(self) -> int:
+        return int(self._compactions.value)
+
+    @property
+    def chunks_pruned(self) -> int:
+        return int(self._chunks_pruned.value)
+
+    @property
+    def chunks_scanned(self) -> int:
+        return int(self._chunks_scanned.value)
+
+    @property
+    def zone_only_chunks(self) -> int:
+        return int(self._zone_only_chunks.value)
+
+    def note_zone_only_chunk(self) -> None:
+        """Called by ColumnarAggregate when a chunk's contribution came
+        from zone maps/counters alone."""
+        self._zone_only_chunks.inc()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -491,12 +535,12 @@ class ColumnStore:
                     tcols.append_version(
                         new.values, new.row_id, new.version_id, new.xmin,
                         new.creator_block)
-                    self.ingested_versions += 1
+                    self._ingested_versions.inc()
                 old = entry.old_version
                 if old is not None and old.deleter_block is not None:
                     if tcols.mark_deleted(old.version_id, old.deleter_block,
                                           old.xmax_winner):
-                        self.deleter_updates += 1
+                        self._deleter_updates.inc()
 
     def rebuild(self, db) -> None:
         """Reconstruct the store from the heap's committed versions (used
@@ -516,7 +560,7 @@ class ColumnStore:
                 tcols.append_version(
                     version.values, version.row_id, version.version_id,
                     version.xmin, version.creator_block)
-                self.ingested_versions += 1
+                self._ingested_versions.inc()
                 if version.deleter_block is not None and \
                         version.xmax_winner is not None and \
                         statuses.is_committed(version.xmax_winner):
@@ -525,7 +569,7 @@ class ColumnStore:
                                        version.xmax_winner)
         self._stale = False
         self.synced_height = db.committed_height
-        self.rebuilds += 1
+        self._rebuilds.inc()
 
     # -- maintenance -------------------------------------------------------
 
@@ -534,7 +578,7 @@ class ColumnStore:
         for tcols in self.tables.values():
             removed += tcols.compact()
         if removed:
-            self.compactions += 1
+            self._compactions.inc()
         return removed
 
     # -- reads -------------------------------------------------------------
@@ -561,13 +605,13 @@ class ColumnStore:
             return
         for chunk in tcols.chunks:
             if height is not None and not chunk.may_contain_height(height):
-                self.chunks_pruned += 1
+                self._chunks_pruned.inc()
                 continue
             if bounds and chunk.sealed and \
                     not chunk.may_match_bounds(bounds):
-                self.chunks_pruned += 1
+                self._chunks_pruned.inc()
                 continue
-            self.chunks_scanned += 1
+            self._chunks_scanned.inc()
             if height is None:
                 offsets = list(range(len(chunk)))
             else:
@@ -588,7 +632,7 @@ class ColumnStore:
             return
         for chunk in tcols.chunks:
             if not chunk.may_contain_height(height):
-                self.chunks_pruned += 1
+                self._chunks_pruned.inc()
                 continue
             yield chunk
 

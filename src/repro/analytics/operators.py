@@ -392,9 +392,9 @@ class ColumnarAggregate(PlanNode):
         states = new_states()
         for chunk in store.chunks_at(rt.db, self.scan.table, height):
             if self._zone_accumulate(chunk, height, specs, modes, states):
-                store.zone_only_chunks += 1
+                store._zone_only_chunks.inc()
                 continue
-            store.chunks_scanned += 1
+            store._chunks_scanned.inc()
             data = chunk.data
             agg_vectors = [None if spec.column is None
                            else data[spec.column] for spec in specs]

@@ -45,6 +45,30 @@ from repro.bench.profiles import (
 )
 
 
+#: Counter namespaces embedded into BENCH_*.json baselines.  These are
+#: workload-determined (how many flushes, cache misses, sync round
+#: trips a fixed workload performs), unlike wall-clock numbers, so a
+#: perf gate can diff them across commits to flag e.g. an unexpected
+#: plan-cache miss spike that a ratio-based time gate would absorb.
+BENCH_COUNTER_PREFIXES = ("plancache.", "wal.", "sync.", "transport.",
+                          "scheduler.", "columnstore.", "consensus.")
+
+
+def registry_counter_snapshot(metrics,
+                              prefixes: Sequence[str] =
+                              BENCH_COUNTER_PREFIXES) -> Dict[str, int]:
+    """Compact counter view of a :class:`MetricsRegistry` (or scope) for
+    embedding in a benchmark baseline: totals aggregated across label
+    scopes (all nodes of a network summed), filtered to the engine
+    subsystems listed in :data:`BENCH_COUNTER_PREFIXES`."""
+    totals: Dict[str, int] = {}
+    for key, value in metrics.snapshot()["counters"].items():
+        name = key.split("{", 1)[0]
+        if name.startswith(tuple(prefixes)):
+            totals[name] = totals.get(name, 0) + int(value)
+    return dict(sorted(totals.items()))
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     """Minimal fixed-width ASCII table."""
     cols = [[str(h)] + [str(r[i]) for r in rows]
@@ -297,4 +321,7 @@ def run_functional_workload(flow: str, kind: str, count: int = 60,
         "sync_backoff_ms_total": round(sync_totals.get(
             "backoff_ms_total", 0.0), 3),
         "sync_announces_sent": int(sync_totals.get("announces_sent", 0)),
+        # Full counter snapshot of the network's registry, for embedding
+        # next to the timings in BENCH_*.json.
+        "registry": registry_counter_snapshot(net.metrics),
     }

@@ -129,6 +129,22 @@ class OrderingService:
         self.blocks_cut: List[Block] = []
         # pending checkpoint hashes from peers: height -> {node: hash hex}
         self._checkpoints: Dict[int, Dict[str, str]] = {}
+        # Observability (attach_observability wires these from the
+        # network facade; a bare ordering service records nothing).
+        self.metrics = None
+        self.tracer = None
+        self._blocks_delivered = None
+        self._checkpoints_submitted = None
+
+    def attach_observability(self, metrics, tracer=None) -> None:
+        """Register consensus counters on ``metrics`` (a MetricsScope)
+        and optionally a span tracer for round delivery timing."""
+        self.metrics = metrics
+        self.tracer = tracer
+        self._blocks_delivered = metrics.counter(
+            "consensus.blocks_delivered")
+        self._checkpoints_submitted = metrics.counter(
+            "consensus.checkpoints_submitted")
 
     # -- peers -------------------------------------------------------------
 
@@ -147,6 +163,8 @@ class OrderingService:
         """Record a peer's write-set hash; it rides in the next block's
         metadata so every node can compare."""
         self._checkpoints.setdefault(height, {})[node_name] = hash_hex
+        if self._checkpoints_submitted is not None:
+            self._checkpoints_submitted.inc()
 
     def drain_checkpoints(self) -> Dict[int, Dict[str, str]]:
         out = {h: dict(nodes) for h, nodes in sorted(
@@ -166,9 +184,22 @@ class OrderingService:
 
     def _sign_and_deliver(self, block: Block, orderer_name: str) -> None:
         """Sign ``block`` as ``orderer_name`` and send to every peer."""
-        identity = self.identities[orderer_name]
-        block.sign(orderer_name, identity.sign(block.block_hash))
-        self._deliver_block(block, orderer_name)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # One span per consensus round completion: signing plus
+            # delivery fan-out (transport latency itself is simulated).
+            with tracer.span("consensus.sign_and_deliver",
+                             height=block.number, orderer=orderer_name,
+                             txs=len(block.transactions)):
+                identity = self.identities[orderer_name]
+                block.sign(orderer_name, identity.sign(block.block_hash))
+                self._deliver_block(block, orderer_name)
+        else:
+            identity = self.identities[orderer_name]
+            block.sign(orderer_name, identity.sign(block.block_hash))
+            self._deliver_block(block, orderer_name)
+        if self._blocks_delivered is not None:
+            self._blocks_delivered.inc()
 
     def _deliver_block(self, block: Block, src: str) -> None:
         """Ship ``block`` to every registered peer.

@@ -211,6 +211,16 @@ class _PBFTReplica:
             self._execute_ready()
 
     def _execute_ready(self) -> None:
+        tracer = getattr(self.service, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("consensus.pbft_execute_ready",
+                             replica=self.name,
+                             upto=self.executed_upto):
+                self._execute_ready_inner()
+        else:
+            self._execute_ready_inner()
+
+    def _execute_ready_inner(self) -> None:
         while (self.executed_upto + 1) in self.committed:
             self.executed_upto += 1
             digest, entry, _ = self.pre_prepares[self.executed_upto]

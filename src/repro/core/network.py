@@ -31,6 +31,7 @@ from repro.net.transport import LAN, LatencyModel, SimNetwork, \
     make_chaos_plan
 from repro.node.backend import FLOW_EXECUTE_ORDER, FLOW_ORDER_EXECUTE
 from repro.node.peer import DatabaseNode
+from repro.obs import MetricsRegistry
 from repro.sql.plancache import PlanCache
 
 
@@ -56,8 +57,13 @@ class BlockchainNetwork:
         self.organizations = list(organizations)
         self.flow = flow
         self.scheduler = EventScheduler()
+        # One process-wide metrics registry: transport counters live at
+        # the top level, each node's subsystems register under a
+        # ``node=<name>`` label scope (obs/metrics.py).
+        self.metrics = MetricsRegistry()
         self.network = SimNetwork(self.scheduler, default_latency=latency,
-                                  seed=seed)
+                                  seed=seed,
+                                  metrics=self.metrics.scope())
         # CI soak hook: REPRO_CHAOS_PLAN=<profile> installs a seeded
         # low-grade fault plan under the whole suite (see net/transport's
         # CHAOS_PROFILES); the anti-entropy sync layer must absorb it.
@@ -96,6 +102,10 @@ class BlockchainNetwork:
         self.ordering = make_ordering_service(
             consensus, self.scheduler, self.network,
             self.orderer_identities, config, genesis)
+        from repro.obs import Tracer
+        self.ordering.attach_observability(
+            self.metrics.scope(service="ordering"),
+            tracer=Tracer(self.metrics.scope(service="ordering")))
 
         # -- database nodes -------------------------------------------------------
         bootstrap_certs: List[Certificate] = (
@@ -106,8 +116,9 @@ class BlockchainNetwork:
         # can share one plan-template cache (keyed on the catalog's
         # structural version token): N nodes hold one template set
         # instead of N copies.  Opt out with share_plan_templates=False.
-        self.shared_plan_cache = PlanCache() if share_plan_templates \
-            else None
+        self.shared_plan_cache = PlanCache(
+            metrics=self.metrics.scope(cache="shared")) \
+            if share_plan_templates else None
         self.nodes: List[DatabaseNode] = []
         for identity in self.peer_identities:
             node = DatabaseNode(
@@ -115,7 +126,8 @@ class BlockchainNetwork:
                 organizations=self.organizations, ordering=self.ordering,
                 min_block_signatures=min_block_signatures,
                 checkpoint_interval=checkpoint_interval,
-                plan_cache=self.shared_plan_cache)
+                plan_cache=self.shared_plan_cache,
+                metrics_registry=self.metrics)
             node.register_certificates(bootstrap_certs)
             self.nodes.append(node)
         self.ordering.start()

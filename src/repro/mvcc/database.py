@@ -59,7 +59,15 @@ class Database:
     """MVCC database instance for a single node."""
 
     def __init__(self, wal: Optional[WriteAheadLog] = None,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 metrics=None):
+        # Observability scope (obs/metrics.py): node-owned databases get
+        # the node's ``node=<name>`` scope on the process registry; a
+        # standalone Database gets a private registry so tests isolate.
+        if metrics is None:
+            from repro.obs.metrics import private_scope
+            metrics = private_scope()
+        self.metrics = metrics
         self.catalog = Catalog()
         # Statement fast path: physical plan templates keyed by
         # (fingerprint, shape, catalog version); DDL/stats-drift bumps
@@ -69,21 +77,22 @@ class Database:
         # an older-but-live catalog token still use their entries, and the
         # token in the key plus LRU eviction retire stale ones safely.
         if plan_cache is None:
-            self.plan_cache = PlanCache()
+            self.plan_cache = PlanCache(metrics=self.metrics)
             self.catalog.add_version_listener(
                 lambda _v: self.plan_cache.invalidate_for_version(
                     self.catalog.version_token))
         else:
             self.plan_cache = plan_cache
         self.statuses = TxStatusTable()
-        self.wal = wal or WriteAheadLog()
+        self.wal = wal if wal is not None else \
+            WriteAheadLog(metrics=self.metrics)
         self._xid_counter = itertools.count(1)
         self.committed_height = 0  # height of the last fully committed block
         # Columnar read replica serving AS OF time-travel queries: commits
         # queue their write sets here (one list append on the hot path);
         # the block processor's post-commit hook and analytical reads
         # drain the queue into column chunks.
-        self.columnstore = ColumnStore()
+        self.columnstore = ColumnStore(metrics=self.metrics)
         self.columnstore.fence = self.drain_commits
         # A dropped table's chunks must never serve a later re-creation
         # under the same name — rebuild from the heap instead.
@@ -121,6 +130,17 @@ class Database:
         # applied block (ledger system transactions opt out — the
         # background stage never touches pgLedger).
         self.commit_barrier = None
+        # Structured slow-query log: top-level statements whose total
+        # (plan + execute) wall time crosses the threshold land here as
+        # dicts (statement kind, fingerprint, timings, rows, cache
+        # disposition).  Purely observational — entries are recorded
+        # after the statement's effects are final, and nothing in
+        # planning ever reads them back.  REPRO_SLOW_QUERY_MS <= 0
+        # disables recording entirely.
+        self.slow_query_threshold_ms = float(os.environ.get(
+            "REPRO_SLOW_QUERY_MS", "0"))
+        self.slow_queries: List[Dict] = []
+        self.max_slow_queries = 128
         # all transactions ever started on this node, by xid
         self.transactions: Dict[int, TransactionContext] = {}
         # still-interesting transactions for SSI conflict checks
@@ -217,6 +237,14 @@ class Database:
         index, columnstore or checkpoint state outside a transaction."""
         if self.commit_barrier is not None:
             self.commit_barrier()
+
+    def note_slow_query(self, entry: Dict) -> None:
+        """Append a structured slow-query record (bounded: oldest entries
+        rotate out past ``max_slow_queries``)."""
+        self.slow_queries.append(entry)
+        if len(self.slow_queries) > self.max_slow_queries:
+            del self.slow_queries[:len(self.slow_queries)
+                                  - self.max_slow_queries]
 
     def note_block_deltas(self, batch: BlockApplyBatch) -> None:
         """Hand the block's committed write sets to the columnstore's

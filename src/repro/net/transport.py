@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.common.events import EventScheduler
+from repro.obs.metrics import MetricsScope, private_scope
 
 
 @dataclass(frozen=True)
@@ -145,7 +146,8 @@ class SimNetwork:
     """A message bus between named nodes with per-link latency."""
 
     def __init__(self, scheduler: EventScheduler,
-                 default_latency: LatencyModel = LAN, seed: int = 7):
+                 default_latency: LatencyModel = LAN, seed: int = 7,
+                 metrics: Optional["MetricsScope"] = None):
         self.scheduler = scheduler
         self.default_latency = default_latency
         self._handlers: Dict[str, Handler] = {}
@@ -156,10 +158,31 @@ class SimNetwork:
         # FIFO guarantee: next earliest delivery time per (src, dst)
         self._link_clock: Dict[Tuple[str, str], float] = {}
         self.fault_plan: Optional[FaultPlan] = None
-        self.messages_sent = 0
-        self.bytes_sent = 0
-        self.messages_dropped = 0
-        self.messages_duplicated = 0
+        # Traffic counters on the unified registry (legacy attribute
+        # names below are read-only views).
+        self.metrics = metrics if metrics is not None else private_scope()
+        self._messages_sent = self.metrics.counter("transport.messages_sent")
+        self._bytes_sent = self.metrics.counter("transport.bytes_sent")
+        self._messages_dropped = self.metrics.counter(
+            "transport.messages_dropped")
+        self._messages_duplicated = self.metrics.counter(
+            "transport.messages_duplicated")
+
+    @property
+    def messages_sent(self) -> int:
+        return int(self._messages_sent.value)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._bytes_sent.value)
+
+    @property
+    def messages_dropped(self) -> int:
+        return int(self._messages_dropped.value)
+
+    @property
+    def messages_duplicated(self) -> int:
+        return int(self._messages_duplicated.value)
 
     # ------------------------------------------------------------------
 
@@ -226,19 +249,16 @@ class SimNetwork:
         if faults is not None and faults.is_noop():
             faults = None
         copies = 1
+        self._messages_sent.inc()
+        self._bytes_sent.inc(size_bytes)
         if faults is not None:
-            self.messages_sent += 1
-            self.bytes_sent += size_bytes
             if plan.should_drop(faults):
-                self.messages_dropped += 1
+                self._messages_dropped.inc()
                 return
             delay *= faults.delay_multiplier
             if plan.should_duplicate(faults):
-                self.messages_duplicated += 1
+                self._messages_duplicated.inc()
                 copies = 2
-        else:
-            self.messages_sent += 1
-            self.bytes_sent += size_bytes
         # FIFO per link: never deliver before an earlier message.  A
         # reorder window adds extra delay *after* the clamp, so later
         # messages may overtake this one only within the window bound.

@@ -105,6 +105,16 @@ class BlockProcessor:
 
     def process_block(self, block: Block,
                       crash_point: Optional[str] = None) -> BlockMetrics:
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("pipeline.process_block",
+                             height=block.number,
+                             txs=len(block.transactions)):
+                return self._process_block(block, crash_point)
+        return self._process_block(block, crash_point)
+
+    def _process_block(self, block: Block,
+                       crash_point: Optional[str] = None) -> BlockMetrics:
         node = self.node
         metrics = BlockMetrics(block_number=block.number,
                                tx_count=len(block.transactions))
@@ -121,10 +131,19 @@ class BlockProcessor:
         outcomes = self._ensure_executed(block, metrics)
         metrics.block_execution_time = time.perf_counter() - exec_started
 
-        # Step 3: serial commit in block order.
+        # Step 3: serial commit in block order (stage B of the pipeline).
         commit_started = time.perf_counter()
-        statuses, deferred = self._serial_commit(
-            block, outcomes, metrics, crash_point)
+        tracer = getattr(node, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("pipeline.stage_b_commit",
+                             height=block.number) as span:
+                statuses, deferred = self._serial_commit(
+                    block, outcomes, metrics, crash_point)
+                span.annotate(committed=metrics.committed,
+                              aborted=metrics.aborted)
+        else:
+            statuses, deferred = self._serial_commit(
+                block, outcomes, metrics, crash_point)
         metrics.block_commit_time = time.perf_counter() - commit_started
         # With a deferred batch the commit-boundary flush moves to the
         # background stage (bounded to this block's lsn horizon); the
@@ -375,7 +394,13 @@ class BlockProcessor:
             # compact periodically) so AS OF analytics never touch the
             # row store.  (Pipelined blocks ingest on the background
             # stage instead.)
-            node.db.columnstore.on_block(node.db, block.number)
+            tracer = getattr(node, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                with tracer.span("pipeline.stage_c_serial",
+                                 height=block.number):
+                    node.db.columnstore.on_block(node.db, block.number)
+            else:
+                node.db.columnstore.on_block(node.db, block.number)
 
     def _submit_finalize(self, block: Block, batch) -> None:
         """Stage C hand-off: everything ordered is cut on the foreground
@@ -407,6 +432,7 @@ class BlockProcessor:
             return
         cut = db.columnstore.cut_pending()
         scheduler = self.scheduler
+        tracer = getattr(node, "tracer", None)
 
         def finalize():
             # Same order as the serial path: apply (stamp creator
@@ -423,4 +449,26 @@ class BlockProcessor:
                 scheduler.queue_checkpoint(height, checkpoint)
             db.wal.flush(upto_lsn=upto)
 
-        scheduler.submit_finalize(finalize)
+        def traced_finalize():
+            # Stage C, one sub-span per leg — apply/index folds,
+            # columnstore ingest, digest fold, bounded WAL flush — all
+            # on the background worker thread (the tracer locks).
+            with tracer.span("pipeline.stage_c_finalize", height=height):
+                with tracer.span("finalize.apply", height=height):
+                    db.apply_block(batch)
+                with tracer.span("finalize.columnstore_ingest",
+                                 height=height):
+                    db.columnstore.ingest_block(db, height, cut)
+                with tracer.span("finalize.digest_fold", height=height):
+                    digest = write_set_digest(batch.committed)
+                    checkpoint = node.checkpoints.record_local(
+                        height, batch.committed, digest=digest)
+                if checkpoint is not None:
+                    scheduler.queue_checkpoint(height, checkpoint)
+                with tracer.span("finalize.wal_flush", height=height):
+                    db.wal.flush(upto_lsn=upto)
+
+        if tracer is not None and tracer.enabled:
+            scheduler.submit_finalize(traced_finalize)
+        else:
+            scheduler.submit_finalize(finalize)

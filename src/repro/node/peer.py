@@ -46,6 +46,7 @@ from repro.node.sync import (
     KIND_REQUEST,
     KIND_RESPONSE,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.sql.ast_nodes import CreateFunction
 from repro.sql.executor import Executor, Result
 from repro.sql.parser import parse_one, parse_sql
@@ -59,7 +60,8 @@ class DatabaseNode:
                  flow: str = FLOW_ORDER_EXECUTE,
                  organizations: Sequence[str] = (),
                  ordering=None, min_block_signatures: int = 1,
-                 checkpoint_interval: int = 1, plan_cache=None):
+                 checkpoint_interval: int = 1, plan_cache=None,
+                 metrics_registry: Optional[MetricsRegistry] = None):
         if flow not in (FLOW_ORDER_EXECUTE, FLOW_EXECUTE_ORDER):
             raise ValueError(f"unknown flow {flow!r}")
         self.identity = identity
@@ -71,10 +73,22 @@ class DatabaseNode:
         self.ordering = ordering
         self.min_block_signatures = min_block_signatures
 
+        # Observability: every subsystem of this node registers its
+        # counters/gauges/histograms under a ``node=<name>`` scope —
+        # on the process-wide registry when the network provides one
+        # (``BlockchainNetwork.metrics``), else on a private registry.
+        # The tracer records block-aligned pipeline spans (obs/trace.py);
+        # it is off unless REPRO_TRACE=1 and never feeds back into
+        # planning or commit decisions.
+        self.metrics_registry = metrics_registry if metrics_registry \
+            is not None else MetricsRegistry()
+        self.metrics = self.metrics_registry.scope(node=self.name)
+        self.tracer = Tracer(self.metrics)
+
         # ``plan_cache``: optionally a process-shared plan-template cache
         # (nodes with identical catalogs share templates; see
         # sql/plancache.py for the safety argument).
-        self.db = Database(plan_cache=plan_cache)
+        self.db = Database(plan_cache=plan_cache, metrics=self.metrics)
         self.certs = CertificateRegistry()
         self.contracts = ContractRegistry()
         create_system_tables(self.db.catalog)
@@ -109,6 +123,25 @@ class DatabaseNode:
         # detection, and peer-to-peer block retrieval (see node/sync.py).
         self.sync = BlockSyncManager(self)
         self.sync.start()
+
+        # Derived-state gauges: evaluated only at snapshot/render time
+        # (zero hot-path cost).  Registered last so the callbacks close
+        # over fully constructed components; on restart the re-created
+        # node re-binds the same gauge objects to fresh closures.
+        self.metrics.gauge("node.committed_height",
+                           fn=lambda: self.db.committed_height)
+        self.metrics.gauge("node.blockstore_height",
+                           fn=lambda: self.blockstore.height)
+        self.metrics.gauge("node.crashed", fn=lambda: self.crashed)
+        self.metrics.gauge(
+            "columnstore.pending_commits",
+            fn=lambda: len(self.db.columnstore._pending))
+        self.metrics.gauge(
+            "columnstore.chunks",
+            fn=lambda: sum(len(t.chunks)
+                           for t in self.db.columnstore.tables.values()))
+        self.metrics.gauge("node.slow_queries",
+                           fn=lambda: len(self.db.slow_queries))
 
     # ------------------------------------------------------------------
     # Bootstrap (section 3.7)
@@ -236,8 +269,18 @@ class DatabaseNode:
         return self.db.committed_height
 
     def observability(self) -> Dict[str, Any]:
-        """One bundle of this node's operational counters: WAL flushing,
-        columnar-replica maintenance, and anti-entropy sync activity."""
+        """One bundle of this node's operational state: the full metric
+        snapshot for this node's registry scope plus the legacy per
+        -subsystem stat dicts, span-trace summary, SQL timing aggregates
+        and the slow-query log.
+
+        Fenced through ``drain_commits()`` first: with the pipelined
+        scheduler, stage C may still be folding a block (columnstore
+        ingest, WAL bounded flush) in the background — reading counters
+        mid-flight would show a half-finalized block."""
+        from repro.sql.planner import QUERY_TIMINGS
+
+        self.db.drain_commits()
         return {
             "wal": {
                 "flush_count": self.db.wal.flush_count,
@@ -245,7 +288,26 @@ class DatabaseNode:
             },
             "columnstore": self.db.columnstore.stats(),
             "sync": self.sync.stats(),
+            "plan_cache": self.db.plan_cache.stats(),
+            "scheduler": {
+                "parallel_blocks": self.processor.scheduler.parallel_blocks,
+                "groups_seen": self.processor.scheduler.groups_seen,
+                "pipelined_blocks":
+                    self.processor.scheduler.pipelined_blocks,
+                "barriers_waited":
+                    self.processor.scheduler.barriers_waited,
+            },
+            "sql": QUERY_TIMINGS.snapshot(),
+            "slow_queries": list(self.db.slow_queries),
+            "trace": self.tracer.snapshot(),
+            "metrics": self.metrics.snapshot(),
         }
+
+    def observability_prometheus(self) -> str:
+        """This node's metrics as a Prometheus text exposition page
+        (fenced like :meth:`observability`)."""
+        self.db.drain_commits()
+        return self.metrics.render_prometheus()
 
     # ------------------------------------------------------------------
     # Network message handling (middleware)

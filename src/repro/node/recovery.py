@@ -20,7 +20,13 @@ two atomic steps — transactions first, statuses after commit) and the WAL
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
+
+
+@contextmanager
+def _null_context():
+    yield None
 
 from repro.chain.block import Block
 from repro.errors import RecoveryError
@@ -40,6 +46,15 @@ class RecoveryManager:
 
     def recover(self) -> Dict[str, int]:
         """Recover local state; returns a small report for observability."""
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("recovery.recover") as span:
+                report = self._recover()
+                span.annotate(**report)
+            return report
+        return self._recover()
+
+    def _recover(self) -> Dict[str, int]:
         node = self.node
         # Apply any pipelined finalization left in flight before reading
         # the ledger/WAL state the protocol keys on.
@@ -78,13 +93,19 @@ class RecoveryManager:
         into a single write at group exit."""
         node = self.node
         processed = 0
-        with node.db.wal.group():
-            for block in sorted(blocks, key=lambda b: b.number):
-                if block.number <= node.blockstore.height:
-                    continue
-                node.on_block(block, "recovery")
-                processed += 1
-        node.db.drain_commits()
+        tracer = getattr(node, "tracer", None)
+        traced = tracer is not None and tracer.enabled
+        with (tracer.span("recovery.catch_up", blocks=len(blocks))
+              if traced else _null_context()) as span:
+            with node.db.wal.group():
+                for block in sorted(blocks, key=lambda b: b.number):
+                    if block.number <= node.blockstore.height:
+                        continue
+                    node.on_block(block, "recovery")
+                    processed += 1
+            node.db.drain_commits()
+            if traced:
+                span.annotate(replayed=processed)
         return processed
 
     # ------------------------------------------------------------------

@@ -73,11 +73,35 @@ class CommitScheduler:
         self._tail = None                     # last submitted finalize future
         self._error: Optional[BaseException] = None
         self._ready_checkpoints: Deque[Tuple[int, str]] = deque()
-        # Observability.
-        self.parallel_blocks = 0
-        self.groups_seen = 0
-        self.pipelined_blocks = 0
-        self.barriers_waited = 0
+        # Observability: counters live on the node's registry scope.
+        metrics = getattr(node, "metrics", None)
+        if metrics is None:
+            from repro.obs.metrics import private_scope
+            metrics = private_scope()
+        self.metrics = metrics
+        self._parallel_blocks = metrics.counter("scheduler.parallel_blocks")
+        self._groups_seen = metrics.counter("scheduler.groups_seen")
+        self._pipelined_blocks = metrics.counter(
+            "scheduler.pipelined_blocks")
+        self._barriers_waited = metrics.counter(
+            "scheduler.barriers_waited")
+
+    # Legacy counter attributes — views over the registry objects.
+    @property
+    def parallel_blocks(self) -> int:
+        return int(self._parallel_blocks.value)
+
+    @property
+    def groups_seen(self) -> int:
+        return int(self._groups_seen.value)
+
+    @property
+    def pipelined_blocks(self) -> int:
+        return int(self._pipelined_blocks.value)
+
+    @property
+    def barriers_waited(self) -> int:
+        return int(self._barriers_waited.value)
 
     # ------------------------------------------------------------------
     # Stage A: speculative conflict-group edge derivation
@@ -98,6 +122,18 @@ class CommitScheduler:
         views (``concurrent_with``) while the foreground blocks in
         ``wait`` — nothing mutates them concurrently.
         """
+        tracer = getattr(self.node, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span("pipeline.stage_a_warm",
+                             txs=len(members)) as span:
+                index, groups = self._prepare_block(members)
+                span.annotate(groups=len(groups))
+            return index, groups
+        return self._prepare_block(members)
+
+    def _prepare_block(self, members: List[TransactionContext]
+                       ) -> Tuple[ConflictIndex,
+                                  List[List[TransactionContext]]]:
         index = ConflictIndex()
         groups = partition_block(members, index)
         db = self.db
@@ -131,8 +167,8 @@ class CommitScheduler:
         else:
             for group in groups:
                 warm(group)
-        self.parallel_blocks += 1
-        self.groups_seen += len(groups)
+        self._parallel_blocks.inc()
+        self._groups_seen.inc(len(groups))
         return index, groups
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -155,7 +191,7 @@ class CommitScheduler:
                 max_workers=1,
                 thread_name_prefix=f"{self.node.name}-finalize")
         self._tail = self._finalizer.submit(self._run_finalize, fn)
-        self.pipelined_blocks += 1
+        self._pipelined_blocks.inc()
 
     def _run_finalize(self, fn) -> None:
         try:
@@ -173,7 +209,7 @@ class CommitScheduler:
         if tail is not None:
             self._tail = None
             if not tail.done():
-                self.barriers_waited += 1
+                self._barriers_waited.inc()
             tail.exception()          # waits; error re-raised below
         self._raise_pending()
         self.flush_checkpoints()

@@ -44,15 +44,18 @@ CONTROL_MSG_BYTES = 64
 class SyncRequest:
     """One in-flight block-range request."""
 
-    __slots__ = ("request_id", "lo", "hi", "peer", "deadline")
+    __slots__ = ("request_id", "lo", "hi", "peer", "deadline", "started")
 
     def __init__(self, request_id: int, lo: int, hi: int, peer: str,
-                 deadline: float):
+                 deadline: float, started: float = 0.0):
         self.request_id = request_id
         self.lo = lo
         self.hi = hi
         self.peer = peer
         self.deadline = deadline
+        # Simulated-time send instant, so the tracer can record the full
+        # request/response cycle in scheduler time.
+        self.started = started
 
 
 class BlockSyncManager:
@@ -86,15 +89,55 @@ class BlockSyncManager:
         self._backoff = backoff_base
         self._resume_at = 0.0   # no new request before this (backoff)
         self._started = False
-        # -- metrics (exposed via stats(); summed by the bench harness) --
-        self.blocks_requested = 0
-        self.blocks_served = 0
-        self.retries = 0
-        self.backoff_ms_total = 0.0
-        self.requests_sent = 0
-        self.responses_received = 0
-        self.announces_sent = 0
-        self.gaps_detected = 0
+        # -- metrics on the node's registry scope (stats() below is a
+        # thin view; the bench harness still sums those dicts) --
+        metrics = getattr(node, "metrics", None)
+        if metrics is None:
+            from repro.obs.metrics import private_scope
+            metrics = private_scope()
+        self.metrics = metrics
+        self._blocks_requested = metrics.counter("sync.blocks_requested")
+        self._blocks_served = metrics.counter("sync.blocks_served")
+        self._retries = metrics.counter("sync.retries")
+        self._backoff_ms_total = metrics.counter("sync.backoff_ms_total")
+        self._requests_sent = metrics.counter("sync.requests_sent")
+        self._responses_received = metrics.counter(
+            "sync.responses_received")
+        self._announces_sent = metrics.counter("sync.announces_sent")
+        self._gaps_detected = metrics.counter("sync.gaps_detected")
+
+    # Legacy counter attributes — views over the registry objects.
+    @property
+    def blocks_requested(self) -> int:
+        return int(self._blocks_requested.value)
+
+    @property
+    def blocks_served(self) -> int:
+        return int(self._blocks_served.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def backoff_ms_total(self) -> float:
+        return float(self._backoff_ms_total.value)
+
+    @property
+    def requests_sent(self) -> int:
+        return int(self._requests_sent.value)
+
+    @property
+    def responses_received(self) -> int:
+        return int(self._responses_received.value)
+
+    @property
+    def announces_sent(self) -> int:
+        return int(self._announces_sent.value)
+
+    @property
+    def gaps_detected(self) -> int:
+        return int(self._gaps_detected.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -155,7 +198,7 @@ class BlockSyncManager:
         for peer in self.peers():
             self.network.send(self.node.name, peer,
                               (KIND_ANNOUNCE, height), CONTROL_MSG_BYTES)
-            self.announces_sent += 1
+            self._announces_sent.inc()
 
     # ------------------------------------------------------------------
     # Gap detection and requests
@@ -187,7 +230,7 @@ class BlockSyncManager:
                 break
         if missing is None:
             return
-        self.gaps_detected += 1
+        self._gaps_detected.inc()
         hi = min(target, missing + self.max_batch - 1)
         self._issue_request(missing, hi, peers)
 
@@ -200,9 +243,10 @@ class BlockSyncManager:
         self._next_request_id += 1
         self._inflight = SyncRequest(
             request_id, lo, hi, peer,
-            deadline=self.scheduler.now + self.request_timeout)
-        self.requests_sent += 1
-        self.blocks_requested += hi - lo + 1
+            deadline=self.scheduler.now + self.request_timeout,
+            started=self.scheduler.now)
+        self._requests_sent.inc()
+        self._blocks_requested.inc(hi - lo + 1)
         self.network.send(self.node.name, peer,
                           (KIND_REQUEST,
                            {"id": request_id, "lo": lo, "hi": hi}),
@@ -214,10 +258,10 @@ class BlockSyncManager:
             return
         # Request lost (or the peer is down/partitioned): back off with
         # jitter and rotate to the next peer on the following gap check.
-        self.retries += 1
+        self._retries.inc()
         self._rotation += 1
         pause = self._backoff * (1.0 + self.jitter * self._rng.random())
-        self.backoff_ms_total += pause * 1000.0
+        self._backoff_ms_total.inc(pause * 1000.0)
         self._backoff = min(self._backoff * 2.0, self.backoff_cap)
         self._resume_at = self.scheduler.now + pause
         self._inflight = None
@@ -240,7 +284,7 @@ class BlockSyncManager:
                  lo + self.max_batch - 1)
         blocks = [self.node.blockstore.get(number)
                   for number in range(lo, hi + 1)]
-        self.blocks_served += len(blocks)
+        self._blocks_served.inc(len(blocks))
         size = sum(sum(tx.size_bytes() for tx in block.transactions) + 512
                    for block in blocks) or CONTROL_MSG_BYTES
         self.network.send(self.node.name, sender,
@@ -258,7 +302,7 @@ class BlockSyncManager:
         verification before it can take effect."""
         from repro.node.recovery import RecoveryManager
 
-        self.responses_received += 1
+        self._responses_received.inc()
         known = self._peer_heights.get(sender, -1)
         if payload.get("height", -1) > known:
             self._peer_heights[sender] = payload["height"]
@@ -267,6 +311,13 @@ class BlockSyncManager:
             self._inflight = None
             self._backoff = self.backoff_base
             self._resume_at = 0.0
+            tracer = getattr(self.node, "tracer", None)
+            if tracer is not None:
+                # Simulated-time span: send instant → matching response.
+                tracer.record("sync.request_cycle",
+                              self.scheduler.now - inflight.started,
+                              lo=inflight.lo, hi=inflight.hi,
+                              peer=inflight.peer)
         blocks = [b for b in payload.get("blocks", ())
                   if b.number > self.node.blockstore.height]
         if blocks:

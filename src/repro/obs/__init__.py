@@ -1,0 +1,14 @@
+"""Unified observability layer: metrics registry + block-aligned tracer.
+
+See ``docs/observability.md`` for the metric catalog, the span model and
+the determinism argument.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      MetricsScope, private_scope)
+from .trace import Tracer, trace_enabled_from_env
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsScope",
+    "private_scope", "Tracer", "trace_enabled_from_env",
+]

@@ -270,8 +270,13 @@ class CreateIndex(Statement):
 
 @dataclass
 class Explain(Statement):
-    """EXPLAIN <stmt> — render the physical plan instead of executing."""
+    """EXPLAIN <stmt> — render the physical plan instead of executing.
+
+    ``EXPLAIN ANALYZE`` (``analyze=True``) additionally *executes* the
+    statement (SELECT only) and annotates every operator with its actual
+    row count, loop count and wall time."""
     statement: Statement
+    analyze: bool = False
 
 
 @dataclass

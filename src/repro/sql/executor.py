@@ -60,6 +60,8 @@ from repro.sql.expressions import (
 from repro.sql.plan import (
     PROVENANCE_COLUMNS,
     Runtime,
+    deinstrument_plan,
+    instrument_plan,
     render_plan,
     window_checks,
 )
@@ -352,6 +354,20 @@ class Executor:
         if self._stmt_depth == 0:
             QUERY_TIMINGS.record(plan_t.seconds, exec_t.seconds,
                                  cache_hit=cache_hit)
+            threshold = getattr(self.db, "slow_query_threshold_ms", 0.0)
+            if threshold and (plan_t.seconds + exec_t.seconds) * 1e3 \
+                    >= threshold:
+                # Structured slow-query log: observability-only (the
+                # planner never reads it back), so wall-clock here
+                # cannot perturb determinism.
+                self.db.note_slow_query({
+                    "kind": "select",
+                    "plan": plan.root.describe(),
+                    "plan_ms": round(plan_t.seconds * 1e3, 3),
+                    "exec_ms": round(exec_t.seconds * 1e3, 3),
+                    "rows": len(output),
+                    "cache_hit": cache_hit,
+                })
         return Result(columns=plan.columns, rows=output,
                       rowcount=len(output))
 
@@ -365,6 +381,8 @@ class Executor:
         for table in sorted(_referenced_tables(stmt.statement)):
             self._check_read(table)
         inner = stmt.statement
+        if stmt.analyze:
+            return self._execute_explain_analyze(inner, ctx)
         cache_note = "bypass"
         if isinstance(inner, Select):
             plan, hit, _ = self._plan_select_cached(inner, ctx)
@@ -389,6 +407,41 @@ class Executor:
             raise ExecutionError(
                 f"EXPLAIN does not support {type(inner).__name__}")
         lines.append(f"Plan Cache: {cache_note}")
+        return Result(columns=["QUERY PLAN"],
+                      rows=[(line,) for line in lines],
+                      rowcount=len(lines))
+
+    def _execute_explain_analyze(self, inner: Statement,
+                                 ctx: EvalContext) -> Result:
+        """EXPLAIN ANALYZE: execute the statement and render the plan
+        with per-operator actual rows / loops / wall time.
+
+        SELECT only — executing DML under EXPLAIN would mutate state.
+        The instrumentation wraps operator iterators at instance level
+        for the duration of this one execution and is removed in a
+        ``finally`` (the plan template may live in a shared cache); the
+        SSI side effects of the run are exactly a normal SELECT's.
+        """
+        if not isinstance(inner, Select):
+            raise ExecutionError(
+                f"EXPLAIN ANALYZE supports only SELECT (executing "
+                f"{type(inner).__name__} under EXPLAIN would modify "
+                f"data)")
+        with timed() as plan_t:
+            plan, hit, scan_bounds = self._plan_select_cached(inner, ctx)
+        stats = instrument_plan(plan.root)
+        try:
+            with timed() as exec_t:
+                rt = self._runtime(ctx, plan.alias_columns, scan_bounds)
+                rt.probe_stats = stats
+                for _ in plan.root.rows(rt):
+                    pass        # actuals accumulate in ``stats``
+        finally:
+            deinstrument_plan(plan.root)
+        lines = render_plan(plan.root, stats=stats)
+        lines.append(f"Plan Cache: {'hit' if hit else 'miss'}")
+        lines.append(f"Planning Time: {plan_t.seconds * 1e3:.3f} ms")
+        lines.append(f"Execution Time: {exec_t.seconds * 1e3:.3f} ms")
         return Result(columns=["QUERY PLAN"],
                       rows=[(line,) for line in lines],
                       rowcount=len(lines))

@@ -146,7 +146,16 @@ class Parser:
     def parse_statement(self) -> Statement:
         if self.check_kw("EXPLAIN"):
             self.advance()
-            return Explain(statement=self.parse_statement())
+            # ANALYZE is a soft identifier (not a reserved keyword): no
+            # statement can start with a bare identifier, so consuming
+            # it here is unambiguous.
+            analyze = False
+            if self.current.kind == "IDENT" and \
+                    self.current.value.upper() == "ANALYZE":
+                self.advance()
+                analyze = True
+            return Explain(statement=self.parse_statement(),
+                           analyze=analyze)
         if self.check_kw("PROVENANCE"):
             self.advance()
             select = self.parse_select()

@@ -26,6 +26,7 @@ but conservative — predicate read).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import islice
 from typing import (
@@ -100,6 +101,12 @@ class Runtime:
     # side effects (predicate read, window checks) happen once at
     # preparation even when a streaming Limit consumes zero rows.
     prepared_scans: Optional[Dict[int, Any]] = None
+    # EXPLAIN ANALYZE only: {id(plan node): OpStats}.  A DynamicProbe
+    # never runs its own ``rows`` (NestedLoopJoin drives it per outer
+    # row), so the join reports the probe's actuals through this map.
+    # Strictly write-only — nothing on the planning or commit path ever
+    # reads it back.
+    probe_stats: Optional[Dict[int, "OpStats"]] = None
 
 
 # ---------------------------------------------------------------------------
@@ -590,17 +597,117 @@ def recost_plan(node: PlanNode, db) -> None:
 
 
 def render_plan(node: PlanNode, depth: int = 0,
-                lines: Optional[List[str]] = None) -> List[str]:
+                lines: Optional[List[str]] = None,
+                stats: Optional[Dict[int, "OpStats"]] = None) -> List[str]:
     """Pretty-print a plan tree, Postgres-style, annotating every
-    operator with its estimated cost and output rows."""
+    operator with its estimated cost and output rows.  With ``stats``
+    (an EXPLAIN ANALYZE run's :func:`instrument_plan` output) each line
+    additionally carries the operator's actual rows/loops/wall time."""
     if lines is None:
         lines = []
     prefix = "" if depth == 0 else "  " * depth + "-> "
-    lines.append(prefix + node.describe() +
-                 f" (cost~{int(node.est_cost)} rows~{int(node.est_rows)})")
+    line = (prefix + node.describe() +
+            f" (cost~{int(node.est_cost)} rows~{int(node.est_rows)})")
+    if stats is not None:
+        st = stats.get(id(node))
+        if st is not None:
+            if st.loops:
+                line += (f" (actual rows={st.rows} loops={st.loops} "
+                         f"time={st.seconds * 1000.0:.3f}ms)")
+            else:
+                line += " (actual never executed)"
+    lines.append(line)
     for child in node.children():
-        render_plan(child, depth + 1, lines)
+        render_plan(child, depth + 1, lines, stats)
     return lines
+
+
+@dataclass
+class OpStats:
+    """Per-operator actuals collected during an EXPLAIN ANALYZE run."""
+
+    rows: int = 0
+    loops: int = 0
+    seconds: float = 0.0
+
+
+def instrument_plan(root: PlanNode) -> Dict[int, OpStats]:
+    """Attach row/loop/time counters to every operator of a plan tree.
+
+    Wrapping happens at *instance* level (``node.__dict__``), so the
+    class behaviour of a cached, shared plan template is untouched and
+    :func:`deinstrument_plan` restores the tree exactly.  Operators that
+    are consumed through a side entry point get that wrapped instead of
+    ``rows``: a HashJoin pulls its build side via ``scan_rows``, a
+    SortMergeJoin pulls both inputs via ``stream_rows``, and a
+    DynamicProbe never runs at all (NestedLoopJoin drives it per outer
+    row and reports through ``Runtime.probe_stats``).  Timing covers
+    time spent *inside* the operator's iterator (children inclusive,
+    consumers exclusive), Postgres-style.
+    """
+    stats: Dict[int, OpStats] = {}
+
+    def wrap_iter(node: PlanNode, attr: str) -> None:
+        inner = getattr(node, attr)
+        st = stats[id(node)]
+
+        def counted(rt):
+            st.loops += 1
+            it = inner(rt)
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    item = next(it)
+                except StopIteration:
+                    st.seconds += time.perf_counter() - t0
+                    return
+                st.seconds += time.perf_counter() - t0
+                st.rows += 1
+                yield item
+
+        node.__dict__[attr] = counted
+
+    def wrap_list(node: PlanNode, attr: str) -> None:
+        inner = getattr(node, attr)
+        st = stats[id(node)]
+
+        def counted(rt):
+            st.loops += 1
+            t0 = time.perf_counter()
+            out = inner(rt)
+            st.seconds += time.perf_counter() - t0
+            st.rows += len(out)
+            return out
+
+        node.__dict__[attr] = counted
+
+    def visit(node: PlanNode) -> None:
+        stats[id(node)] = OpStats()
+        if isinstance(node, DynamicProbe):
+            pass    # counted by NestedLoopJoin via rt.probe_stats
+        elif isinstance(node, IndexOrderScan):
+            wrap_iter(node, "stream_rows")
+        elif isinstance(node, SeqScan):
+            wrap_list(node, "scan_rows")
+        else:
+            wrap_iter(node, "rows")
+        for child in node.children():
+            visit(child)
+
+    visit(root)
+    return stats
+
+
+def deinstrument_plan(root: PlanNode) -> None:
+    """Remove :func:`instrument_plan`'s instance-level wrappers — the
+    template may live in the (possibly shared) plan cache."""
+    def visit(node: PlanNode) -> None:
+        for attr in ("rows", "scan_rows", "stream_rows"):
+            node.__dict__.pop(attr, None)
+        for child in node.children():
+            visit(child)
+
+    visit(root)
 
 
 class OneRow(PlanNode):
@@ -792,11 +899,23 @@ class NestedLoopJoin(PlanNode):
         schema = rt.db.catalog.schema_of(join.table.name)
         null_row = {col: None for col in schema.column_names()}
         ctx = rt.ctx
+        probe_st = None
+        if rt.probe_stats is not None:
+            probe_st = rt.probe_stats.get(id(self.probe))
         for env in self.outer.rows(rt):
             row_ctx = ctx.child_for_row(env)
             bounds = extract_bounds(self.combined, alias, row_ctx,
                                     rt.alias_columns)
-            inner_rows = execute_scan(rt, join.table.name, alias, bounds)
+            if probe_st is not None:
+                t0 = time.perf_counter()
+                inner_rows = execute_scan(rt, join.table.name, alias,
+                                          bounds)
+                probe_st.loops += 1
+                probe_st.rows += len(inner_rows)
+                probe_st.seconds += time.perf_counter() - t0
+            else:
+                inner_rows = execute_scan(rt, join.table.name, alias,
+                                          bounds)
             matched = False
             for inner in inner_rows:
                 candidate_env = {**env, alias: inner.values}

@@ -209,15 +209,43 @@ class PlanEntry:
 class PlanCache:
     """Per-database LRU cache of plan templates (thread-safe)."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, metrics=None):
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, PlanEntry]" = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.guard_failures = 0
-        self.evictions = 0
-        self.invalidations = 0
+        # Counters on the unified registry (a process-shared cache keeps
+        # its own private scope; per-node caches get the node scope).
+        if metrics is None:
+            from repro.obs.metrics import private_scope
+            metrics = private_scope()
+        self.metrics = metrics
+        self._hits = metrics.counter("plancache.hits")
+        self._misses = metrics.counter("plancache.misses")
+        self._guard_failures = metrics.counter("plancache.guard_failures")
+        self._evictions = metrics.counter("plancache.evictions")
+        self._invalidations = metrics.counter("plancache.invalidations")
+        metrics.gauge("plancache.size", fn=self.__len__)
+
+    # Legacy counter attributes — views over the registry objects.
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def guard_failures(self) -> int:
+        return int(self._guard_failures.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._invalidations.value)
 
     # -- keying ------------------------------------------------------------
 
@@ -261,18 +289,15 @@ class PlanCache:
             if entry is not None:
                 self._entries.move_to_end(key)
         if entry is None:
-            with self._lock:
-                self.misses += 1
+            self._misses.inc()
             return None
         scan_bounds = validate_guards(db.catalog, entry.guards, ctx)
         if scan_bounds is None:
-            with self._lock:
-                self.guard_failures += 1
-                self.misses += 1
+            self._guard_failures.inc()
+            self._misses.inc()
             return None
         refresh_row_estimates(db, entry)
-        with self._lock:
-            self.hits += 1
+        self._hits.inc()
         return entry, scan_bounds
 
     def store(self, key: Tuple, entry: PlanEntry) -> None:
@@ -281,7 +306,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
 
     # -- invalidation ------------------------------------------------------
 
@@ -296,7 +321,7 @@ class PlanCache:
                      if entry.catalog_version != current_version]
             for key in stale:
                 del self._entries[key]
-            self.invalidations += len(stale)
+        self._invalidations.inc(len(stale))
         return len(stale)
 
     def clear(self) -> None:

@@ -26,6 +26,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..obs.metrics import MetricsScope, private_scope
+
 WAL_BEGIN = "begin"
 WAL_INSERT = "insert"
 WAL_UPDATE = "update"
@@ -72,7 +74,8 @@ class WriteAheadLog:
     re-serializing and rewriting the whole log every time.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None,
+                 metrics: Optional[MetricsScope] = None):
         self._records: List[WALRecord] = []
         self._next_lsn = 1
         self._flushed_lsn = 0
@@ -80,9 +83,13 @@ class WriteAheadLog:
         # How many leading records are already in the file; everything
         # past this index is serialized + appended by the next flush.
         self._persisted_count = 0
-        # Observability: group-commit batch sizes.
-        self.flush_count = 0
-        self.records_flushed = 0
+        # Observability: group-commit batch sizes, on the unified
+        # registry (a standalone WAL gets a private scope so counters
+        # start at zero; a node-owned WAL shares the node's scope and so
+        # survives crash/restart of the WAL object itself).
+        self.metrics = metrics if metrics is not None else private_scope()
+        self._flush_count = self.metrics.counter("wal.flush_count")
+        self._records_flushed = self.metrics.counter("wal.records_flushed")
         # Pipelined commit: the background finalize stage flushes block
         # N's records while the foreground appends block N+1's.  The lock
         # covers flush bookkeeping; appends stay foreground-only (the
@@ -139,8 +146,8 @@ class WriteAheadLog:
         batch = self._records[self._persisted_count:end]
         if not batch:
             return
-        self.flush_count += 1
-        self.records_flushed += len(batch)
+        self._flush_count.inc()
+        self._records_flushed.inc(len(batch))
         if self._path:
             with open(self._path, "a", encoding="utf-8") as handle:
                 handle.write("".join(record.to_json() + "\n"
@@ -171,6 +178,15 @@ class WriteAheadLog:
     @property
     def flushed_lsn(self) -> int:
         return self._flushed_lsn
+
+    # Legacy counter attributes — thin views over the registry objects.
+    @property
+    def flush_count(self) -> int:
+        return int(self._flush_count.value)
+
+    @property
+    def records_flushed(self) -> int:
+        return int(self._records_flushed.value)
 
     def crash(self) -> None:
         """Simulate a crash: drop unflushed records."""

@@ -55,6 +55,32 @@ def assert_converged(net):
             if want is not None and got[height] is not None:
                 assert got[height] == want, \
                     f"checkpoint digest @{height} diverged on {node.name}"
+    assert_registry_consistent(net, live)
+
+
+def assert_registry_consistent(net, live):
+    """After healing, each node's metrics registry scope must agree with
+    the state it describes: height gauges match the database, counter
+    views match the registry objects, and nothing in the snapshot is
+    torn (a crashed-then-restarted node re-binds, never zeroes)."""
+    for node in live:
+        snap = net.metrics.snapshot(node=node.name)
+        suffix = f'{{node="{node.name}"}}'
+        assert snap["gauges"]["node.committed_height" + suffix] == \
+            node.db.committed_height
+        assert snap["gauges"]["node.crashed" + suffix] is False
+        assert snap["counters"]["wal.flush_count" + suffix] == \
+            node.db.wal.flush_count
+        assert snap["counters"]["sync.blocks_requested" + suffix] == \
+            node.sync.blocks_requested
+    heights = {snapshot_height(net, n) for n in live}
+    assert len(heights) == 1, \
+        f"committed-height gauges diverged after heal: {heights}"
+
+
+def snapshot_height(net, node):
+    return net.metrics.snapshot(node=node.name)["gauges"][
+        f'node.committed_height{{node="{node.name}"}}']
 
 
 def heal_and_settle(net, rounds=3, timeout=60.0):

@@ -1,0 +1,173 @@
+"""Node/network-level observability: the ``observability()`` bundle, the
+stage-C fence regression, counter survival across crash/restart, and the
+structured slow-query log."""
+
+import time
+
+from tests.conftest import make_kv_network
+
+
+def warmed_network(flow="order-execute", writes=6):
+    net = make_kv_network(flow)
+    client = net.register_client("alice", "org1")
+    client.invoke_and_wait("set_kv", "base", 1)
+    for i in range(writes):
+        client.invoke("set_kv", f"k-{i}", i)
+    net.settle(timeout=60.0)
+    return net, client
+
+
+class TestObservabilityBundle:
+    def test_bundle_shape(self):
+        net, _ = warmed_network()
+        obs = net.primary_node.observability()
+        assert set(obs) >= {"wal", "columnstore", "sync", "plan_cache",
+                            "scheduler", "sql", "slow_queries", "trace",
+                            "metrics"}
+        assert obs["wal"]["flush_count"] > 0
+        assert obs["wal"]["records_flushed"] > 0
+        snap = obs["metrics"]
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        node = net.primary_node.name
+        assert snap["counters"][
+            f'wal.flush_count{{node="{node}"}}'] == \
+            obs["wal"]["flush_count"]
+        assert snap["gauges"][
+            f'node.committed_height{{node="{node}"}}'] == \
+            net.primary_node.db.committed_height
+
+    def test_metrics_scoped_per_node(self):
+        """Each node's bundle only carries its own label scope on the
+        shared process-wide registry."""
+        net, _ = warmed_network()
+        a, b = net.nodes[0], net.nodes[1]
+        for counters in (a.observability()["metrics"]["counters"],):
+            assert any(f'node="{a.name}"' in key for key in counters)
+            assert not any(f'node="{b.name}"' in key for key in counters)
+
+    def test_transport_counters_live_at_network_level(self):
+        net, _ = warmed_network()
+        snap = net.metrics.snapshot()
+        assert snap["counters"]["transport.messages_sent"] == \
+            net.network.messages_sent
+        assert snap["counters"]["transport.bytes_sent"] == \
+            net.network.bytes_sent
+
+    def test_prometheus_page(self):
+        net, _ = warmed_network()
+        page = net.primary_node.observability_prometheus()
+        node = net.primary_node.name
+        assert "# TYPE wal_flush_count counter" in page
+        assert f'wal_flush_count{{node="{node}"}}' in page
+        assert f'node_committed_height{{node="{node}"}}' in page
+        # The whole-network page additionally carries transport series.
+        full = net.metrics.render_prometheus()
+        assert "transport_messages_sent" in full
+
+
+class TestObservabilityFence:
+    def test_reads_fence_through_drain_commits(self):
+        """Regression: ``observability()`` must drain stage C before
+        reading counters.  Queue a slow finalize that bumps a counter —
+        the bundle must already include the bump."""
+        net, _ = warmed_network()
+        node = net.primary_node
+        scheduler = node.processor.scheduler
+        counter = node.metrics.counter("wal.flush_count")
+        before = int(counter.value)
+
+        def slow_finalize():
+            time.sleep(0.05)
+            counter.inc()
+
+        scheduler.submit_finalize(slow_finalize)
+        obs = node.observability()     # must wait for the fence
+        assert obs["wal"]["flush_count"] == before + 1
+
+    def test_prometheus_fences_too(self):
+        net, _ = warmed_network()
+        node = net.primary_node
+        counter = node.metrics.counter("wal.flush_count")
+        before = int(counter.value)
+
+        def slow_finalize():
+            time.sleep(0.05)
+            counter.inc()
+
+        node.processor.scheduler.submit_finalize(slow_finalize)
+        page = node.observability_prometheus()
+        assert f'wal_flush_count{{node="{node.name}"}} {before + 1}' \
+            in page
+
+
+class TestCounterSurvival:
+    """Registry counters are process-lifetime: a node crash/restart
+    re-binds to the same objects instead of zeroing them (deliberate —
+    the catalog in docs/observability.md documents this per metric)."""
+
+    def test_counters_survive_crash_and_restart(self):
+        net, client = warmed_network()
+        victim = net.nodes[1]
+        flushes_before = victim.db.wal.flush_count
+        synced_before = victim.sync.blocks_requested
+        assert flushes_before > 0
+
+        victim.crash()
+        for i in range(4):
+            client.invoke(f"set_kv", f"post-{i}", i)
+        net.settle(timeout=60.0, expect_progress=False)
+        victim.restart()
+        net.settle(timeout=60.0)
+
+        # Monotone across the crash: the restart added to the pre-crash
+        # totals (catch-up replays flush the WAL again) — no reset.
+        assert victim.db.wal.flush_count > flushes_before
+        assert victim.sync.blocks_requested >= synced_before
+        snap = net.metrics.snapshot(node=victim.name)
+        assert snap["counters"][
+            f'wal.flush_count{{node="{victim.name}"}}'] == \
+            victim.db.wal.flush_count
+        # Gauges read live post-restart state.
+        assert snap["gauges"][
+            f'node.crashed{{node="{victim.name}"}}'] is False
+
+    def test_registry_object_identity_across_restart(self):
+        net, client = warmed_network()
+        victim = net.nodes[2]
+        counter = net.metrics.counter("wal.flush_count",
+                                      node=victim.name)
+        victim.crash()
+        victim.restart()
+        assert net.metrics.counter("wal.flush_count",
+                                   node=victim.name) is counter
+
+
+class TestSlowQueryLog:
+    def test_threshold_records_structured_entries(self):
+        net, _ = warmed_network()
+        node = net.primary_node
+        node.db.slow_query_threshold_ms = 1e-6   # everything is "slow"
+        node.query("SELECT k, v FROM kv WHERE k = 'base'")
+        entries = node.observability()["slow_queries"]
+        assert entries, "threshold crossed but nothing logged"
+        entry = entries[-1]
+        assert entry["kind"] == "select"
+        assert entry["rows"] == 1
+        assert entry["plan_ms"] >= 0 and entry["exec_ms"] >= 0
+        assert "cache_hit" in entry and "plan" in entry
+
+    def test_disabled_by_default(self):
+        net, _ = warmed_network()
+        node = net.primary_node
+        node.query("SELECT k, v FROM kv WHERE k = 'base'")
+        assert node.observability()["slow_queries"] == []
+
+    def test_log_is_bounded(self):
+        net, _ = warmed_network()
+        node = net.primary_node
+        node.db.max_slow_queries = 5
+        node.db.slow_query_threshold_ms = 1e-6
+        for i in range(9):
+            node.query("SELECT count(*) FROM kv")
+        entries = node.observability()["slow_queries"]
+        assert len(entries) == 5

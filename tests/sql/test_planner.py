@@ -1,6 +1,8 @@
 """Planner & plan layer: EXPLAIN golden outputs, join-strategy choice,
 ORDER BY alias resolution without AST mutation, catalog statistics."""
 
+import re
+
 import pytest
 
 from repro.errors import MissingIndexError
@@ -194,6 +196,126 @@ class TestExplainGolden:
         before = q(db, "SELECT count(*) FROM accounts").scalar()
         explain(db, "DELETE FROM accounts WHERE acc_id = 1")
         assert q(db, "SELECT count(*) FROM accounts").scalar() == before
+
+
+_ANALYZE_TIME = re.compile(r"time=\d+\.\d{3}ms")
+_SUMMARY_TIME = re.compile(r"Time: \d+\.\d{3} ms")
+
+
+def explain_analyze(db, sql, params=(), **tx_kwargs):
+    result = q(db, "EXPLAIN ANALYZE " + sql, params=params, **tx_kwargs)
+    assert result.columns == ["QUERY PLAN"]
+    return [row[0] for row in result.rows]
+
+
+def masked(lines):
+    """Wall-clock varies run to run; rows/loops are exact."""
+    return [_SUMMARY_TIME.sub("Time: <t> ms",
+                              _ANALYZE_TIME.sub("time=<t>", line))
+            for line in lines]
+
+
+class TestExplainAnalyzeGolden:
+    def test_fig6_actual_rows_per_operator(self, db):
+        """Every operator reports its exact actuals: 4 org1 accounts
+        drive 4 index probes yielding 3 invoices each."""
+        assert masked(explain_analyze(db, FIG6_SQL, params=("org1",))) == [
+            "HashAggregate (global) (cost~103 rows~1) "
+            "(actual rows=1 loops=1 time=<t>)",
+            "  -> Filter (a.org = $1) (cost~79 rows~12) "
+            "(actual rows=12 loops=1 time=<t>)",
+            "    -> NestedLoopJoin INNER on (i.acc_id = a.acc_id) "
+            "(cost~67 rows~12) (actual rows=12 loops=1 time=<t>)",
+            "      -> IndexScan on accounts as a using accounts_org_idx "
+            "(a.org = $1) (cost~15 rows~4) "
+            "(actual rows=4 loops=1 time=<t>)",
+            "      -> IndexProbe on invoices as i using invoices_acc_idx "
+            "(i.acc_id = a.acc_id) (per outer row) (cost~12 rows~3) "
+            "(actual rows=12 loops=4 time=<t>)",
+            "Plan Cache: miss",
+            "Planning Time: <t> ms",
+            "Execution Time: <t> ms",
+        ]
+
+    def test_fig7_limit_truncates_sorted_groups(self, db):
+        assert masked(explain_analyze(db, FIG7_SQL, params=("org1",))) == [
+            "Limit (limit=1) (cost~139 rows~12) "
+            "(actual rows=1 loops=1 time=<t>)",
+            "  -> Sort (sum(amount) DESC, acc_id ASC) (cost~139 rows~12) "
+            "(actual rows=4 loops=1 time=<t>)",
+            "    -> HashAggregate (group by acc_id) (cost~96 rows~12) "
+            "(actual rows=4 loops=1 time=<t>)",
+            "      -> Filter (org = $1) (cost~72 rows~12) "
+            "(actual rows=12 loops=1 time=<t>)",
+            "        -> IndexScan on invoices using invoices_org_idx "
+            "(org = $1) (cost~60 rows~12) "
+            "(actual rows=12 loops=1 time=<t>)",
+            "Plan Cache: miss",
+            "Planning Time: <t> ms",
+            "Execution Time: <t> ms",
+        ]
+
+    def test_sort_merge_inputs_counted_through_streams(self, db):
+        """SortMergeJoin consumes its scans via ``stream_rows``; the
+        instrumentation must count that entry point, not ``rows``."""
+        lines = masked(explain_analyze(
+            db, "SELECT a.acc_id, i.invoice_id FROM accounts a "
+                "JOIN invoices i ON i.acc_id = a.acc_id "
+                "ORDER BY a.acc_id"))
+        assert lines[1] == (
+            "  -> SortMergeJoin INNER (i.acc_id = a.acc_id) "
+            "(cost~104 rows~36) (actual rows=36 loops=1 time=<t>)")
+        assert "(actual rows=12 loops=1 time=<t>)" in lines[2]   # accounts
+        assert "(actual rows=36 loops=1 time=<t>)" in lines[3]   # invoices
+
+    def test_root_actual_rows_match_returned_rowcount(self, db):
+        """Acceptance criterion: the root operator's actual row count
+        equals the row count the plain SELECT returns."""
+        for sql, params in ((FIG6_SQL, ("org1",)), (FIG7_SQL, ("org1",)),
+                            ("SELECT * FROM invoices WHERE org = $1 "
+                             "ORDER BY invoice_id", ("org2",))):
+            returned = q(db, sql, params=params).rowcount
+            root = explain_analyze(db, sql, params=params)[0]
+            assert f"actual rows={returned} loops=1" in root, root
+
+    def test_plan_cache_hit_line_renders(self, db):
+        first = explain_analyze(db, FIG6_SQL, params=("org1",))
+        second = explain_analyze(db, FIG6_SQL, params=("org1",))
+        assert "Plan Cache: miss" in first
+        assert "Plan Cache: hit" in second
+        # The cached template must come back unwrapped: actuals reset
+        # per run instead of accumulating.
+        assert masked(first)[:-3] == masked(second)[:-3]
+
+    def test_analyze_executes_but_leaves_no_writes(self, db):
+        before = q(db, "SELECT count(*) FROM accounts").scalar()
+        explain_analyze(db, "SELECT count(*) FROM accounts")
+        assert q(db, "SELECT count(*) FROM accounts").scalar() == before
+
+    def test_analyze_rejects_dml(self, db):
+        from repro.errors import ExecutionError
+
+        tx = db.begin(allow_nondeterministic=True)
+        with pytest.raises(ExecutionError, match="only SELECT"):
+            run_sql(db, tx, "EXPLAIN ANALYZE DELETE FROM accounts")
+        db.apply_abort(tx, reason="test")
+        assert q(db, "SELECT count(*) FROM accounts").scalar() == 12
+
+    def test_plain_explain_unchanged_after_analyze(self, db):
+        """ANALYZE instrumentation must not leak into the cached plan:
+        a later plain EXPLAIN renders the original golden."""
+        explain_analyze(db, FIG6_SQL, params=("org1",))
+        assert explain(db, FIG6_SQL, params=("org1",)) == [
+            "HashAggregate (global) (cost~103 rows~1)",
+            "  -> Filter (a.org = $1) (cost~79 rows~12)",
+            "    -> NestedLoopJoin INNER on (i.acc_id = a.acc_id) "
+            "(cost~67 rows~12)",
+            "      -> IndexScan on accounts as a using accounts_org_idx "
+            "(a.org = $1) (cost~15 rows~4)",
+            "      -> IndexProbe on invoices as i using invoices_acc_idx "
+            "(i.acc_id = a.acc_id) (per outer row) (cost~12 rows~3)",
+            "Plan Cache: hit",
+        ]
 
 
 class TestJoinStrategies:
