@@ -36,8 +36,16 @@ the executor enforces.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, \
+    Tuple
 
+from repro.analytics.encoding import (
+    DictVector,
+    RLEVector,
+    rle_visible_offsets,
+    typed_array,
+    vector_bytes,
+)
 from repro.errors import AnalyticsDisabledError, CatalogError
 from repro.sql.expressions import compare_values
 
@@ -46,6 +54,29 @@ DEFAULT_CHUNK_ROWS = 1024
 
 #: Compaction cadence (in blocks) for the block processor hook.
 DEFAULT_COMPACT_EVERY = 16
+
+#: Dictionary-encoding cardinality ceiling (absolute; per-chunk the
+#: adaptive threshold is the smaller of this and a quarter of the chunk's
+#: rows, floored at 16 so small per-block chunks still encode).
+DICT_MAX_NDV = 32767
+
+
+def dict_ndv_threshold(rows: int) -> int:
+    """Adaptive NDV ceiling for dictionary-encoding a chunk of ``rows``
+    values: encoding only pays when codes repeat, so the threshold scales
+    with the chunk (a quarter of its rows) within fixed bounds."""
+    return min(DICT_MAX_NDV, max(16, rows // 4))
+
+
+class ChunkCounters:
+    """Registry counters shared by every chunk of a store (chunks are
+    too numerous to carry their own scopes)."""
+
+    __slots__ = ("encoded_chunks", "rle_runs_scanned")
+
+    def __init__(self, encoded_chunks, rle_runs_scanned):
+        self.encoded_chunks = encoded_chunks
+        self.rle_runs_scanned = rle_runs_scanned
 
 
 def visible_at(creator: Optional[int], deleter: Optional[int],
@@ -73,14 +104,21 @@ def _zone_cmp(a: Any, b: Any) -> Optional[int]:
 
 
 class ColumnChunk:
-    """A fixed batch of row versions in columnar form."""
+    """A fixed batch of row versions in columnar form.
+
+    Unsealed chunks hold plain Python lists; :meth:`seal` additionally
+    re-encodes the frozen vectors (dictionary / RLE / typed arrays, see
+    :mod:`repro.analytics.encoding`) unless ``encode`` is False.  Every
+    representation is read through the same ``vector[offset]`` protocol,
+    so consumers never branch on the encoding."""
 
     __slots__ = ("data", "row_ids", "version_ids", "xmins", "xmaxs",
                  "creators", "deleters", "live_count", "min_creator",
                  "max_creator", "max_deleter", "zones", "null_counts",
-                 "sealed")
+                 "sealed", "encode", "counters")
 
-    def __init__(self, columns: Iterable[str]):
+    def __init__(self, columns: Iterable[str], encode: bool = True,
+                 counters: Optional[ChunkCounters] = None):
         self.data: Dict[str, List[Any]] = {col: [] for col in columns}
         self.row_ids: List[int] = []
         self.version_ids: List[int] = []
@@ -95,6 +133,8 @@ class ColumnChunk:
         self.zones: Dict[str, Tuple[Any, Any]] = {}
         self.null_counts: Dict[str, int] = {}
         self.sealed = False
+        self.encode = encode
+        self.counters = counters
 
     def __len__(self) -> int:
         return len(self.creators)
@@ -131,7 +171,9 @@ class ColumnChunk:
         """Freeze the chunk and compute per-column min/max zone maps and
         NULL counts.  Columns with incomparable value mixes get no zone
         map (scans fall back to reading the chunk — conservative, never
-        wrong)."""
+        wrong).  Zone maps stay in *value* space — computed before the
+        vectors re-encode — so encoded and plain chunks make identical
+        pruning decisions."""
         self.sealed = True
         self.zones = {}
         self.null_counts = {}
@@ -144,6 +186,50 @@ class ColumnChunk:
                 self.zones[col] = (min(values), max(values))
             except TypeError:
                 continue
+        if self.encode:
+            self._encode_vectors()
+
+    def _encode_vectors(self) -> None:
+        """Re-encode the sealed vectors: creators/deleters/xmins/xmaxs
+        to RLE (block-grained by construction — one creator height and
+        a handful of transactions per ingested block; late deleter/xmax
+        stamps rewrite runs in place), low-cardinality TEXT columns to
+        dictionaries, NULL-free int/float columns to typed arrays.  A
+        no-op on empty chunks."""
+        rows = len(self.creators)
+        if not rows:
+            return
+        self.creators = RLEVector.from_list(self.creators)
+        self.deleters = RLEVector.from_list(self.deleters)
+        self.xmins = RLEVector.from_list(self.xmins)
+        self.xmaxs = RLEVector.from_list(self.xmaxs)
+        for name in ("row_ids", "version_ids"):
+            typed = typed_array(getattr(self, name))
+            if typed is not None:
+                setattr(self, name, typed)
+        max_ndv = dict_ndv_threshold(rows)
+        for col, vector in self.data.items():
+            encoded = DictVector.encode(vector, max_ndv)
+            if encoded is not None:
+                self.data[col] = encoded
+                continue
+            typed = typed_array(vector)
+            if typed is not None:
+                self.data[col] = typed
+        if self.counters is not None:
+            self.counters.encoded_chunks.inc()
+
+    def memory_bytes(self, seen: Set[int]) -> int:
+        """Container + distinct-payload bytes of every vector of the
+        chunk (``seen`` deduplicates payload objects shared across
+        vectors and chunks — e.g. one string referenced by many rows)."""
+        total = 0
+        for vector in self.data.values():
+            total += vector_bytes(vector, seen)
+        for vector in (self.row_ids, self.version_ids, self.xmins,
+                       self.xmaxs, self.creators, self.deleters):
+            total += vector_bytes(vector, seen)
+        return total
 
     # -- pruning -----------------------------------------------------------
 
@@ -220,6 +306,14 @@ class ColumnChunk:
         if self.max_creator is not None and self.max_creator <= height \
                 and self.live_count == len(creators):
             return list(range(len(creators)))  # append-only fast path
+        if type(creators) is RLEVector:
+            # Encoded chunk: one visibility decision per intersected
+            # creator/deleter run instead of per row.
+            offsets, runs = rle_visible_offsets(creators, deleters,
+                                                height)
+            if self.counters is not None:
+                self.counters.rle_runs_scanned.inc(runs)
+            return offsets
         return [i for i in range(len(creators))
                 if creators[i] <= height
                 and (deleters[i] is None or deleters[i] > height)]
@@ -256,10 +350,14 @@ class TableColumns:
     """All chunks of one table plus the version locator."""
 
     def __init__(self, table: str, columns: Iterable[str],
-                 target_chunk_rows: int = DEFAULT_CHUNK_ROWS):
+                 target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 encode: bool = True,
+                 counters: Optional[ChunkCounters] = None):
         self.table = table
         self.columns = list(columns)
         self.target_chunk_rows = target_chunk_rows
+        self.encode = encode
+        self.counters = counters
         self.chunks: List[ColumnChunk] = []
         # version_id -> (chunk, offset): late deleter stamps land on rows
         # ingested blocks (or chunks) earlier.
@@ -270,10 +368,14 @@ class TableColumns:
 
     # -- ingest ------------------------------------------------------------
 
+    def _new_chunk(self) -> ColumnChunk:
+        return ColumnChunk(self.columns, encode=self.encode,
+                           counters=self.counters)
+
     def _open_chunk(self) -> ColumnChunk:
         if self.chunks and not self.chunks[-1].sealed:
             return self.chunks[-1]
-        chunk = ColumnChunk(self.columns)
+        chunk = self._new_chunk()
         self.chunks.append(chunk)
         return chunk
 
@@ -318,7 +420,7 @@ class TableColumns:
                 out.extend(run)
                 run.clear()
                 return
-            merged = ColumnChunk(self.columns)
+            merged = self._new_chunk()
             for chunk in run:
                 for offset in range(len(chunk)):
                     new_offset = merged.append(
@@ -334,7 +436,7 @@ class TableColumns:
                     if len(merged) >= self.target_chunk_rows:
                         merged.seal()
                         out.append(merged)
-                        merged = ColumnChunk(self.columns)
+                        merged = self._new_chunk()
             if len(merged):
                 merged.seal()
                 out.append(merged)
@@ -357,10 +459,15 @@ class ColumnStore:
 
     def __init__(self, target_chunk_rows: int = DEFAULT_CHUNK_ROWS,
                  compact_every: int = DEFAULT_COMPACT_EVERY,
-                 metrics=None):
+                 metrics=None, encode: bool = True):
         self.enabled = True
         self.target_chunk_rows = target_chunk_rows
         self.compact_every = max(1, compact_every)
+        # Seal-time vector encoding (dictionary/RLE/typed arrays).  Off,
+        # chunks keep plain lists — the reference representation the
+        # equivalence suite compares against; results are byte-identical
+        # either way.
+        self.encode = encode
         self.tables: Dict[str, TableColumns] = {}
         # Committed-but-not-yet-ingested write sets, in commit order.
         self._pending: List[list] = []
@@ -389,6 +496,22 @@ class ColumnStore:
         # and counters alone (no row touch) — see ColumnarAggregate.
         self._zone_only_chunks = metrics.counter(
             "columnstore.zone_only_chunks")
+        # Encoding counters: chunks re-encoded at seal, predicate/group
+        # translations to dictionary codes, and RLE runs inspected by
+        # visibility walks.
+        self._encoded_chunks = metrics.counter(
+            "columnstore.encoded_chunks")
+        self._dict_hits = metrics.counter("columnstore.dict_hits")
+        self._rle_runs_scanned = metrics.counter(
+            "columnstore.rle_runs_scanned")
+        self._chunk_counters = ChunkCounters(self._encoded_chunks,
+                                             self._rle_runs_scanned)
+        # Live memory footprint per stored row version.  Computed
+        # without fencing (a gauge callback may run inside a snapshot
+        # that already fenced); exporters that need a quiesced figure
+        # call memory_stats() instead.
+        metrics.gauge("columnstore.bytes_per_row",
+                      fn=self._bytes_per_row_live)
 
     # Legacy counter attributes — views over the registry objects.
     @property
@@ -418,6 +541,18 @@ class ColumnStore:
     @property
     def zone_only_chunks(self) -> int:
         return int(self._zone_only_chunks.value)
+
+    @property
+    def encoded_chunks(self) -> int:
+        return int(self._encoded_chunks.value)
+
+    @property
+    def dict_hits(self) -> int:
+        return int(self._dict_hits.value)
+
+    @property
+    def rle_runs_scanned(self) -> int:
+        return int(self._rle_runs_scanned.value)
 
     def note_zone_only_chunk(self) -> None:
         """Called by ColumnarAggregate when a chunk's contribution came
@@ -520,7 +655,9 @@ class ColumnStore:
             if not db.catalog.has_table(name):
                 return None
             columns = db.catalog.schema_of(name).column_names()
-            tcols = TableColumns(name, columns, self.target_chunk_rows)
+            tcols = TableColumns(name, columns, self.target_chunk_rows,
+                                 encode=self.encode,
+                                 counters=self._chunk_counters)
             self.tables[name] = tcols
         return tcols
 
@@ -679,12 +816,48 @@ class ColumnStore:
             vectors = [chunk.data.get(col) for col in columns]
             if any(vector is None for vector in vectors):
                 continue  # chunk predates the column (re-created table)
+            if len(vectors) == 1 and type(vectors[0]) is DictVector \
+                    and chunk.fully_visible_at(height):
+                # NDV from the dictionary for free: every dictionary
+                # entry appears in the chunk, and every row is visible,
+                # so the distinct values ARE the dictionary.
+                for value in vectors[0].dictionary:
+                    seen.add(key_of((value,)))
+                continue
             for offset in chunk.visible_offsets(height):
                 values = tuple(vector[offset] for vector in vectors)
                 if any(v is None for v in values):
                     continue
                 seen.add(key_of(values))
         return len(seen)
+
+    def column_values(self, db, table: str, column: str,
+                      height: int) -> Optional[List[Any]]:
+        """Non-NULL ``column`` values over the rows visible at
+        ``height`` — the input to the planner's equi-width histograms
+        (:meth:`StatisticsManager.histogram`).  Walks chunks directly
+        (no scan-counter traffic: statistics reads must not perturb the
+        pruning counters benchmarks pin).  None when the replica cannot
+        serve; the caller's heap fallback computes the identical
+        multiset."""
+        if not self.enabled:
+            return None
+        self.ensure_synced(db)
+        if not self.enabled or self._stale:
+            return None
+        tcols = self.tables.get(table)
+        if tcols is None:
+            return [] if db.catalog.has_table(table) else None
+        out: List[Any] = []
+        for chunk in tcols.chunks:
+            vector = chunk.data.get(column)
+            if vector is None:
+                continue  # chunk predates the column (re-created table)
+            for offset in chunk.visible_offsets(height):
+                value = vector[offset]
+                if value is not None:
+                    out.append(value)
+        return out
 
     # -- provenance helpers (the audit path rides the replica) ------------
 
@@ -747,6 +920,35 @@ class ColumnStore:
 
     # -- observability -----------------------------------------------------
 
+    def _bytes_per_row_live(self) -> float:
+        """Gauge callback: current bytes per stored row version, over
+        whatever chunks exist right now (no fence — see __init__)."""
+        seen: Set[int] = set()
+        total = rows = 0
+        for tcols in self.tables.values():
+            for chunk in tcols.chunks:
+                total += chunk.memory_bytes(seen)
+                rows += len(chunk)
+        return round(total / rows, 2) if rows else 0.0
+
+    def memory_stats(self) -> Dict[str, Any]:
+        """Quiesced memory accounting (fences in-flight ingest first):
+        total vector bytes, stored row versions, and bytes per row —
+        the figure the analytics bench gates its >=3x reduction on."""
+        if self.fence is not None:
+            self.fence()
+        seen: Set[int] = set()
+        total = rows = 0
+        for tcols in self.tables.values():
+            for chunk in tcols.chunks:
+                total += chunk.memory_bytes(seen)
+                rows += len(chunk)
+        return {
+            "bytes": total,
+            "rows": rows,
+            "bytes_per_row": round(total / rows, 2) if rows else 0.0,
+        }
+
     def stats(self) -> Dict[str, Any]:
         if self.fence is not None:
             self.fence()   # land any pipelined ingest before reporting
@@ -765,4 +967,7 @@ class ColumnStore:
             "chunks_pruned": self.chunks_pruned,
             "chunks_scanned": self.chunks_scanned,
             "zone_only_chunks": self.zone_only_chunks,
+            "encoded_chunks": self.encoded_chunks,
+            "dict_hits": self.dict_hits,
+            "rle_runs_scanned": self.rle_runs_scanned,
         }

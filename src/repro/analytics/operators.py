@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.analytics.encoding import DictVector
 from repro.errors import ExecutionError
 from repro.sql.ast_nodes import FunctionCall, SelectItem
 from repro.sql.expressions import (
@@ -278,25 +279,44 @@ class ColumnarAggregate(PlanNode):
                                             new_states)
             return
 
+        store = rt.db.columnstore
+        dict_hits = store._dict_hits
+        single_group = group_cols[0] if len(group_cols) == 1 else None
+
         for chunk, offsets in self.scan.chunk_selections(
                 rt, extra_bounds or None):
             data = chunk.data
-            cmp_vectors = [(data[col], op, const)
-                           for col, op, const in cmp_preds]
-            between_vectors = [(data[col], low, high)
-                               for col, low, high in between_preds]
-            in_vectors = [(data[col], values) for col, values in in_preds]
-            like_vectors = [(data[col], regex, negated)
-                            for col, regex, negated in like_preds]
+            compiled = self._compile_chunk_predicates(
+                data, dict_hits, cmp_preds, between_preds, in_preds,
+                like_preds)
+            if compiled is None:
+                continue   # a flag table is all-False: no row matches
+            (code_checks, cmp_vectors, between_vectors, in_vectors,
+             like_vectors) = compiled
             group_vectors = [data[col] for col in group_cols]
             agg_vectors = [None if spec.column is None else data[spec.column]
                            for spec in specs]
+            # GROUP BY a dictionary column: aggregate per code, then
+            # materialize each key string exactly once per chunk.
+            group_dict = None
+            group_codes = None
+            code_states: Dict[int, List[Any]] = {}
+            if single_group is not None and \
+                    type(data[single_group]) is DictVector:
+                group_dict = data[single_group]
+                group_codes = group_dict.codes
+                dict_hits.inc()
             for offset in offsets:
                 keep = True
-                for vector, op, const in cmp_vectors:
-                    if _compare(op, vector[offset], const) is not True:
+                for codes, flags in code_checks:
+                    if not flags[codes[offset]]:
                         keep = False
                         break
+                if keep:
+                    for vector, op, const in cmp_vectors:
+                        if _compare(op, vector[offset], const) is not True:
+                            keep = False
+                            break
                 if keep:
                     for vector, low, high in between_vectors:
                         value = vector[offset]
@@ -324,14 +344,21 @@ class ColumnarAggregate(PlanNode):
                             break
                 if not keep:
                     continue
-                key = tuple(vector[offset] for vector in group_vectors)
-                fingerprint = repr(key)
-                pos = group_index.get(fingerprint)
-                if pos is None:
-                    group_index[fingerprint] = len(groups)
-                    groups.append((key, new_states()))
-                    pos = len(groups) - 1
-                states = groups[pos][1]
+                if group_dict is not None:
+                    code = group_codes[offset]
+                    states = code_states.get(code)
+                    if states is None:
+                        states = new_states()
+                        code_states[code] = states
+                else:
+                    key = tuple(vector[offset] for vector in group_vectors)
+                    fingerprint = repr(key)
+                    pos = group_index.get(fingerprint)
+                    if pos is None:
+                        group_index[fingerprint] = len(groups)
+                        groups.append((key, new_states()))
+                        pos = len(groups) - 1
+                    states = groups[pos][1]
                 for j, mode in enumerate(modes):
                     vector = agg_vectors[j]
                     if vector is None:           # count(*)
@@ -354,11 +381,135 @@ class ColumnarAggregate(PlanNode):
                         if current is _EMPTY or \
                                 compare_values(value, current) > 0:
                             states[j] = value
+            if group_dict is not None:
+                # Fold the chunk's per-code partials into the global
+                # groups (sorted code order for determinism; emission
+                # order is settled by the ORDER BY the router requires,
+                # so fold order never shows in results).
+                dictionary = group_dict.dictionary
+                for code in sorted(code_states):
+                    key = (dictionary[code],) if code >= 0 else (None,)
+                    fingerprint = repr(key)
+                    pos = group_index.get(fingerprint)
+                    if pos is None:
+                        group_index[fingerprint] = len(groups)
+                        groups.append((key, code_states[code]))
+                    else:
+                        self._merge_states(modes, groups[pos][1],
+                                           code_states[code])
 
         if not groups and not group_cols:
             groups = [((), new_states())]  # global aggregate, empty input
 
         yield from self._finalize_groups(groups, specs, modes)
+
+    # ------------------------------------------------------------------
+    # Encoded execution: per-code predicate flag tables
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _code_flags(dictionary: List[str],
+                    test: Callable[[Any], bool]) -> Optional[List[bool]]:
+        """Per-code flag table for a dictionary-encoded column: one
+        predicate evaluation per distinct value instead of per row.  The
+        appended ``False`` slot is what code ``-1`` (NULL) indexes via
+        Python's negative indexing — NULL never passes a sargable
+        predicate, matching the row paths' three-valued logic.  Returns
+        None when no code passes (the whole chunk is filtered out)."""
+        flags = [test(value) for value in dictionary]
+        if True not in flags:
+            return None
+        flags.append(False)
+        return flags
+
+    def _compile_chunk_predicates(self, data, dict_hits, cmp_preds,
+                                  between_preds, in_preds, like_preds):
+        """Partition the resolved predicates for one chunk: predicates on
+        dictionary-encoded columns translate to ``(codes, flag table)``
+        checks (constant-time per row), everything else keeps the per-row
+        vector compare.  Returns None when a flag table proves the chunk
+        empty."""
+        code_checks: List[Tuple[Any, List[bool]]] = []
+        cmp_vectors: List[Tuple[Any, str, Any]] = []
+        between_vectors: List[Tuple[Any, Any, Any]] = []
+        in_vectors: List[Tuple[Any, List[Any]]] = []
+        like_vectors: List[Tuple[Any, Any, bool]] = []
+        for col, op, const in cmp_preds:
+            vector = data[col]
+            if type(vector) is DictVector:
+                dict_hits.inc()
+                flags = self._code_flags(
+                    vector.dictionary,
+                    lambda v: _compare(op, v, const) is True)
+                if flags is None:
+                    return None
+                code_checks.append((vector.codes, flags))
+            else:
+                cmp_vectors.append((vector, op, const))
+        for col, low, high in between_preds:
+            vector = data[col]
+            if type(vector) is DictVector:
+                dict_hits.inc()
+                flags = self._code_flags(
+                    vector.dictionary,
+                    lambda v: _compare(">=", v, low) is True
+                    and _compare("<=", v, high) is True)
+                if flags is None:
+                    return None
+                code_checks.append((vector.codes, flags))
+            else:
+                between_vectors.append((vector, low, high))
+        for col, values in in_preds:
+            vector = data[col]
+            if type(vector) is DictVector:
+                dict_hits.inc()
+                flags = self._code_flags(
+                    vector.dictionary,
+                    lambda v: any(_compare("=", v, item) is True
+                                  for item in values))
+                if flags is None:
+                    return None
+                code_checks.append((vector.codes, flags))
+            else:
+                in_vectors.append((vector, values))
+        for col, regex, negated in like_preds:
+            vector = data[col]
+            if type(vector) is DictVector:
+                dict_hits.inc()
+                flags = self._code_flags(
+                    vector.dictionary,
+                    lambda v: bool(regex.match(str(v))) != negated)
+                if flags is None:
+                    return None
+                code_checks.append((vector.codes, flags))
+            else:
+                like_vectors.append((vector, regex, negated))
+        return (code_checks, cmp_vectors, between_vectors, in_vectors,
+                like_vectors)
+
+    @staticmethod
+    def _merge_states(modes, target, source) -> None:
+        """Fold one group's per-chunk partial states into its global
+        states.  sum/avg buffers concatenate (``fold_sum`` is
+        order-independent), counters add, min/max compare."""
+        for j, mode in enumerate(modes):
+            if mode == _MODE_COUNTER:
+                target[j] += source[j]
+            elif mode == _MODE_BUFFER:
+                target[j].extend(source[j])
+            else:
+                value = source[j]
+                if value is _EMPTY:
+                    continue
+                current = target[j]
+                if current is _EMPTY:
+                    target[j] = value
+                elif mode == _MODE_MIN and \
+                        compare_values(value, current) < 0:
+                    target[j] = value
+                elif mode == _MODE_MAX and \
+                        compare_values(value, current) > 0:
+                    target[j] = value
 
     def _finalize_groups(self, groups, specs, modes
                          ) -> Iterator[Tuple[Tuple, Tuple]]:

@@ -41,6 +41,7 @@ from typing import (
 )
 
 from repro.errors import (
+    CatalogError,
     ExecutionError,
     MissingIndexError,
     SQLError,
@@ -273,13 +274,16 @@ def rank_indexes(heap, slots: Dict[str, Dict[str, Any]]
 
 def scan_estimate(row_count: int, n_eq: int, has_range: bool,
                   unique_covered: bool,
-                  eq_ndv: Optional[int] = None) -> float:
+                  eq_ndv: Optional[int] = None,
+                  range_sel: Optional[float] = None) -> float:
     """Selectivity estimate over the snapshot-anchored committed row
     count.  Equality prefixes divide by the anchored distinct-key count
     of the bound columns when the caller supplies it (``eq_ndv``),
-    falling back to the System-R 1/4 guess; ranges keep the classic 1/3.
-    (Lives here, beside the index scoring, so the plan cache can refresh
-    estimates on cache hits without importing the planner.)"""
+    falling back to the System-R 1/4 guess; ranges use the anchored
+    histogram selectivity (``range_sel``) when the caller derived one,
+    falling back to the classic 1/3.  (Lives here, beside the index
+    scoring, so the plan cache can refresh estimates on cache hits
+    without importing the planner.)"""
     base = float(max(row_count, 1))
     if unique_covered:
         return 1.0
@@ -290,8 +294,29 @@ def scan_estimate(row_count: int, n_eq: int, has_range: bool,
         else:
             est = max(1.0, est / 4.0)
     if has_range:
-        est = max(1.0, est / 3.0)
+        if range_sel is not None:
+            est = max(1.0, est * range_sel)
+        else:
+            est = max(1.0, est / 3.0)
     return est
+
+
+def range_selectivity(db, table: str, column: Optional[str],
+                      bounds: Optional[Dict[str, Dict[str, Any]]]
+                      ) -> Optional[float]:
+    """Histogram selectivity of the range slot on ``column`` within
+    ``bounds`` (an ``extract_bounds`` result); None when the column is
+    unknown, the slot is equality-shaped, or no histogram exists — the
+    caller keeps the fixed 1/3 guess.  The histogram is anchored at the
+    committed height, so the same bounds cost identically on every
+    node."""
+    if column is None or not bounds:
+        return None
+    slot = bounds.get(column)
+    if not slot or "eq" in slot \
+            or ("low" not in slot and "high" not in slot):
+        return None
+    return db.stats.range_selectivity(table, column, slot)
 
 
 def _l2(x: float) -> float:
@@ -316,17 +341,23 @@ def ordered_scan_sig(bounds: Dict[str, Dict[str, Any]],
     return (n_eq, has_range, False, (order_column,) if n_eq else ())
 
 
-def ordered_scan_estimates(db, table: str,
-                           cost_sig: CostSig) -> Tuple[float, float]:
+def ordered_scan_estimates(db, table: str, cost_sig: CostSig,
+                           range_column: Optional[str] = None,
+                           bounds: Optional[Dict[str, Dict[str, Any]]]
+                           = None) -> Tuple[float, float]:
     """(est_rows, est_cost) of an IndexOrderScan: index walk + matched
     rows, no content sort.  The single formula both the planner's
     candidate costing and :meth:`IndexOrderScan.recost` use — choosing
-    and rendering must never disagree."""
+    and rendering must never disagree, so both call sites pass the same
+    ``range_column``/``bounds`` (or neither)."""
     stats = db.stats.table_stats(table)
     n_eq, has_range, unique_covered, eq_cols = cost_sig
     ndv = db.stats.ndv(table, eq_cols) if eq_cols else None
+    range_sel = None
+    if has_range:
+        range_sel = range_selectivity(db, table, range_column, bounds)
     est = scan_estimate(stats.row_count, n_eq, has_range,
-                        unique_covered, eq_ndv=ndv)
+                        unique_covered, eq_ndv=ndv, range_sel=range_sel)
     return est, _l2(stats.row_count) + est
 
 
@@ -589,10 +620,18 @@ class PlanNode:
         return None
 
 
-def recost_plan(node: PlanNode, db) -> None:
-    """Bottom-up estimate refresh over a plan tree (children first)."""
+def recost_plan(node: PlanNode, db,
+                scan_bounds: Optional[Dict[int, Any]] = None) -> None:
+    """Bottom-up estimate refresh over a plan tree (children first).
+
+    ``scan_bounds`` (keyed by ``id(scan node)``, as the plan cache's
+    guard validation produces) refreshes each scan's ``live_bounds``
+    first, so histogram-based range selectivity on a cache hit sees the
+    same bound values a cold plan of the statement would."""
     for child in node.children():
-        recost_plan(child, db)
+        recost_plan(child, db, scan_bounds)
+    if scan_bounds is not None and isinstance(node, SeqScan):
+        node.live_bounds = scan_bounds.get(id(node))
     node.recost(db)
 
 
@@ -745,6 +784,11 @@ class SeqScan(PlanNode):
         self.alias = alias
         self.where = where
         self.est_rows = est_rows
+        # Costing-only bound values (NOT execution state): the planner /
+        # plan cache sets this to the statement's extracted bounds right
+        # before recost so histogram range selectivity can see them.
+        # Execution still re-derives bounds from the live context.
+        self.live_bounds: Optional[Dict[str, Dict[str, Any]]] = None
 
     def scan_rows(self, rt: Runtime) -> List[ScanRow]:
         bounds = None
@@ -791,12 +835,33 @@ class IndexScan(SeqScan):
         self.unique_covered = unique_covered
         self.cost_sig = cost_sig or (0, False, unique_covered, ())
 
+    def _range_column(self, db) -> Optional[str]:
+        """The index column the range bound applies to (the first one
+        past the equality prefix), for histogram selectivity."""
+        n_eq, has_range, _, _ = self.cost_sig
+        if not has_range:
+            return None
+        try:
+            heap = db.catalog.heap_of(self.table)
+        except CatalogError:
+            return None
+        index = heap.indexes.get(self.index_name)
+        if index is None or n_eq >= len(index.columns):
+            return None
+        return index.columns[n_eq]
+
     def recost(self, db) -> None:
         stats = db.stats.table_stats(self.table)
         n_eq, has_range, unique_covered, eq_cols = self.cost_sig
         ndv = db.stats.ndv(self.table, eq_cols) if eq_cols else None
+        range_sel = None
+        if has_range:
+            range_sel = range_selectivity(db, self.table,
+                                          self._range_column(db),
+                                          self.live_bounds)
         est = scan_estimate(stats.row_count, n_eq, has_range,
-                            unique_covered, eq_ndv=ndv)
+                            unique_covered, eq_ndv=ndv,
+                            range_sel=range_sel)
         self.est_rows = est
         # Index descent + matched rows + content sort of the output.
         self.est_cost = _l2(stats.row_count) + est + est * _l2(est)
@@ -1535,7 +1600,8 @@ class IndexOrderScan(SeqScan):
 
     def recost(self, db) -> None:
         self.est_rows, self.est_cost = ordered_scan_estimates(
-            db, self.table, self.cost_sig)
+            db, self.table, self.cost_sig,
+            range_column=self.order_column, bounds=self.live_bounds)
 
     def describe(self) -> str:
         direction = "desc" if self.descending else "asc"

@@ -168,7 +168,37 @@ def validate_guards(catalog, guards: Sequence[ScanGuard],
     return bounds_by_node
 
 
-def refresh_row_estimates(db, entry: "PlanEntry") -> None:
+def _range_bounds_fingerprint(guards: Sequence[ScanGuard],
+                              scan_bounds: Optional[Dict[int, Dict]]
+                              ) -> Tuple:
+    """Value fingerprint of every *range* bound the validated guards
+    produced.  Histogram range selectivity is value-dependent, so a
+    template re-executed with different range parameters must recost
+    even though the structural guards (and the stats tokens) are
+    unmoved.  Equality bounds stay out of the fingerprint — their
+    selectivity is NDV-based, value-free — so the statement fast path
+    keeps skipping recosts for pure point-lookup workloads."""
+    if not scan_bounds:
+        return ()
+    parts: List[Tuple] = []
+    for i, guard in enumerate(guards):
+        if guard.node is None:
+            continue
+        bounds = scan_bounds.get(id(guard.node))
+        if not bounds:
+            continue
+        for col in sorted(bounds):
+            slot = bounds[col]
+            if "eq" in slot or ("low" not in slot and "high" not in slot):
+                continue
+            parts.append((i, col, repr(slot.get("low")),
+                          repr(slot.get("high"))))
+    return tuple(parts)
+
+
+def refresh_row_estimates(db, entry: "PlanEntry",
+                          scan_bounds: Optional[Dict[int, Dict]] = None
+                          ) -> None:
     """Refresh the ``cost~``/``rows~`` EXPLAIN annotations of a cached
     template from the database's snapshot-anchored statistics.
 
@@ -177,12 +207,15 @@ def refresh_row_estimates(db, entry: "PlanEntry") -> None:
     which changes the cache key), but the anchored stats cache also
     tracks heap drift — so a validated hit recosts the *whole* tree
     (scan estimates, join costs, everything above) and renders exactly
-    what a cold re-plan at the same anchor would.  Purely observational:
-    the strategy choice embedded in the template was keyed on the same
-    anchor, so recosting can never disagree with it."""
+    what a cold re-plan at the same anchor would, including histogram
+    range selectivity over the guard-validated bound values.  Purely
+    observational: the strategy choice embedded in the template was
+    keyed on the same anchor, so recosting can never disagree with it."""
     tables = sorted({guard.table for guard in entry.guards})
     try:
-        token = tuple(db.stats._token(table) for table in tables)
+        token: Optional[Tuple] = (
+            tuple(db.stats._token(table) for table in tables),
+            _range_bounds_fingerprint(entry.guards, scan_bounds))
     except CatalogError:
         token = None
     if token is not None and token == entry.recost_token:
@@ -190,7 +223,7 @@ def refresh_row_estimates(db, entry: "PlanEntry") -> None:
     plan = entry.plan
     root = getattr(plan, "root", plan)
     if isinstance(root, PlanNode):
-        recost_plan(root, db)
+        recost_plan(root, db, scan_bounds)
     entry.recost_token = token
 
 
@@ -296,7 +329,7 @@ class PlanCache:
             self._guard_failures.inc()
             self._misses.inc()
             return None
-        refresh_row_estimates(db, entry)
+        refresh_row_estimates(db, entry, scan_bounds)
         self._hits.inc()
         return entry, scan_bounds
 

@@ -310,8 +310,9 @@ class Planner:
                           columnar=True)
         guard.node = scan
         self.guards.append(guard)
-        self.scan_bounds[id(scan)] = extract_bounds(where, alias, ctx,
-                                                    alias_columns)
+        bounds = extract_bounds(where, alias, ctx, alias_columns)
+        self.scan_bounds[id(scan)] = bounds
+        scan.live_bounds = bounds
         scan.recost(self.db)
         return scan
 
@@ -366,6 +367,7 @@ class Planner:
                           tuple(index.columns[:n_eq])))
         guard.node = scan
         self.scan_bounds[id(scan)] = bounds
+        scan.live_bounds = bounds
         scan.recost(self.db)
         return scan
 
@@ -395,6 +397,7 @@ class Planner:
         guard.node = scan
         self.guards.append(guard)
         self.scan_bounds[id(scan)] = bounds
+        scan.live_bounds = bounds
         scan.recost(self.db)
         return scan
 
@@ -710,10 +713,12 @@ class Planner:
             # leaks guards for plans that are not chosen.
             smj_outer = PlanEstimate(*ordered_scan_estimates(
                 self.db, outer.table,
-                ordered_scan_sig(outer_bounds, outer_col)))
+                ordered_scan_sig(outer_bounds, outer_col),
+                range_column=outer_col, bounds=outer_bounds))
             smj_inner = PlanEstimate(*ordered_scan_estimates(
                 self.db, join.table.name,
-                ordered_scan_sig(inner_bounds, inner_col)))
+                ordered_scan_sig(inner_bounds, inner_col),
+                range_column=inner_col, bounds=inner_bounds))
             smj_rows, smj_cost = join_estimates(
                 self.db, smj_outer, smj_inner, join, (inner_col,))
             if sort_elision_order and self._order_satisfied(

@@ -38,7 +38,13 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import CatalogError
 from repro.storage.index import normalize_key_part
 
-__all__ = ["AnchoredTableStats", "StatisticsManager", "stats_key_part"]
+__all__ = [
+    "AnchoredTableStats", "ColumnHistogram", "HISTOGRAM_BUCKETS",
+    "StatisticsManager", "stats_key_part",
+]
+
+#: Equi-width bucket count for per-column range histograms.
+HISTOGRAM_BUCKETS = 16
 
 
 def stats_key_part(value: Any) -> Any:
@@ -65,6 +71,80 @@ class AnchoredTableStats:
     table: str
     anchor: int      # block height the counts are anchored at
     row_count: int   # committed rows visible at the anchor
+
+
+@dataclass(frozen=True)
+class ColumnHistogram:
+    """Equi-width histogram over a column's committed numeric values.
+
+    Like every anchored statistic it is a pure function of the block
+    sequence: identical on every node at the same committed height, and
+    identical whether the values came from the columnar replica or the
+    heap fallback (bucket counts are order-independent)."""
+
+    lo: float
+    hi: float
+    counts: Tuple[int, ...]
+    total: int
+
+    def range_fraction(self, low: Optional[float],
+                       high: Optional[float]) -> float:
+        """Estimated fraction of values in ``[low, high]`` (either side
+        open when None) by continuous interpolation within buckets,
+        clamped to ``[1/total, 1.0]`` so estimates never hit zero."""
+        if self.total <= 0:
+            return 1.0
+        lo, hi = self.lo, self.hi
+        qlow = lo if low is None else low
+        qhigh = hi if high is None else high
+        if hi <= lo:                       # single-value column
+            frac = 1.0 if qlow <= lo <= qhigh else 0.0
+        else:
+            qlow = max(qlow, lo)
+            qhigh = min(qhigh, hi)
+            if qhigh < qlow:
+                frac = 0.0
+            else:
+                width = (hi - lo) / len(self.counts)
+                covered = 0.0
+                for i, count in enumerate(self.counts):
+                    b_lo = lo + i * width
+                    b_hi = hi if i == len(self.counts) - 1 \
+                        else b_lo + width
+                    overlap = min(qhigh, b_hi) - max(qlow, b_lo)
+                    if overlap <= 0 or b_hi <= b_lo:
+                        continue
+                    covered += count * (overlap / (b_hi - b_lo))
+                frac = covered / self.total
+        return min(1.0, max(frac, 1.0 / self.total))
+
+
+def _build_histogram(values) -> Optional[ColumnHistogram]:
+    """Histogram over the numeric values of a column (exact ``int`` /
+    ``float`` only — ``bool`` and other comparable-but-odd types keep
+    the fixed-fraction fallback); None when nothing is histogrammable."""
+    numeric = []
+    for value in values:
+        if type(value) in (int, float):
+            try:
+                numeric.append(float(value))
+            except OverflowError:
+                return None
+    if not numeric:
+        return None
+    lo = min(numeric)
+    hi = max(numeric)
+    counts = [0] * HISTOGRAM_BUCKETS
+    if hi <= lo:
+        counts[0] = len(numeric)
+    else:
+        scale = HISTOGRAM_BUCKETS / (hi - lo)
+        last = HISTOGRAM_BUCKETS - 1
+        for value in numeric:
+            idx = int((value - lo) * scale)
+            counts[idx if idx < last else last] += 1
+    return ColumnHistogram(lo=lo, hi=hi, counts=tuple(counts),
+                           total=len(numeric))
 
 
 class StatisticsManager:
@@ -214,6 +294,71 @@ class StatisticsManager:
                 continue
             seen.add(_stats_key(values))
         return len(seen)
+
+    # ------------------------------------------------------------------
+    # Range histograms
+    # ------------------------------------------------------------------
+
+    def histogram(self, table: str,
+                  column: str) -> Optional[ColumnHistogram]:
+        """Anchored equi-width histogram over ``column``'s committed
+        numeric values; None when the column holds nothing
+        histogrammable.  Cached under the same freshness token as the
+        other statistics (the ``("__hist__", column)`` pseudo-columns
+        key cannot collide with a real NDV request, which always names
+        existing columns)."""
+        self.db.catalog.schema_of(table)
+        anchor = self.anchor
+
+        def compute() -> Optional[ColumnHistogram]:
+            values = self._columnar_values(table, column, anchor)
+            if values is None:
+                values = self._heap_values(table, column, anchor)
+                self.heap_served += 1
+            else:
+                self.columnar_served += 1
+            return _build_histogram(values)
+
+        return self._cached(table, ("__hist__", column), compute)
+
+    def _columnar_values(self, table: str, column: str, anchor: int):
+        store = getattr(self.db, "columnstore", None)
+        if store is None:
+            return None
+        try:
+            return store.column_values(self.db, table, column, anchor)
+        except CatalogError:
+            return None
+
+    def _heap_values(self, table: str, column: str, anchor: int):
+        heap = self.db.catalog.heap_of(table)
+        return [version.values.get(column)
+                for version in heap.all_versions()
+                if self._visible_at_anchor(version, anchor)]
+
+    def range_selectivity(self, table: str, column: str,
+                          slot: Dict[str, Any]) -> Optional[float]:
+        """Selectivity of one sargable range slot (``{"low": (value,
+        inclusive), "high": ...}`` as produced by ``extract_bounds``)
+        from the anchored histogram; None when no histogram exists or a
+        bound is non-numeric — the caller keeps the fixed-fraction
+        guess, so estimates degrade, never error."""
+        hist = self.histogram(table, column)
+        if hist is None:
+            return None
+        low = slot.get("low")
+        high = slot.get("high")
+        low_v = low[0] if low is not None else None
+        high_v = high[0] if high is not None else None
+        for bound in (low_v, high_v):
+            if bound is not None and type(bound) not in (int, float):
+                return None
+        try:
+            low_f = None if low_v is None else float(low_v)
+            high_f = None if high_v is None else float(high_v)
+        except OverflowError:
+            return None
+        return hist.range_fraction(low_f, high_f)
 
     # ------------------------------------------------------------------
 

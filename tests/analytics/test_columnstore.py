@@ -1,4 +1,7 @@
-"""Unit tests for the columnar replica (chunks, zone maps, ingest)."""
+"""Unit tests for the columnar replica (chunks, zone maps, ingest,
+encoded vector representations)."""
+
+from array import array
 
 import pytest
 
@@ -6,7 +9,14 @@ from repro.analytics.columnstore import (
     ColumnChunk,
     ColumnStore,
     TableColumns,
+    dict_ndv_threshold,
     visible_at,
+)
+from repro.analytics.encoding import (
+    DictVector,
+    RLEVector,
+    rle_visible_offsets,
+    typed_array,
 )
 from repro.mvcc.database import Database
 from repro.sql.executor import run_sql
@@ -344,3 +354,244 @@ class TestZoneOnlyAggregates:
         finally:
             db.apply_abort(tx, reason="test")
         assert result.rows == [(4, 8)]
+
+
+class TestRLEVector:
+    def _mirror(self, values):
+        """An RLEVector plus the plain list it must always agree with."""
+        return RLEVector.from_list(list(values)), list(values)
+
+    def test_roundtrip_and_random_access(self):
+        vec, plain = self._mirror([1, 1, 1, None, None, 2, 1, 1])
+        assert len(vec) == len(plain)
+        assert list(vec) == plain
+        assert [vec[i] for i in range(len(plain))] == plain
+        assert vec[-1] == plain[-1]
+        assert vec.run_count == 4
+        with pytest.raises(IndexError):
+            vec[len(plain)]
+        with pytest.raises(IndexError):
+            vec[-len(plain) - 1]
+
+    def test_setitem_covers_every_split_shape(self):
+        """Writes into runs: middle split, front/back carve with and
+        without neighbour merges, single-element three-way merge — the
+        vector must track a plain list through all of them."""
+        writes = [
+            (4, 9),    # middle split of a long run
+            (0, 7),    # front carve, no neighbour
+            (8, 9),    # back carve merging into the split value
+            (4, 1),    # revert the middle back (re-split)
+            (4, 9),    # single-element rewrite
+            (3, 9),    # extend a run leftwards (prev merge)
+            (5, 9),    # extend rightwards (next merge)
+            (4, 2),    # split a merged run again
+            (4, 9),    # three-way merge of a single-element run
+            (4, 9),    # same-value write is a no-op
+        ]
+        vec, plain = self._mirror([1] * 9)
+        for i, value in writes:
+            vec[i] = value
+            plain[i] = value
+            assert list(vec) == plain, (i, value)
+            # Canonical form: no two adjacent runs hold equal values.
+            _, run_values = vec.run_arrays()
+            assert all(run_values[k] != run_values[k + 1]
+                       for k in range(len(run_values) - 1)
+                       if run_values[k] is not None
+                       or run_values[k + 1] is not None)
+
+    def test_late_stamp_sequence_like_version_locator(self):
+        """The locator's usage pattern: sparse deleter stamps into a
+        None-run, adjacent stamps of the same height merging back into
+        runs."""
+        vec, plain = self._mirror([None] * 12)
+        for i in (3, 4, 5, 11, 0):
+            vec[i] = 7
+            plain[i] = 7
+            assert list(vec) == plain
+        assert vec.run_count == 5   # [7][None][7,7,7][None][7]
+
+    def test_rle_visible_offsets_matches_per_row(self):
+        creators = RLEVector.from_list([1, 1, 2, 2, 2, 3])
+        deleters = RLEVector.from_list([None, 4, 4, None, None, None])
+        for height in range(0, 6):
+            expected = [i for i in range(6)
+                        if visible_at(creators[i], deleters[i], height)]
+            offsets, runs = rle_visible_offsets(creators, deleters,
+                                                height)
+            assert offsets == expected, height
+            assert runs >= 1
+
+    def test_value_equality(self):
+        a = RLEVector.from_list([1, 1, 2])
+        b = RLEVector.from_list([1, 1, 2])
+        assert a == b and a == [1, 1, 2]
+        b[0] = 9
+        assert a != b
+
+
+class TestDictVector:
+    def test_encode_roundtrip_with_nulls(self):
+        values = ["b", "a", None, "b", "a", "c"]
+        vec = DictVector.encode(values, max_ndv=8)
+        assert vec is not None
+        assert vec.dictionary == ["a", "b", "c"]   # sorted = value order
+        assert list(vec) == values
+        assert vec[2] is None and vec[0] == "b"
+        assert len(vec) == 6
+        assert vec == DictVector.encode(values, max_ndv=8)
+
+    def test_encode_refuses_high_cardinality_and_non_strings(self):
+        assert DictVector.encode(["a", "b", "c"], max_ndv=2) is None
+        assert DictVector.encode(["a", 1], max_ndv=8) is None
+        assert DictVector.encode([True, "a"], max_ndv=8) is None
+        assert DictVector.encode([None, None], max_ndv=8) is None
+        assert DictVector.encode([], max_ndv=8) is None
+
+    def test_code_width_scales_with_dictionary(self):
+        small = DictVector.encode(["a", "b"], max_ndv=10)
+        assert small.codes.typecode == "b"
+        wide = DictVector.encode([f"k{i:04d}" for i in range(200)],
+                                 max_ndv=500)
+        assert wide.codes.typecode == "h"
+
+
+class TestTypedArrays:
+    def test_pure_int_and_float_vectors_encode(self):
+        assert typed_array([1, 2, 3]) == array("q", [1, 2, 3])
+        assert typed_array([1.5, -2.0]) == array("d", [1.5, -2.0])
+
+    def test_bool_null_mixed_and_huge_stay_plain(self):
+        # array('q') would collapse True to 1 and break byte identity.
+        assert typed_array([1, 2, True]) is None
+        assert typed_array([1, None]) is None
+        assert typed_array([1, 2.0]) is None
+        assert typed_array(["x"]) is None
+        assert typed_array([2 ** 70]) is None
+        assert typed_array([]) is None
+
+
+class TestChunkEncoding:
+    ROWS = 256
+
+    def _sealed_pair(self):
+        """The same rows sealed into an encoding and a plain chunk."""
+        chunks = []
+        for encode in (True, False):
+            chunk = ColumnChunk(["g", "v"], encode=encode)
+            for i in range(self.ROWS):
+                chunk.append({"g": f"g{i % 2}", "v": float(i)}, i, i, 1,
+                             creator=1 + i // (self.ROWS // 2))
+            chunk.seal()
+            chunks.append(chunk)
+        return chunks
+
+    def test_seal_encodes_vectors(self):
+        encoded, plain = self._sealed_pair()
+        assert type(encoded.data["g"]) is DictVector
+        assert isinstance(encoded.data["v"], array)
+        assert type(encoded.creators) is RLEVector
+        assert type(encoded.deleters) is RLEVector
+        assert type(encoded.xmins) is RLEVector
+        assert type(encoded.xmaxs) is RLEVector
+        assert isinstance(plain.data["g"], list)
+        assert isinstance(plain.creators, list)
+
+    def test_zones_and_visibility_identical(self):
+        encoded, plain = self._sealed_pair()
+        assert encoded.zones == plain.zones
+        assert encoded.null_counts == plain.null_counts
+        for height in range(0, 4):
+            assert encoded.visible_offsets(height) == \
+                plain.visible_offsets(height)
+
+    def test_late_deleter_stamp_rewrites_runs(self):
+        encoded, plain = self._sealed_pair()
+        for chunk in (encoded, plain):
+            chunk.mark_deleted(3, deleter=5, xmax=42)
+        assert encoded.deleters[3] == 5 and encoded.xmaxs[3] == 42
+        for height in (4, 5, 6):
+            assert encoded.visible_offsets(height) == \
+                plain.visible_offsets(height)
+
+    def test_encoded_chunk_is_smaller(self):
+        encoded, plain = self._sealed_pair()
+        assert encoded.memory_bytes(set()) < plain.memory_bytes(set())
+
+    def test_dict_threshold_is_adaptive(self):
+        assert dict_ndv_threshold(16) == 16      # floor
+        assert dict_ndv_threshold(1024) == 256   # rows // 4
+        assert dict_ndv_threshold(10 ** 9) == 32767   # code-width cap
+
+    def test_high_cardinality_text_stays_plain(self):
+        chunk = ColumnChunk(["g"], encode=True)
+        for i in range(8):   # 8 distinct values > threshold floor? no —
+            chunk.append({"g": f"u{i}"}, i, i, 1, creator=1)
+        chunk.seal()
+        # 8 rows → threshold max(16, 2) = 16 ≥ 8 distinct: still encodes.
+        assert type(chunk.data["g"]) is DictVector
+
+
+class TestStoreEncodingSurface:
+    def _store_db(self, encode):
+        db = make_db()
+        db.columnstore.encode = encode
+        commit_block(db, [
+            ("INSERT INTO t (id, v) VALUES ($1, $2)", (i, i % 3))
+            for i in range(10)])
+        return db
+
+    def test_memory_stats_and_gauge(self):
+        db = self._store_db(encode=True)
+        stats = db.columnstore.memory_stats()
+        assert stats["rows"] == 10
+        assert stats["bytes"] > 0
+        assert stats["bytes_per_row"] == round(
+            stats["bytes"] / stats["rows"], 2)
+        snap = db.metrics.snapshot()
+        assert snap["gauges"]["columnstore.bytes_per_row"] > 0
+
+    def test_encoded_chunks_counter_and_stats_keys(self):
+        db = self._store_db(encode=True)
+        stats = db.columnstore.stats()
+        assert stats["encoded_chunks"] >= 1
+        assert "dict_hits" in stats and "rle_runs_scanned" in stats
+
+    def test_encode_toggle_disables_encoding(self):
+        db = self._store_db(encode=False)
+        tcols = db.columnstore.table("t")
+        assert all(isinstance(c.creators, list) for c in tcols.chunks)
+        assert db.columnstore.stats()["encoded_chunks"] == 0
+
+    def test_distinct_count_served_from_dictionary(self):
+        """NDV on a dictionary column comes from len(dictionary) without
+        walking rows — and agrees with the plain computation."""
+        from repro.sql.stats import stats_key_part
+
+        def key_of(values):
+            return tuple(stats_key_part(v) for v in values)
+
+        dbs = [make_db(), make_db()]
+        for encode, db in zip((True, False), dbs):
+            db.columnstore.encode = encode
+            tx = db.begin(allow_nondeterministic=True)
+            run_sql(db, tx, "CREATE TABLE s (id INT PRIMARY KEY, g TEXT)")
+            for i in range(9):
+                run_sql(db, tx,
+                        "INSERT INTO s (id, g) VALUES ($1, $2)",
+                        params=(i, f"g{i % 4}"))
+            db.apply_commit(tx, block_number=1)
+            db.committed_height = 1
+            db.columnstore.on_block(db, 1)
+        counts = [db.columnstore.distinct_count(db, "s", ("g",), 1, key_of)
+                  for db in dbs]
+        assert counts == [4, 4]
+
+    def test_column_values_matches_heap(self):
+        db = self._store_db(encode=True)
+        height = db.committed_height
+        values = db.columnstore.column_values(db, "t", "v", height)
+        assert sorted(values) == sorted(i % 3 for i in range(10))
+        db.columnstore.set_enabled(False)
+        assert db.columnstore.column_values(db, "t", "v", height) is None
